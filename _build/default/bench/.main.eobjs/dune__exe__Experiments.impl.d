@@ -1,0 +1,1 @@
+bench/experiments.ml: Bgp Concolic Dice Format Hashtbl List Netsim Printf Snapshot String Tables Topology Unix

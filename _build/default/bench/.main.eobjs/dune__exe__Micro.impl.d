@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bgp Concolic Hashtbl Instance List Measure Netsim Printf Snapshot Staged Tables Test Time Toolkit Topology

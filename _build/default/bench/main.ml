@@ -1,0 +1,28 @@
+(* Benchmark and experiment entry point.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- f1 t3     # selected sections
+     dune exec bench/main.exe -- micro     # micro-benchmarks only *)
+
+let sections =
+  [ ("f1", Experiments.f1); ("f2", Experiments.f2); ("t1", Experiments.t1);
+    ("t2", Experiments.t2); ("t3", Experiments.t3); ("t4", Experiments.t4);
+    ("t5", Experiments.t5); ("t6", Experiments.t6);
+    ("micro", Micro.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ :: [] | [] -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

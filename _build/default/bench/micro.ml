@@ -1,0 +1,141 @@
+(* Bechamel micro-benchmarks: one Test.make per per-operation cost that
+   the overhead discussion (T2) relies on. *)
+
+open Bechamel
+open Toolkit
+
+let sample_update =
+  let attrs =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq [ 65001; 65002; 65003 ] ]
+      ~med:(Some 50)
+      ~communities:[ Bgp.Community.make 65001 100; Bgp.Community.no_export ]
+      ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.1")
+      ()
+  in
+  Bgp.Msg.Update
+    { withdrawn = [ Bgp.Prefix.of_string_exn "198.51.100.0/24" ];
+      attrs = Some attrs;
+      nlri =
+        [ Bgp.Prefix.of_string_exn "192.0.2.0/24";
+          Bgp.Prefix.of_string_exn "203.0.113.0/24" ] }
+
+let sample_raw = Bgp.Wire.encode sample_update
+
+let bench_wire_encode =
+  Test.make ~name:"wire/encode-update" (Staged.stage (fun () -> Bgp.Wire.encode sample_update))
+
+let bench_wire_decode =
+  Test.make ~name:"wire/decode-update" (Staged.stage (fun () -> Bgp.Wire.decode sample_raw))
+
+let big_trie =
+  let rng = Netsim.Rng.create 4 in
+  let bindings =
+    List.init 10_000 (fun i ->
+        ( Bgp.Prefix.make
+            (Bgp.Ipv4.of_octets (Netsim.Rng.int_in rng 1 223) (i lsr 8) (i land 255) 0)
+            24,
+          i ))
+  in
+  Bgp.Prefix_trie.of_list bindings
+
+let bench_trie_lpm =
+  let addr = Bgp.Ipv4.of_string_exn "100.3.7.9" in
+  Test.make ~name:"trie/longest-match-10k" (Staged.stage (fun () -> Bgp.Prefix_trie.longest_match addr big_trie))
+
+let candidates =
+  let route i =
+    { Bgp.Rib.attrs =
+        Bgp.Attr.make ~origin:Bgp.Attr.Igp
+          ~as_path:[ Bgp.As_path.Seq [ 65000 + i; 65100 + i ] ]
+          ~local_pref:(Some (100 + (i mod 3)))
+          ~next_hop:(Bgp.Router.addr_of_node i) ();
+      source =
+        { Bgp.Rib.peer_addr = Bgp.Router.addr_of_node i;
+          peer_as = 65000 + i;
+          peer_bgp_id = Bgp.Router.addr_of_node i;
+          ebgp = true;
+          igp_metric = i } }
+  in
+  List.init 8 route
+
+let bench_decision =
+  Test.make ~name:"decision/best-of-8"
+    (Staged.stage (fun () -> Bgp.Decision.best Bgp.Decision.default_config candidates))
+
+let gao_policy = Topology.Gao_rexford.import_map Topology.Graph.Customer
+
+let policy_attrs =
+  Bgp.Attr.make ~origin:Bgp.Attr.Igp
+    ~as_path:[ Bgp.As_path.Seq [ 65001 ] ]
+    ~communities:[ Topology.Gao_rexford.community_provider ]
+    ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.2")
+    ()
+
+let bench_policy =
+  let p = Bgp.Prefix.of_string_exn "192.0.2.0/24" in
+  Test.make ~name:"policy/gao-rexford-import"
+    (Staged.stage (fun () -> Bgp.Policy.apply gao_policy p policy_attrs))
+
+let checkpoint_router =
+  let graph =
+    Topology.Generate.generate
+      ~params:{ Topology.Generate.default_params with n_tier1 = 1; n_transit = 2; n_stub = 3 }
+      (Netsim.Rng.create 23)
+  in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  Topology.Build.speaker build 1
+
+let bench_checkpoint =
+  Test.make ~name:"snapshot/checkpoint-take"
+    (Staged.stage (fun () -> Snapshot.Checkpoint.take ~at:Netsim.Time.zero checkpoint_router))
+
+let solver_constraints =
+  let x = Concolic.Expr.var "bench_x" ~lo:0 ~hi:65535 in
+  let y = Concolic.Expr.var "bench_y" ~lo:0 ~hi:255 in
+  Concolic.Expr.
+    [ Eq (Add (Var y, Mul (Const 16, Var y)), Const 272);
+      Lt (Var x, Const 1000);
+      Not (Eq (Var x, Const 0)) ]
+
+let bench_solver =
+  Test.make ~name:"solver/small-path-condition"
+    (Staged.stage (fun () -> Concolic.Solver.solve solver_constraints))
+
+let bench_engine_events =
+  Test.make ~name:"netsim/schedule-and-run-100"
+    (Staged.stage (fun () ->
+         let eng = Netsim.Engine.create () in
+         for i = 1 to 100 do
+           ignore (Netsim.Engine.schedule eng ~after:i (fun () -> ()))
+         done;
+         Netsim.Engine.run eng))
+
+let tests =
+  Test.make_grouped ~name:"dice"
+    [ bench_wire_encode; bench_wire_decode; bench_trie_lpm; bench_decision;
+      bench_policy; bench_checkpoint; bench_solver; bench_engine_events ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  Tables.section "Bechamel micro-benchmarks (per-operation costs behind T2)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.1f" x
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Tables.print ~title:"time per operation" ~header:[ "benchmark"; "ns/run" ] rows

@@ -1,0 +1,33 @@
+(* Minimal fixed-width table printer for the experiment harness. *)
+
+let rule widths =
+  print_string "+";
+  List.iter (fun w -> print_string (String.make (w + 2) '-' ^ "+")) widths;
+  print_newline ()
+
+let row widths cells =
+  print_string "|";
+  List.iter2
+    (fun w c ->
+      let c = if String.length c > w then String.sub c 0 w else c in
+      Printf.printf " %-*s |" w c)
+    widths cells;
+  print_newline ()
+
+let print ~title ~header rows =
+  Printf.printf "\n### %s\n\n" title;
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc r -> max acc (String.length (List.nth r i)))
+          (String.length h) rows)
+      header
+  in
+  rule widths;
+  row widths header;
+  rule widths;
+  List.iter (row widths) rows;
+  rule widths
+
+let section name = Printf.printf "\n==================== %s ====================\n" name
+let note fmt = Printf.printf fmt

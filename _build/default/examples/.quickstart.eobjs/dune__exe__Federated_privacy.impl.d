@@ -1,0 +1,1 @@
+examples/federated_privacy.ml: Dice Format List Netsim Printf Snapshot Topology

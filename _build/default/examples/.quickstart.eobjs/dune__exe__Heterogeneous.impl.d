@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Bgp Dice Format List Option Printf String Topology

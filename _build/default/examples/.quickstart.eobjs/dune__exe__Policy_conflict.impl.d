@@ -1,0 +1,1 @@
+examples/policy_conflict.ml: Bgp Dice Format List Netsim Printf String Topology

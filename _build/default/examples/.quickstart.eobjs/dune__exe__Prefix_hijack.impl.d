@@ -1,0 +1,1 @@
+examples/prefix_hijack.ml: Bgp Dice Format List Netsim Printf Topology

@@ -1,0 +1,1 @@
+examples/prefix_hijack.mli:

@@ -1,0 +1,1 @@
+examples/programming_error.ml: Bgp Dice Format List Netsim Printf String Topology

@@ -1,0 +1,1 @@
+examples/programming_error.mli:

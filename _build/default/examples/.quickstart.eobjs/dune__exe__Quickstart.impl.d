@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bgp Dice Format List Netsim Printf String Topology

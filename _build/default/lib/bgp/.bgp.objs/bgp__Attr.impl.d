@@ -1,0 +1,1 @@
+lib/bgp/attr.ml: As_path Community Format Ipv4 List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/bgp/attr.mli: As_path Community Format Ipv4

@@ -1,0 +1,1 @@
+lib/bgp/config.ml: Array Attr Buffer Community Format Hashtbl Ipv4 List Policy Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/config.mli: Format Ipv4 Policy Prefix

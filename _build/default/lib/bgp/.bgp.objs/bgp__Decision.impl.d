@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Attr Bool Int Ipv4 List Option Rib

@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Format Ipv4 Msg Printf

@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Attr Format Ipv4 List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Attr Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: As_path Attr Community Format Int Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/bgp/policy.mli: Attr Community Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Format Int Ipv4 Map Printf Set String

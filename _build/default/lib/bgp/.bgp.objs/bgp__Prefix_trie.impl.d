@@ -1,0 +1,1 @@
+lib/bgp/prefix_trie.ml: Ipv4 List Prefix

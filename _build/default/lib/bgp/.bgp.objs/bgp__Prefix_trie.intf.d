@@ -1,0 +1,1 @@
+lib/bgp/prefix_trie.mli: Ipv4 Prefix

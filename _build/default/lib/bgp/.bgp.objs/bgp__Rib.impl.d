@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: As_path Attr Format Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Attr Format Ipv4 Prefix

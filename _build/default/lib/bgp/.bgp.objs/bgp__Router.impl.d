@@ -1,0 +1,1 @@
+lib/bgp/router.ml: As_path Attr Community Config Decision Format Fsm Hashtbl Ipv4 List Msg Netsim Option Policy Prefix Printf Rib String Wire

@@ -1,0 +1,1 @@
+lib/bgp/router.mli: Community Config Fsm Ipv4 Msg Netsim Prefix Rib

@@ -1,0 +1,1 @@
+lib/bgp/sparrow.ml: As_path Attr Community Config Ipv4 List Msg Netsim Option Policy Prefix Prefix_trie Printf Rib Router Speaker String Wire

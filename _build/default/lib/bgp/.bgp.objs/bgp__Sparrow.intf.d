@@ -1,0 +1,1 @@
+lib/bgp/sparrow.mli: Config Ipv4 Msg Netsim Rib Router Speaker

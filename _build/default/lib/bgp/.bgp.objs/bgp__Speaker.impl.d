@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: Config Ipv4 Lazy Msg Netsim Rib Router

@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: Config Ipv4 Lazy Msg Netsim Prefix Rib Router

@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: As_path Attr Buffer Char Community Format Ipv4 List Msg Option Prefix Printf String

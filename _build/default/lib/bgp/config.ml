@@ -1,0 +1,329 @@
+type neighbor = {
+  addr : Ipv4.t;
+  remote_as : int;
+  import_map : string option;
+  export_map : string option;
+}
+
+type t = {
+  asn : int;
+  router_id : Ipv4.t;
+  hold_time : int;
+  networks : Prefix.t list;
+  neighbors : neighbor list;
+  route_maps : (string * Policy.t) list;
+  always_compare_med : bool;
+}
+
+let make ?(hold_time = 90) ?(networks = []) ?(neighbors = []) ?(route_maps = [])
+    ?(always_compare_med = false) ~asn ~router_id () =
+  { asn; router_id; hold_time; networks; neighbors; route_maps; always_compare_med }
+
+let neighbor ?import_map ?export_map addr ~remote_as =
+  { addr; remote_as; import_map; export_map }
+
+let find_route_map t name = List.assoc_opt name t.route_maps
+let find_neighbor t addr = List.find_opt (fun n -> Ipv4.equal n.addr addr) t.neighbors
+
+let policy_of t = function
+  | None -> Policy.accept_all
+  | Some name -> (
+      match find_route_map t name with
+      | Some p -> Policy.normalize p
+      | None -> Policy.deny_all)
+
+let import_policy t n = policy_of t n.import_map
+let export_policy t n = policy_of t n.export_map
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  if t.asn <= 0 || t.asn > 0xFFFF then err "ASN %d out of range" t.asn;
+  if t.hold_time <> 0 && t.hold_time < 3 then err "hold-time %d invalid" t.hold_time;
+  if Ipv4.equal t.router_id Ipv4.any then err "router-id must be set";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n.addr then
+        err "duplicate neighbor %s" (Ipv4.to_string n.addr);
+      Hashtbl.replace seen n.addr ();
+      if n.remote_as <= 0 || n.remote_as > 0xFFFF then
+        err "neighbor %s: remote-as %d out of range" (Ipv4.to_string n.addr)
+          n.remote_as;
+      let check_map = function
+        | Some name when find_route_map t name = None ->
+            err "neighbor %s references undefined route-map %s"
+              (Ipv4.to_string n.addr) name
+        | Some _ | None -> ()
+      in
+      check_map n.import_map;
+      check_map n.export_map)
+    t.neighbors;
+  match !errs with [] -> Ok () | l -> Error (List.rev l)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type parse_error = { line : int; message : string }
+
+let pp_parse_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse of parse_error
+
+let perror line fmt = Printf.ksprintf (fun message -> raise (Parse { line; message })) fmt
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s
+
+let int_arg line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> perror line "expected integer for %s, got %S" what s
+
+let ip_arg line s =
+  match Ipv4.of_string s with Ok a -> a | Error e -> perror line "%s" e
+
+let prefix_arg line s =
+  match Prefix.of_string s with Ok p -> p | Error e -> perror line "%s" e
+
+let community_arg line s =
+  match Community.of_string s with Ok c -> c | Error e -> perror line "%s" e
+
+let origin_arg line = function
+  | "igp" -> Attr.Igp
+  | "egp" -> Attr.Egp
+  | "incomplete" -> Attr.Incomplete
+  | s -> perror line "unknown origin %S" s
+
+(* One [match ...] clause inside a route-map entry. *)
+let parse_match line = function
+  | "prefix" :: p :: rest ->
+      let base = prefix_arg line p in
+      let rec bounds ge le = function
+        | "ge" :: v :: rest -> bounds (Some (int_arg line "ge" v)) le rest
+        | "le" :: v :: rest -> bounds ge (Some (int_arg line "le" v)) rest
+        | [] -> (ge, le)
+        | w :: _ -> perror line "unexpected token %S in match prefix" w
+      in
+      let ge, le = bounds None None rest in
+      Policy.Match_prefix [ Policy.prefix_rule ?ge ?le base ]
+  | [ "community"; c ] -> Policy.Match_community (community_arg line c)
+  | [ "origin"; o ] -> Policy.Match_origin (origin_arg line o)
+  | [ "next-hop"; ip ] -> Policy.Match_next_hop (ip_arg line ip)
+  | [ "as-path"; "contains"; asn ] ->
+      Policy.Match_as_path (Policy.Path_contains (int_arg line "asn" asn))
+  | [ "as-path"; "originated-by"; asn ] ->
+      Policy.Match_as_path (Policy.Path_originated_by (int_arg line "asn" asn))
+  | [ "as-path"; "neighbor"; asn ] ->
+      Policy.Match_as_path (Policy.Path_neighbor_is (int_arg line "asn" asn))
+  | [ "as-path"; "length-le"; n ] ->
+      Policy.Match_as_path (Policy.Path_length_at_most (int_arg line "n" n))
+  | [ "as-path"; "length-ge"; n ] ->
+      Policy.Match_as_path (Policy.Path_length_at_least (int_arg line "n" n))
+  | toks -> perror line "cannot parse match clause: %s" (String.concat " " toks)
+
+let parse_set line = function
+  | [ "local-pref"; v ] -> Policy.Set_local_pref (int_arg line "local-pref" v)
+  | [ "med"; "none" ] -> Policy.Set_med None
+  | [ "med"; v ] -> Policy.Set_med (Some (int_arg line "med" v))
+  | [ "origin"; o ] -> Policy.Set_origin (origin_arg line o)
+  | [ "community"; "add"; c ] -> Policy.Add_community (community_arg line c)
+  | [ "community"; "del"; c ] -> Policy.Del_community (community_arg line c)
+  | [ "prepend"; asn; n ] ->
+      Policy.Prepend_as (int_arg line "asn" asn, int_arg line "count" n)
+  | [ "next-hop"; ip ] -> Policy.Set_next_hop (ip_arg line ip)
+  | toks -> perror line "cannot parse set clause: %s" (String.concat " " toks)
+
+type builder = {
+  mutable b_asn : int option;
+  mutable b_router_id : Ipv4.t option;
+  mutable b_hold : int;
+  mutable b_networks : Prefix.t list;
+  mutable b_neighbors : neighbor list;
+  mutable b_maps : (string * Policy.t) list;
+  mutable b_med : bool;
+}
+
+let parse_neighbor line rest =
+  match rest with
+  | addr :: "remote-as" :: asn :: opts ->
+      let addr = ip_arg line addr in
+      let remote_as = int_arg line "remote-as" asn in
+      let rec go import_map export_map = function
+        | "import" :: name :: rest -> go (Some name) export_map rest
+        | "export" :: name :: rest -> go import_map (Some name) rest
+        | [] -> { addr; remote_as; import_map; export_map }
+        | w :: _ -> perror line "unexpected token %S in neighbor" w
+      in
+      go None None opts
+  | _ -> perror line "expected: neighbor <ip> remote-as <asn> [import M] [export M]"
+
+(* Parse the body of one route-map block; returns the map and the number
+   of lines consumed (up to and including "end"). *)
+let parse_route_map lines start =
+  let entries = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | Some e -> entries := e :: !entries
+    | None -> ()
+  in
+  let rec go i =
+    if i >= Array.length lines then perror (start + 1) "route-map not closed by 'end'"
+    else
+      let lineno = i + 1 in
+      match words (strip_comment lines.(i)) with
+      | [] -> go (i + 1)
+      | [ "end" ] ->
+          flush ();
+          (Policy.normalize (List.rev !entries), i + 1)
+      | "entry" :: seq :: action :: [] ->
+          flush ();
+          let action =
+            match action with
+            | "permit" -> Policy.Permit
+            | "deny" -> Policy.Deny
+            | a -> perror lineno "expected permit/deny, got %S" a
+          in
+          current :=
+            Some (Policy.entry (int_arg lineno "sequence" seq) action);
+          go (i + 1)
+      | "match" :: rest -> (
+          match !current with
+          | None -> perror lineno "match outside entry"
+          | Some e ->
+              current := Some { e with Policy.matches = e.Policy.matches @ [ parse_match lineno rest ] };
+              go (i + 1))
+      | "set" :: rest -> (
+          match !current with
+          | None -> perror lineno "set outside entry"
+          | Some e ->
+              current := Some { e with Policy.sets = e.Policy.sets @ [ parse_set lineno rest ] };
+              go (i + 1))
+      | toks -> perror lineno "unexpected in route-map: %s" (String.concat " " toks)
+  in
+  go start
+
+let parse text =
+  try
+    let lines = Array.of_list (String.split_on_char '\n' text) in
+    let b =
+      { b_asn = None; b_router_id = None; b_hold = 90; b_networks = [];
+        b_neighbors = []; b_maps = []; b_med = false }
+    in
+    let rec go i =
+      if i >= Array.length lines then ()
+      else
+        let lineno = i + 1 in
+        match words (strip_comment lines.(i)) with
+        | [] -> go (i + 1)
+        | [ "router"; "bgp"; asn ] ->
+            b.b_asn <- Some (int_arg lineno "asn" asn);
+            go (i + 1)
+        | [ "router-id"; ip ] ->
+            b.b_router_id <- Some (ip_arg lineno ip);
+            go (i + 1)
+        | [ "hold-time"; v ] ->
+            b.b_hold <- int_arg lineno "hold-time" v;
+            go (i + 1)
+        | [ "network"; p ] ->
+            b.b_networks <- b.b_networks @ [ prefix_arg lineno p ];
+            go (i + 1)
+        | [ "always-compare-med" ] ->
+            b.b_med <- true;
+            go (i + 1)
+        | "neighbor" :: rest ->
+            b.b_neighbors <- b.b_neighbors @ [ parse_neighbor lineno rest ];
+            go (i + 1)
+        | [ "route-map"; name ] ->
+            let map, next = parse_route_map lines (i + 1) in
+            b.b_maps <- b.b_maps @ [ (name, map) ];
+            go next
+        | toks -> perror lineno "unexpected directive: %s" (String.concat " " toks)
+    in
+    go 0;
+    let asn = match b.b_asn with Some a -> a | None -> perror 1 "missing 'router bgp <asn>'" in
+    let router_id =
+      match b.b_router_id with Some r -> r | None -> perror 1 "missing 'router-id'"
+    in
+    Ok
+      (make ~hold_time:b.b_hold ~networks:b.b_networks ~neighbors:b.b_neighbors
+         ~route_maps:b.b_maps ~always_compare_med:b.b_med ~asn ~router_id ())
+  with Parse e -> Error e
+
+let parse_exn text =
+  match parse text with
+  | Ok t -> t
+  | Error e -> invalid_arg (Format.asprintf "Config.parse_exn: %a" pp_parse_error e)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let match_to_text = function
+  | Policy.Match_prefix rules ->
+      rules
+      |> List.map (fun (r : Policy.prefix_rule) ->
+             Printf.sprintf "match prefix %s%s%s"
+               (Prefix.to_string r.rule_prefix)
+               (match r.ge with Some v -> Printf.sprintf " ge %d" v | None -> "")
+               (match r.le with Some v -> Printf.sprintf " le %d" v | None -> ""))
+      |> String.concat "\n    "
+  | Policy.Match_as_path (Policy.Path_contains a) -> Printf.sprintf "match as-path contains %d" a
+  | Policy.Match_as_path (Policy.Path_originated_by a) ->
+      Printf.sprintf "match as-path originated-by %d" a
+  | Policy.Match_as_path (Policy.Path_neighbor_is a) ->
+      Printf.sprintf "match as-path neighbor %d" a
+  | Policy.Match_as_path (Policy.Path_length_at_most n) ->
+      Printf.sprintf "match as-path length-le %d" n
+  | Policy.Match_as_path (Policy.Path_length_at_least n) ->
+      Printf.sprintf "match as-path length-ge %d" n
+  | Policy.Match_community c -> Printf.sprintf "match community %s" (Community.to_string c)
+  | Policy.Match_origin o ->
+      Printf.sprintf "match origin %s" (String.lowercase_ascii (Attr.origin_to_string o))
+  | Policy.Match_next_hop ip -> Printf.sprintf "match next-hop %s" (Ipv4.to_string ip)
+
+let set_to_text = function
+  | Policy.Set_local_pref v -> Printf.sprintf "set local-pref %d" v
+  | Policy.Set_med None -> "set med none"
+  | Policy.Set_med (Some v) -> Printf.sprintf "set med %d" v
+  | Policy.Set_origin o ->
+      Printf.sprintf "set origin %s" (String.lowercase_ascii (Attr.origin_to_string o))
+  | Policy.Add_community c -> Printf.sprintf "set community add %s" (Community.to_string c)
+  | Policy.Del_community c -> Printf.sprintf "set community del %s" (Community.to_string c)
+  | Policy.Prepend_as (a, n) -> Printf.sprintf "set prepend %d %d" a n
+  | Policy.Set_next_hop ip -> Printf.sprintf "set next-hop %s" (Ipv4.to_string ip)
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "router bgp %d" t.asn;
+  line "router-id %s" (Ipv4.to_string t.router_id);
+  line "hold-time %d" t.hold_time;
+  if t.always_compare_med then line "always-compare-med";
+  List.iter (fun p -> line "network %s" (Prefix.to_string p)) t.networks;
+  List.iter
+    (fun n ->
+      line "neighbor %s remote-as %d%s%s" (Ipv4.to_string n.addr) n.remote_as
+        (match n.import_map with Some m -> " import " ^ m | None -> "")
+        (match n.export_map with Some m -> " export " ^ m | None -> ""))
+    t.neighbors;
+  List.iter
+    (fun (name, map) ->
+      line "route-map %s" name;
+      List.iter
+        (fun (e : Policy.entry) ->
+          line "  entry %d %s" e.seq
+            (match e.action with Policy.Permit -> "permit" | Policy.Deny -> "deny");
+          List.iter (fun m -> line "    %s" (match_to_text m)) e.matches;
+          List.iter (fun s -> line "    %s" (set_to_text s)) e.sets)
+        map;
+      line "end")
+    t.route_maps;
+  Buffer.contents buf

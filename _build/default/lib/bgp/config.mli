@@ -1,0 +1,69 @@
+(** Router configuration: AST, validation, and the textual configuration
+    language.
+
+    The language is line-oriented, BIRD/IOS-flavoured:
+
+    {v
+    router bgp 65001
+    router-id 10.0.0.1
+    hold-time 90
+    network 10.1.0.0/16
+    neighbor 10.0.0.2 remote-as 65002 import PEER-IN export PEER-OUT
+    route-map PEER-IN
+      entry 10 permit
+        match prefix 10.0.0.0/8 le 24
+        match community 65001:100
+        set local-pref 200
+      entry 20 deny
+    end
+    v} *)
+
+type neighbor = {
+  addr : Ipv4.t;
+  remote_as : int;
+  import_map : string option;  (** [None] accepts everything *)
+  export_map : string option;  (** [None] exports everything *)
+}
+
+type t = {
+  asn : int;
+  router_id : Ipv4.t;
+  hold_time : int;
+  networks : Prefix.t list;
+  neighbors : neighbor list;
+  route_maps : (string * Policy.t) list;
+  always_compare_med : bool;
+}
+
+val make :
+  ?hold_time:int ->
+  ?networks:Prefix.t list ->
+  ?neighbors:neighbor list ->
+  ?route_maps:(string * Policy.t) list ->
+  ?always_compare_med:bool ->
+  asn:int ->
+  router_id:Ipv4.t ->
+  unit ->
+  t
+
+val neighbor : ?import_map:string -> ?export_map:string -> Ipv4.t -> remote_as:int -> neighbor
+
+val find_route_map : t -> string -> Policy.t option
+val find_neighbor : t -> Ipv4.t -> neighbor option
+
+val import_policy : t -> neighbor -> Policy.t
+(** The neighbor's import route map, or accept-all. *)
+
+val export_policy : t -> neighbor -> Policy.t
+
+val validate : t -> (unit, string list) result
+(** Checks referential integrity (route-map names), uniqueness of
+    neighbor addresses, ASN ranges, and hold-time validity. *)
+
+type parse_error = { line : int; message : string }
+
+val parse : string -> (t, parse_error) result
+val parse_exn : string -> t
+val pp_parse_error : Format.formatter -> parse_error -> unit
+val to_text : t -> string
+(** Render back to the configuration language ([parse] round-trips). *)

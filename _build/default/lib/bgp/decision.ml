@@ -1,0 +1,82 @@
+type step =
+  | Local_origin
+  | Local_pref
+  | As_path_length
+  | Origin
+  | Med
+  | Ebgp_over_ibgp
+  | Igp_metric
+  | Router_id
+  | Peer_addr
+  | Equal
+
+let step_to_string = function
+  | Local_origin -> "local-origin"
+  | Local_pref -> "local-pref"
+  | As_path_length -> "as-path-length"
+  | Origin -> "origin"
+  | Med -> "med"
+  | Ebgp_over_ibgp -> "ebgp-over-ibgp"
+  | Igp_metric -> "igp-metric"
+  | Router_id -> "router-id"
+  | Peer_addr -> "peer-addr"
+  | Equal -> "equal"
+
+type config = { always_compare_med : bool }
+
+let default_config = { always_compare_med = false }
+
+let med_value (r : Rib.route) = Option.value r.attrs.Attr.med ~default:0
+
+let same_neighbor_as (a : Rib.route) (b : Rib.route) =
+  match
+    ( As_path.neighbor_as a.attrs.Attr.as_path,
+      As_path.neighbor_as b.attrs.Attr.as_path )
+  with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let compare_routes cfg (a : Rib.route) (b : Rib.route) =
+  let ( >>= ) (c, step) k = if c <> 0 then (c, step) else k () in
+  (* Each step yields (cmp, step); negative prefers [a].  Locally
+     originated (network statement) routes win outright — the
+     administrative-weight rule every real implementation applies. *)
+  (Bool.compare (Rib.is_local b) (Rib.is_local a), Local_origin)
+  >>= fun () ->
+  ( Int.compare
+      (Attr.effective_local_pref b.attrs)
+      (Attr.effective_local_pref a.attrs),
+    Local_pref )
+  >>= fun () ->
+  ( Int.compare
+      (As_path.length a.attrs.Attr.as_path)
+      (As_path.length b.attrs.Attr.as_path),
+    As_path_length )
+  >>= fun () ->
+  ( Int.compare (Attr.origin_code a.attrs.Attr.origin) (Attr.origin_code b.attrs.Attr.origin),
+    Origin )
+  >>= fun () ->
+  (if cfg.always_compare_med || same_neighbor_as a b then
+     (Int.compare (med_value a) (med_value b), Med)
+   else (0, Med))
+  >>= fun () ->
+  (Bool.compare b.source.Rib.ebgp a.source.Rib.ebgp, Ebgp_over_ibgp) >>= fun () ->
+  (Int.compare a.source.Rib.igp_metric b.source.Rib.igp_metric, Igp_metric)
+  >>= fun () ->
+  (Ipv4.compare a.source.Rib.peer_bgp_id b.source.Rib.peer_bgp_id, Router_id)
+  >>= fun () ->
+  (Ipv4.compare a.source.Rib.peer_addr b.source.Rib.peer_addr, Peer_addr)
+  >>= fun () -> (0, Equal)
+
+let best cfg = function
+  | [] -> None
+  | first :: rest ->
+      let pick acc r =
+        let c, _ = compare_routes cfg acc r in
+        if c <= 0 then acc else r
+      in
+      Some (List.fold_left pick first rest)
+
+let acceptable ~local_as (r : Rib.route) =
+  (not (As_path.contains local_as r.attrs.Attr.as_path))
+  && not (Ipv4.is_martian r.attrs.Attr.next_hop && not (Rib.is_local r))

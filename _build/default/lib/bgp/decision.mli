@@ -1,0 +1,39 @@
+(** The BGP decision process (RFC 4271 §9.1.2.2).
+
+    Tie-break order: LOCAL_PREF, AS_PATH length, ORIGIN, MED, eBGP over
+    iBGP, IGP metric to next hop, lowest BGP identifier, lowest peer
+    address.  Exposed step-by-step so the exploration layer can reason
+    about *which* rule decided. *)
+
+type step =
+  | Local_origin  (** locally-originated routes win (administrative weight) *)
+  | Local_pref
+  | As_path_length
+  | Origin
+  | Med
+  | Ebgp_over_ibgp
+  | Igp_metric
+  | Router_id
+  | Peer_addr
+  | Equal
+
+val step_to_string : step -> string
+
+type config = { always_compare_med : bool }
+
+val default_config : config
+
+val compare_routes : config -> Rib.route -> Rib.route -> int * step
+(** [compare_routes cfg a b] is negative when [a] is preferred, with the
+    first step that discriminated.  MED only discriminates between
+    routes learned from the same neighboring AS unless
+    [always_compare_med]; a missing MED compares as 0. *)
+
+val best : config -> Rib.route list -> Rib.route option
+(** Fold of [compare_routes] over the candidates (deterministic given
+    candidate order; MED's non-transitivity is inherited from the
+    protocol, see EXPERIMENTS.md T4). *)
+
+val acceptable : local_as:int -> Rib.route -> bool
+(** Sanity gate before a route enters the decision process: AS-path
+    loop check and martian next-hop check. *)

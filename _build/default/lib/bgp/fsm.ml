@@ -1,0 +1,119 @@
+type state = Idle | Connect | Active | OpenSent | OpenConfirm | Established
+
+type config = { my_as : int; bgp_id : Ipv4.t; hold_time : int; peer_as : int }
+
+type t = {
+  state : state;
+  peer_bgp_id : Ipv4.t option;
+  negotiated_hold : int;
+}
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_established
+  | Tcp_failed
+  | Connect_retry_expired
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+  | Msg_received of Msg.t
+
+type action =
+  | Start_connect
+  | Send of Msg.t
+  | Deliver_update of Msg.update
+  | Session_up
+  | Session_down of string
+
+let create () = { state = Idle; peer_bgp_id = None; negotiated_hold = 0 }
+
+let state_to_string = function
+  | Idle -> "Idle"
+  | Connect -> "Connect"
+  | Active -> "Active"
+  | OpenSent -> "OpenSent"
+  | OpenConfirm -> "OpenConfirm"
+  | Established -> "Established"
+
+let pp_state ppf s = Format.pp_print_string ppf (state_to_string s)
+
+let keepalive_interval t =
+  if t.negotiated_hold = 0 then 0 else max 1 (t.negotiated_hold / 3)
+
+let idle = { state = Idle; peer_bgp_id = None; negotiated_hold = 0 }
+
+let notification code subcode =
+  Msg.Notification { code; subcode; data = "" }
+
+let open_msg (c : config) =
+  Msg.Open { version = 4; my_as = c.my_as; hold_time = c.hold_time; bgp_id = c.bgp_id }
+
+let drop reason extra = (idle, Session_down reason :: extra)
+
+(* Validation of a received OPEN beyond what the codec enforces:
+   the advertised AS must match the configured peer AS. *)
+let check_open (c : config) (o : Msg.open_msg) =
+  if o.my_as <> c.peer_as then
+    Error
+      ( Msg.Error.bad_peer_as,
+        Printf.sprintf "peer AS %d, expected %d" o.my_as c.peer_as )
+  else Ok ()
+
+let handle (c : config) t event =
+  match (t.state, event) with
+  (* --- administrative --- *)
+  | Idle, Manual_start -> ({ t with state = Connect }, [ Start_connect ])
+  | Idle, _ -> (t, [])
+  | _, Manual_stop ->
+      drop "manual stop" [ Send (notification Msg.Error.cease 0) ]
+  | _, Manual_start -> (t, [])
+  (* --- transport --- *)
+  | Connect, Tcp_established -> ({ t with state = OpenSent }, [ Send (open_msg c) ])
+  | Connect, Tcp_failed -> ({ t with state = Active }, [])
+  | Active, Connect_retry_expired -> ({ t with state = Connect }, [ Start_connect ])
+  | (Connect | Active), (Connect_retry_expired | Tcp_established | Tcp_failed) ->
+      (t, [])
+  | (Connect | Active), (Hold_timer_expired | Keepalive_timer_expired) -> (t, [])
+  | (Connect | Active), Msg_received _ -> (t, [])
+  (* --- OpenSent --- *)
+  | OpenSent, Msg_received (Msg.Open o) -> (
+      match check_open c o with
+      | Error (subcode, reason) ->
+          drop reason [ Send (notification Msg.Error.open_message subcode) ]
+      | Ok () ->
+          ( { state = OpenConfirm;
+              peer_bgp_id = Some o.bgp_id;
+              negotiated_hold = min c.hold_time o.hold_time },
+            [ Send Msg.keepalive ] ))
+  | OpenSent, Msg_received (Msg.Notification n) ->
+      drop (Printf.sprintf "notification %s" (Msg.Error.to_string n.code n.subcode)) []
+  | OpenSent, Msg_received (Msg.Update _ | Msg.Keepalive) ->
+      drop "message out of order in OpenSent"
+        [ Send (notification Msg.Error.fsm_error 0) ]
+  | OpenSent, Hold_timer_expired ->
+      drop "hold timer expired" [ Send (notification Msg.Error.hold_timer_expired 0) ]
+  | OpenSent, (Tcp_established | Tcp_failed | Connect_retry_expired | Keepalive_timer_expired) ->
+      (t, [])
+  (* --- OpenConfirm --- *)
+  | OpenConfirm, Msg_received Msg.Keepalive ->
+      ({ t with state = Established }, [ Session_up ])
+  | OpenConfirm, Msg_received (Msg.Notification n) ->
+      drop (Printf.sprintf "notification %s" (Msg.Error.to_string n.code n.subcode)) []
+  | OpenConfirm, Msg_received (Msg.Open _ | Msg.Update _) ->
+      drop "message out of order in OpenConfirm"
+        [ Send (notification Msg.Error.fsm_error 0) ]
+  | OpenConfirm, Keepalive_timer_expired -> (t, [ Send Msg.keepalive ])
+  | OpenConfirm, Hold_timer_expired ->
+      drop "hold timer expired" [ Send (notification Msg.Error.hold_timer_expired 0) ]
+  | OpenConfirm, (Tcp_established | Tcp_failed | Connect_retry_expired) -> (t, [])
+  (* --- Established --- *)
+  | Established, Msg_received (Msg.Update u) -> (t, [ Deliver_update u ])
+  | Established, Msg_received Msg.Keepalive -> (t, [])
+  | Established, Msg_received (Msg.Notification n) ->
+      drop (Printf.sprintf "notification %s" (Msg.Error.to_string n.code n.subcode)) []
+  | Established, Msg_received (Msg.Open _) ->
+      drop "OPEN in Established" [ Send (notification Msg.Error.fsm_error 0) ]
+  | Established, Keepalive_timer_expired -> (t, [ Send Msg.keepalive ])
+  | Established, Hold_timer_expired ->
+      drop "hold timer expired" [ Send (notification Msg.Error.hold_timer_expired 0) ]
+  | Established, (Tcp_established | Tcp_failed | Connect_retry_expired) -> (t, [])

@@ -1,0 +1,47 @@
+(** BGP session finite-state machine (RFC 4271 §8), as a pure transition
+    function.
+
+    The host (the router) owns the timers: it feeds expiry events in and
+    re-arms timers by inspecting the state after each transition.  The
+    FSM itself only computes state changes and output actions, which
+    makes the transition relation directly unit-testable. *)
+
+type state = Idle | Connect | Active | OpenSent | OpenConfirm | Established
+
+type config = {
+  my_as : int;
+  bgp_id : Ipv4.t;
+  hold_time : int;  (** proposed, seconds; 0 disables keepalives *)
+  peer_as : int;  (** expected remote AS *)
+}
+
+type t = {
+  state : state;
+  peer_bgp_id : Ipv4.t option;  (** learned from the peer's OPEN *)
+  negotiated_hold : int;  (** min(ours, peer's) once OPEN is received *)
+}
+
+type event =
+  | Manual_start
+  | Manual_stop
+  | Tcp_established
+  | Tcp_failed
+  | Connect_retry_expired
+  | Hold_timer_expired
+  | Keepalive_timer_expired
+  | Msg_received of Msg.t
+
+type action =
+  | Start_connect  (** initiate the (simulated) transport *)
+  | Send of Msg.t
+  | Deliver_update of Msg.update  (** hand a routing update to the RIB *)
+  | Session_up
+  | Session_down of string  (** reason; host must flush routes learned *)
+
+val create : unit -> t
+val handle : config -> t -> event -> t * action list
+
+val state_to_string : state -> string
+val pp_state : Format.formatter -> state -> unit
+val keepalive_interval : t -> int
+(** Negotiated hold / 3 (seconds); 0 when keepalives are disabled. *)

@@ -1,0 +1,64 @@
+type t = int
+
+let max_value = 0xFFFF_FFFF
+
+let of_int32_exn v =
+  if v < 0 || v > max_value then invalid_arg "Ipv4.of_int32_exn: out of range";
+  v
+
+let to_int t = t
+
+let of_octets a b c d =
+  let check o = if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets: bad octet" in
+  check a; check b; check c; check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let to_octets t =
+  ((t lsr 24) land 0xFF, (t lsr 16) land 0xFF, (t lsr 8) land 0xFF, t land 0xFF)
+
+let of_string s =
+  let err = Error (Printf.sprintf "invalid IPv4 address %S" s) in
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        if x = "" || String.length x > 3 then None
+        else if String.exists (fun c -> c < '0' || c > '9') x then None
+        else
+          let v = int_of_string x in
+          if v > 255 then None else Some v
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Ok (of_octets a b c d)
+      | _ -> err)
+  | _ -> err
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error e -> invalid_arg e
+
+let to_string t =
+  let a, b, c, d = to_octets t in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let compare = Int.compare
+let equal = Int.equal
+
+let bit t i =
+  if i < 0 || i > 31 then invalid_arg "Ipv4.bit: index out of range";
+  (t lsr (31 - i)) land 1 = 1
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let any = 0
+
+let is_martian t =
+  let top = t lsr 24 in
+  top = 0 || top = 127 || top >= 240
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

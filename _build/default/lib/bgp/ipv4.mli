@@ -1,0 +1,38 @@
+(** IPv4 addresses. *)
+
+type t = private int
+(** Stored as the 32-bit big-endian integer value of the address. *)
+
+val of_int32_exn : int -> t
+(** @raise Invalid_argument if outside [\[0, 2^32)]. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** @raise Invalid_argument if an octet is outside [\[0, 255\]]. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> (t, string) result
+(** Dotted-quad parsing, strict: four decimal octets, no extra characters. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] of [a], counting from the most significant
+    (bit 0) to the least (bit 31). *)
+
+val pp : Format.formatter -> t -> unit
+
+val any : t
+(** 0.0.0.0 *)
+
+val is_martian : t -> bool
+(** Loopback (127/8), current-network (0/8), or class-E (240/4) space —
+    never legitimately announced. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,117 @@
+type prefix_rule = { rule_prefix : Prefix.t; ge : int option; le : int option }
+
+let prefix_rule ?ge ?le p =
+  let check = function
+    | Some n when n < Prefix.len p || n > 32 ->
+        invalid_arg "Policy.prefix_rule: bound out of range"
+    | Some _ | None -> ()
+  in
+  check ge;
+  check le;
+  { rule_prefix = p; ge; le }
+
+(* Cisco prefix-list semantics: no bound = exact length; [ge] alone
+   opens the range up to /32; [le] alone starts it at the rule's own
+   length. *)
+let prefix_rule_matches r q =
+  let base = Prefix.len r.rule_prefix in
+  let lo = Option.value r.ge ~default:base in
+  let hi =
+    match (r.le, r.ge) with
+    | Some le, _ -> le
+    | None, Some _ -> 32
+    | None, None -> base
+  in
+  Prefix.subsumes r.rule_prefix q && Prefix.len q >= lo && Prefix.len q <= hi
+
+type as_path_test =
+  | Path_contains of int
+  | Path_originated_by of int
+  | Path_neighbor_is of int
+  | Path_length_at_most of int
+  | Path_length_at_least of int
+
+type match_clause =
+  | Match_prefix of prefix_rule list
+  | Match_as_path of as_path_test
+  | Match_community of Community.t
+  | Match_origin of Attr.origin
+  | Match_next_hop of Ipv4.t
+
+type set_clause =
+  | Set_local_pref of int
+  | Set_med of int option
+  | Set_origin of Attr.origin
+  | Add_community of Community.t
+  | Del_community of Community.t
+  | Prepend_as of int * int
+  | Set_next_hop of Ipv4.t
+
+type action = Permit | Deny
+
+type entry = {
+  seq : int;
+  action : action;
+  matches : match_clause list;
+  sets : set_clause list;
+}
+
+type t = entry list
+
+let entry ?(matches = []) ?(sets = []) seq action = { seq; action; matches; sets }
+let accept_all = [ entry 65535 Permit ]
+let deny_all = []
+
+let normalize t = List.sort (fun a b -> Int.compare a.seq b.seq) t
+
+let path_test test path =
+  match test with
+  | Path_contains asn -> As_path.contains asn path
+  | Path_originated_by asn -> As_path.origin_as path = Some asn
+  | Path_neighbor_is asn -> As_path.neighbor_as path = Some asn
+  | Path_length_at_most n -> As_path.length path <= n
+  | Path_length_at_least n -> As_path.length path >= n
+
+let matches_route clause prefix (attrs : Attr.t) =
+  match clause with
+  | Match_prefix rules -> List.exists (fun r -> prefix_rule_matches r prefix) rules
+  | Match_as_path test -> path_test test attrs.as_path
+  | Match_community c -> Attr.has_community c attrs
+  | Match_origin o -> attrs.origin = o
+  | Match_next_hop nh -> Ipv4.equal attrs.next_hop nh
+
+let apply_set clause (attrs : Attr.t) =
+  match clause with
+  | Set_local_pref v -> Attr.with_local_pref v attrs
+  | Set_med v -> Attr.with_med v attrs
+  | Set_origin o -> { attrs with origin = o }
+  | Add_community c -> Attr.add_community c attrs
+  | Del_community c -> Attr.remove_community c attrs
+  | Prepend_as (asn, n) ->
+      { attrs with as_path = As_path.prepend_n asn n attrs.as_path }
+  | Set_next_hop nh -> { attrs with next_hop = nh }
+
+let apply t prefix attrs =
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+        if List.for_all (fun m -> matches_route m prefix attrs) e.matches then
+          match e.action with
+          | Deny -> None
+          | Permit -> Some (List.fold_left (fun a s -> apply_set s a) attrs e.sets)
+        else go rest
+  in
+  go t
+
+let pp_action ppf = function
+  | Permit -> Format.pp_print_string ppf "permit"
+  | Deny -> Format.pp_print_string ppf "deny"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "entry %d %a (%d matches, %d sets)@ " e.seq pp_action
+        e.action (List.length e.matches) (List.length e.sets))
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,65 @@
+(** Routing policy: route maps.
+
+    A route map is an ordered list of entries.  The first entry whose
+    match clauses all hold decides: [Permit] applies the set clauses and
+    accepts, [Deny] rejects.  If no entry matches the route is rejected
+    (default-deny, as in BIRD filters). *)
+
+type prefix_rule = { rule_prefix : Prefix.t; ge : int option; le : int option }
+(** Matches prefixes subsumed by [rule_prefix] whose length satisfies
+    [ge <= len <= le]; both default to the rule's own length (exact
+    match). *)
+
+val prefix_rule : ?ge:int -> ?le:int -> Prefix.t -> prefix_rule
+val prefix_rule_matches : prefix_rule -> Prefix.t -> bool
+
+type as_path_test =
+  | Path_contains of int
+  | Path_originated_by of int
+  | Path_neighbor_is of int
+  | Path_length_at_most of int
+  | Path_length_at_least of int
+
+type match_clause =
+  | Match_prefix of prefix_rule list  (** disjunction *)
+  | Match_as_path of as_path_test
+  | Match_community of Community.t
+  | Match_origin of Attr.origin
+  | Match_next_hop of Ipv4.t
+
+type set_clause =
+  | Set_local_pref of int
+  | Set_med of int option
+  | Set_origin of Attr.origin
+  | Add_community of Community.t
+  | Del_community of Community.t
+  | Prepend_as of int * int  (** asn, count *)
+  | Set_next_hop of Ipv4.t
+
+type action = Permit | Deny
+
+type entry = {
+  seq : int;
+  action : action;
+  matches : match_clause list;  (** conjunction; empty matches anything *)
+  sets : set_clause list;
+}
+
+type t = entry list
+
+val accept_all : t
+val deny_all : t
+(** [deny_all] is the empty route map (default deny). *)
+
+val entry : ?matches:match_clause list -> ?sets:set_clause list -> int -> action -> entry
+
+val normalize : t -> t
+(** Sort entries by sequence number. *)
+
+val matches_route : match_clause -> Prefix.t -> Attr.t -> bool
+val apply_set : set_clause -> Attr.t -> Attr.t
+
+val apply : t -> Prefix.t -> Attr.t -> Attr.t option
+(** [None] when the route is rejected. *)
+
+val pp : Format.formatter -> t -> unit

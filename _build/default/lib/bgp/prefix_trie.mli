@@ -1,0 +1,30 @@
+(** Persistent binary radix trie keyed by prefixes.
+
+    Supports exact lookup, longest-prefix match, and enumeration of
+    entries subsumed by a covering prefix.  Persistence makes router
+    forwarding state checkpointable in O(1). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** Replaces an existing binding for the exact prefix. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+val find : Prefix.t -> 'a t -> 'a option
+(** Exact match. *)
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** The most specific stored prefix containing the address. *)
+
+val covered : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** All bindings whose prefix is equal to or more specific than the
+    argument, in prefix order. *)
+
+val fold : (Prefix.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** In prefix order. *)
+
+val bindings : 'a t -> (Prefix.t * 'a) list
+val of_list : (Prefix.t * 'a) list -> 'a t

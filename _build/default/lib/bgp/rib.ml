@@ -1,0 +1,77 @@
+type source = {
+  peer_addr : Ipv4.t;
+  peer_as : int;
+  peer_bgp_id : Ipv4.t;
+  ebgp : bool;
+  igp_metric : int;
+}
+
+let local_source =
+  { peer_addr = Ipv4.any; peer_as = 0; peer_bgp_id = Ipv4.any; ebgp = false;
+    igp_metric = 0 }
+
+type route = { attrs : Attr.t; source : source }
+
+let is_local r = Ipv4.equal r.source.peer_addr Ipv4.any
+
+type t = {
+  adj_in : route Prefix.Map.t Ipv4.Map.t;
+  loc : route Prefix.Map.t;
+  adj_out : Attr.t Prefix.Map.t Ipv4.Map.t;
+}
+
+let empty = { adj_in = Ipv4.Map.empty; loc = Prefix.Map.empty; adj_out = Ipv4.Map.empty }
+
+let peer_map peer m = Option.value (Ipv4.Map.find_opt peer m) ~default:Prefix.Map.empty
+
+let update_peer_map peer f m =
+  let pm = f (peer_map peer m) in
+  if Prefix.Map.is_empty pm then Ipv4.Map.remove peer m else Ipv4.Map.add peer pm m
+
+let adj_in_set peer prefix route t =
+  { t with adj_in = update_peer_map peer (Prefix.Map.add prefix route) t.adj_in }
+
+let adj_in_del peer prefix t =
+  { t with adj_in = update_peer_map peer (Prefix.Map.remove prefix) t.adj_in }
+
+let adj_in_get peer prefix t = Prefix.Map.find_opt prefix (peer_map peer t.adj_in)
+let adj_in_peer peer t = peer_map peer t.adj_in
+
+let drop_peer peer t =
+  { t with adj_in = Ipv4.Map.remove peer t.adj_in; adj_out = Ipv4.Map.remove peer t.adj_out }
+
+let candidates prefix t =
+  Ipv4.Map.fold
+    (fun _ pm acc ->
+      match Prefix.Map.find_opt prefix pm with Some r -> r :: acc | None -> acc)
+    t.adj_in []
+
+let prefixes_from_peer peer t =
+  Prefix.Map.fold (fun p _ acc -> p :: acc) (peer_map peer t.adj_in) [] |> List.rev
+
+let loc_set prefix route t = { t with loc = Prefix.Map.add prefix route t.loc }
+let loc_del prefix t = { t with loc = Prefix.Map.remove prefix t.loc }
+let loc_get prefix t = Prefix.Map.find_opt prefix t.loc
+let loc_prefixes t = Prefix.Map.fold (fun p _ acc -> p :: acc) t.loc [] |> List.rev
+let loc_cardinal t = Prefix.Map.cardinal t.loc
+
+let adj_out_set peer prefix attrs t =
+  { t with adj_out = update_peer_map peer (Prefix.Map.add prefix attrs) t.adj_out }
+
+let adj_out_del peer prefix t =
+  { t with adj_out = update_peer_map peer (Prefix.Map.remove prefix) t.adj_out }
+
+let adj_out_get peer prefix t = Prefix.Map.find_opt prefix (peer_map peer t.adj_out)
+let adj_out_peer peer t = peer_map peer t.adj_out
+
+let total_adj_in t =
+  Ipv4.Map.fold (fun _ pm acc -> acc + Prefix.Map.cardinal pm) t.adj_in 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Prefix.Map.iter
+    (fun p r ->
+      Format.fprintf ppf "%a via %a [%a]@ " Prefix.pp p Ipv4.pp r.source.peer_addr
+        As_path.pp r.attrs.Attr.as_path)
+    t.loc;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,59 @@
+(** Routing information bases.
+
+    Persistent: every mutation returns a new value, so a checkpoint of a
+    router's routing state is a single pointer copy. *)
+
+type source = {
+  peer_addr : Ipv4.t;  (** 0.0.0.0 for locally-originated networks *)
+  peer_as : int;
+  peer_bgp_id : Ipv4.t;
+  ebgp : bool;
+  igp_metric : int;
+}
+
+val local_source : source
+(** Source for locally-originated (network statement) routes. *)
+
+type route = { attrs : Attr.t; source : source }
+
+val is_local : route -> bool
+
+type t = {
+  adj_in : route Prefix.Map.t Ipv4.Map.t;  (** keyed by peer address *)
+  loc : route Prefix.Map.t;  (** selected best per prefix *)
+  adj_out : Attr.t Prefix.Map.t Ipv4.Map.t;  (** last advertised, per peer *)
+}
+
+val empty : t
+
+(* --- Adj-RIB-In --- *)
+
+val adj_in_set : Ipv4.t -> Prefix.t -> route -> t -> t
+val adj_in_del : Ipv4.t -> Prefix.t -> t -> t
+val adj_in_get : Ipv4.t -> Prefix.t -> t -> route option
+val adj_in_peer : Ipv4.t -> t -> route Prefix.Map.t
+val drop_peer : Ipv4.t -> t -> t
+(** Remove a peer's Adj-RIB-In and Adj-RIB-Out (session down). *)
+
+val candidates : Prefix.t -> t -> route list
+(** All Adj-RIB-In entries for the prefix, over all peers. *)
+
+val prefixes_from_peer : Ipv4.t -> t -> Prefix.t list
+
+(* --- Loc-RIB --- *)
+
+val loc_set : Prefix.t -> route -> t -> t
+val loc_del : Prefix.t -> t -> t
+val loc_get : Prefix.t -> t -> route option
+val loc_prefixes : t -> Prefix.t list
+val loc_cardinal : t -> int
+
+(* --- Adj-RIB-Out --- *)
+
+val adj_out_set : Ipv4.t -> Prefix.t -> Attr.t -> t -> t
+val adj_out_del : Ipv4.t -> Prefix.t -> t -> t
+val adj_out_get : Ipv4.t -> Prefix.t -> t -> Attr.t option
+val adj_out_peer : Ipv4.t -> t -> Attr.t Prefix.Map.t
+
+val total_adj_in : t -> int
+val pp : Format.formatter -> t -> unit

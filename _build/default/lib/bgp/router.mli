@@ -1,0 +1,92 @@
+(** A BGP router bound to a simulator node.
+
+    Stands in for BIRD: wire-encoded messages arrive from the network,
+    are decoded, drive the per-peer session FSM, and UPDATEs flow
+    through import policy → Adj-RIB-In → decision process → Loc-RIB →
+    export policy → Adj-RIB-Out.
+
+    The routing state ([state]) is a persistent value: checkpointing a
+    router is reading one field.  Timers live outside the state and are
+    re-derived, which is what makes checkpoints "lightweight". *)
+
+type t
+
+type state = {
+  rib : Rib.t;
+  sessions : Fsm.t Ipv4.Map.t;
+}
+(** The checkpointable routing state. *)
+
+(** Seeded programming errors for the fault-injection experiments; all
+    off by default.  Each flag twists one concrete code path, mirroring
+    the bug classes the paper detects. *)
+type bugs = {
+  skip_loop_check : bool;  (** accept AS paths containing our own AS *)
+  invert_med : bool;  (** prefer *higher* MED (wrong comparison) *)
+  crash_community : Community.t option;
+      (** raise on routes carrying this community (crash bug) *)
+  prepend_overflow : bool;  (** 8-bit wraparound of the prepend count *)
+}
+
+val no_bugs : bugs
+
+(* --- Addressing scheme: node id <-> router address --- *)
+
+val addr_of_node : int -> Ipv4.t
+(** Node [n] owns 10.a.b.c where a.b.c encodes [n + 1]. *)
+
+val node_of_addr : Ipv4.t -> int
+
+val create :
+  ?auto_restart:bool ->
+  ?liveness_timers:bool ->
+  ?connect_delay:Netsim.Time.span ->
+  ?bugs:bugs ->
+  net:string Netsim.Network.t ->
+  node:int ->
+  Config.t ->
+  t
+(** Registers the message handler on network node [node] (which must
+    already exist).  Local networks are installed into the Loc-RIB
+    immediately; sessions stay Idle until [start].
+    [liveness_timers:false] disables hold and keepalive timers — used
+    by shadow clones, whose virtual time only advances while routing
+    work remains, so liveness machinery would fire spuriously. *)
+
+val start : t -> unit
+(** Manual-start every configured session. *)
+
+val stop_session : t -> Ipv4.t -> unit
+val start_session : t -> Ipv4.t -> unit
+
+val node : t -> int
+val address : t -> Ipv4.t
+val config : t -> Config.t
+val set_config : t -> Config.t -> unit
+(** Replace the configuration (operator action).  Re-evaluates local
+    networks and re-announces exports under the new policies. *)
+
+val set_bugs : t -> bugs -> unit
+val bugs : t -> bugs
+
+val state : t -> state
+val restore : t -> state -> unit
+(** Restore routing state (used when cloning snapshots).  Timers are
+    not restored; callers on shadow clones drive the router manually. *)
+
+val rib : t -> Rib.t
+val loc_rib : t -> Rib.route Prefix.Map.t
+val session_state : t -> Ipv4.t -> Fsm.state option
+val established_peers : t -> Ipv4.t list
+val stats : t -> Netsim.Stats.t
+
+val inject_update : t -> from:Ipv4.t -> Msg.update -> unit
+(** Process an UPDATE as if received from [from] on an Established
+    session (exploration entry point; bypasses the wire codec). *)
+
+val process_raw : t -> from_node:int -> string -> unit
+(** The network-facing entry point (decodes, drives the FSM). *)
+
+exception Crash of string
+(** Raised by seeded crash bugs; the explorer catches it as a
+    programming-error fault. *)

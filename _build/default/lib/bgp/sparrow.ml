@@ -1,0 +1,435 @@
+(* An independent BGP speaker.  Shares only the wire codec, the policy
+   engine and the configuration format with Router — its session
+   handling, RIB organization and decision logic are written
+   separately. *)
+
+type phase = Down | Greeting | Up
+
+type peer = {
+  p_cfg : Config.neighbor;
+  mutable p_phase : phase;
+  mutable p_sent_open : bool;
+  mutable p_got_open : bool;
+  mutable p_in : Attr.t Prefix_trie.t;  (* post-import-policy *)
+  mutable p_out : Attr.t Prefix_trie.t; (* last advertised *)
+}
+
+type t = {
+  node : int;
+  mutable cfg : Config.t;
+  net : string Netsim.Network.t;
+  eng : Netsim.Engine.t;
+  mutable peers : (Ipv4.t * peer) list;
+  (* loc: best attrs + the peer it came from (own address for local). *)
+  mutable loc : (Attr.t * Ipv4.t) Prefix_trie.t;
+  stats : Netsim.Stats.t;
+  mutable bugs : Router.bugs;
+  liveness : bool;
+}
+
+let node t = t.node
+let config t = t.cfg
+let stats t = t.stats
+let address t = Router.addr_of_node t.node
+
+let peer_of t addr = List.assoc_opt addr t.peers
+
+let established_peers t =
+  List.filter_map (fun (a, p) -> if p.p_phase = Up then Some a else None) t.peers
+
+let send t dst_addr msg =
+  Netsim.Stats.incr t.stats ("tx_" ^ String.lowercase_ascii (Msg.kind msg));
+  Netsim.Network.send t.net ~src:t.node ~dst:(Router.node_of_addr dst_addr)
+    (Wire.encode msg)
+
+let is_ibgp t (p : peer) = p.p_cfg.Config.remote_as = t.cfg.Config.asn
+
+(* ------------------------------------------------------------------ *)
+(* Decision process (independent implementation, same RFC semantics)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidates are (attrs, via) where via = own address for the local
+   route.  The comparison chain is written against RFC 4271 9.1.2.2
+   directly. *)
+let better t (a_attrs, a_via) (b_attrs, b_via) =
+  let local via = Ipv4.equal via (address t) in
+  let lp x = Attr.effective_local_pref x in
+  let plen (x : Attr.t) = As_path.length x.Attr.as_path in
+  let ocode (x : Attr.t) = Attr.origin_code x.Attr.origin in
+  let med (x : Attr.t) = Option.value x.Attr.med ~default:0 in
+  let neighbor (x : Attr.t) = As_path.neighbor_as x.Attr.as_path in
+  if local a_via <> local b_via then local a_via
+  else if lp a_attrs <> lp b_attrs then lp a_attrs > lp b_attrs
+  else if plen a_attrs <> plen b_attrs then plen a_attrs < plen b_attrs
+  else if ocode a_attrs <> ocode b_attrs then ocode a_attrs < ocode b_attrs
+  else if
+    (t.cfg.Config.always_compare_med
+    || (neighbor a_attrs <> None && neighbor a_attrs = neighbor b_attrs))
+    && med a_attrs <> med b_attrs
+  then med a_attrs < med b_attrs
+  else Ipv4.compare a_via b_via < 0
+
+let acceptable t (attrs : Attr.t) =
+  t.bugs.Router.skip_loop_check
+  || not (As_path.contains t.cfg.Config.asn attrs.Attr.as_path)
+
+let candidates_for t prefix =
+  let local =
+    if List.exists (Prefix.equal prefix) t.cfg.Config.networks then
+      [ (Attr.make ~origin:Attr.Igp ~next_hop:(address t) (), address t) ]
+    else []
+  in
+  let learned =
+    List.filter_map
+      (fun (addr, p) ->
+        match Prefix_trie.find prefix p.p_in with
+        | Some attrs when acceptable t attrs -> Some (attrs, addr)
+        | Some _ | None -> None)
+      t.peers
+  in
+  local @ learned
+
+let select t prefix =
+  match candidates_for t prefix with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun best c -> if better t c best then c else best) first rest)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let export_attrs t (p : peer) prefix (attrs, via) =
+  if Ipv4.equal via p.p_cfg.Config.addr then None
+  else if Attr.has_community Community.no_advertise attrs then None
+  else
+    let ebgp = not (is_ibgp t p) in
+    if ebgp && Attr.has_community Community.no_export attrs then None
+    else
+      let attrs =
+        if ebgp then { attrs with Attr.local_pref = None; med = None } else attrs
+      in
+      match Policy.apply (Config.export_policy t.cfg p.p_cfg) prefix attrs with
+      | None -> None
+      | Some attrs ->
+          if not ebgp then Some attrs
+          else
+            Some
+              { attrs with
+                Attr.as_path = As_path.prepend t.cfg.Config.asn attrs.Attr.as_path;
+                next_hop = address t }
+
+(* One UPDATE per prefix: Sparrow never batches. *)
+let push_export t (_addr, p) prefix =
+  if p.p_phase = Up then begin
+    let wanted =
+      match Prefix_trie.find prefix t.loc with
+      | Some chosen -> export_attrs t p prefix chosen
+      | None -> None
+    in
+    let current = Prefix_trie.find prefix p.p_out in
+    match (wanted, current) with
+    | None, None -> ()
+    | None, Some _ ->
+        p.p_out <- Prefix_trie.remove prefix p.p_out;
+        send t p.p_cfg.Config.addr (Msg.update ~withdrawn:[ prefix ] ())
+    | Some a, Some b when Attr.equal a b -> ()
+    | Some a, (Some _ | None) ->
+        p.p_out <- Prefix_trie.add prefix a p.p_out;
+        send t p.p_cfg.Config.addr (Msg.update ~attrs:(Some a) ~nlri:[ prefix ] ())
+  end
+
+let reselect t prefix =
+  let before = Prefix_trie.find prefix t.loc in
+  let after = select t prefix in
+  if before <> after then begin
+    (match after with
+    | Some chosen -> t.loc <- Prefix_trie.add prefix chosen t.loc
+    | None -> t.loc <- Prefix_trie.remove prefix t.loc);
+    List.iter (fun entry -> push_export t entry prefix) t.peers
+  end
+
+let full_table_to t addr =
+  match peer_of t addr with
+  | None -> ()
+  | Some p ->
+      Prefix_trie.fold (fun prefix _ () -> push_export t (addr, p) prefix) t.loc ()
+
+(* ------------------------------------------------------------------ *)
+(* Import                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crash_check t (attrs : Attr.t) =
+  match t.bugs.Router.crash_community with
+  | Some c when Attr.has_community c attrs ->
+      raise
+        (Router.Crash
+           (Printf.sprintf "sparrow community module crash on %s" (Community.to_string c)))
+  | Some _ | None -> ()
+
+let handle_update t (p : peer) (u : Msg.update) =
+  Netsim.Stats.incr t.stats "rx_update";
+  List.iter
+    (fun prefix ->
+      p.p_in <- Prefix_trie.remove prefix p.p_in;
+      reselect t prefix)
+    u.Msg.withdrawn;
+  match (u.Msg.attrs, u.Msg.nlri) with
+  | Some attrs, (_ :: _ as nlri) ->
+      crash_check t attrs;
+      let ebgp = not (is_ibgp t p) in
+      let attrs = if ebgp then { attrs with Attr.local_pref = None } else attrs in
+      List.iter
+        (fun prefix ->
+          (match Policy.apply (Config.import_policy t.cfg p.p_cfg) prefix attrs with
+          | Some imported -> p.p_in <- Prefix_trie.add prefix imported p.p_in
+          | None -> p.p_in <- Prefix_trie.remove prefix p.p_in);
+          reselect t prefix)
+        nlri
+  | _, _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let open_msg t =
+  Msg.Open
+    { version = 4; my_as = t.cfg.Config.asn; hold_time = t.cfg.Config.hold_time;
+      bgp_id = t.cfg.Config.router_id }
+
+let greet t (p : peer) =
+  if not p.p_sent_open then begin
+    p.p_sent_open <- true;
+    p.p_phase <- Greeting;
+    send t p.p_cfg.Config.addr (open_msg t)
+  end
+
+let session_up t addr (p : peer) =
+  if p.p_phase <> Up then begin
+    p.p_phase <- Up;
+    Netsim.Stats.incr t.stats "session_up";
+    full_table_to t addr;
+    (* Periodic keepalives so FSM-based peers do not expire their hold
+       timers. *)
+    if t.liveness then begin
+      let rec tick () =
+        if p.p_phase = Up then begin
+          send t addr Msg.keepalive;
+          ignore (Netsim.Engine.schedule t.eng ~after:(Netsim.Time.span_sec 20.) tick)
+        end
+      in
+      ignore (Netsim.Engine.schedule t.eng ~after:(Netsim.Time.span_sec 20.) tick)
+    end
+  end
+
+let session_down t addr (p : peer) =
+  Netsim.Stats.incr t.stats "session_down";
+  p.p_phase <- Down;
+  p.p_sent_open <- false;
+  p.p_got_open <- false;
+  let lost = Prefix_trie.fold (fun prefix _ acc -> prefix :: acc) p.p_in [] in
+  p.p_in <- Prefix_trie.empty;
+  p.p_out <- Prefix_trie.empty;
+  List.iter (reselect t) lost;
+  (* Reactive retry. *)
+  if t.liveness then
+    ignore
+      (Netsim.Engine.schedule t.eng ~after:(Netsim.Time.span_sec 15.) (fun () ->
+           if p.p_phase = Down then greet t p));
+  ignore addr
+
+let handle_msg t addr (p : peer) = function
+  | Msg.Open o ->
+      if o.Msg.my_as <> p.p_cfg.Config.remote_as then begin
+        send t addr
+          (Msg.Notification
+             { code = Msg.Error.open_message; subcode = Msg.Error.bad_peer_as; data = "" });
+        session_down t addr p
+      end
+      else begin
+        p.p_got_open <- true;
+        greet t p;
+        send t addr Msg.keepalive
+      end
+  | Msg.Keepalive -> if p.p_sent_open && p.p_got_open then session_up t addr p
+  | Msg.Update u ->
+      (* Lenient: Sparrow processes UPDATEs as soon as the greeting
+         completed, and silently ignores truly early ones. *)
+      if p.p_phase <> Down then handle_update t p u
+  | Msg.Notification _ -> session_down t addr p
+
+let process_raw t ~from_node raw =
+  let addr = Router.addr_of_node from_node in
+  match peer_of t addr with
+  | None -> Netsim.Stats.incr t.stats "rx_unknown_peer"
+  | Some p -> (
+      match Wire.decode raw with
+      | Ok msg ->
+          Netsim.Stats.incr t.stats ("rx_" ^ String.lowercase_ascii (Msg.kind msg));
+          handle_msg t addr p msg
+      | Error e ->
+          Netsim.Stats.incr t.stats "rx_malformed";
+          send t addr
+            (Msg.Notification { code = e.Wire.code; subcode = e.Wire.subcode; data = "" });
+          session_down t addr p)
+
+let inject_update t ~from u =
+  match peer_of t from with
+  | None -> invalid_arg "Sparrow.inject_update: unknown peer"
+  | Some p -> handle_update t p u
+
+let start t = List.iter (fun (_, p) -> greet t p) t.peers
+
+let create ?(liveness_timers = true) ?(bugs = Router.no_bugs) ~net ~node cfg =
+  let t =
+    { node; cfg; net; eng = Netsim.Network.engine net;
+      peers =
+        List.map
+          (fun (n : Config.neighbor) ->
+            ( n.Config.addr,
+              { p_cfg = n; p_phase = Down; p_sent_open = false; p_got_open = false;
+                p_in = Prefix_trie.empty; p_out = Prefix_trie.empty } ))
+          cfg.Config.neighbors;
+      loc = Prefix_trie.empty;
+      stats = Netsim.Stats.create ();
+      bugs;
+      liveness = liveness_timers }
+  in
+  Netsim.Network.set_handler net node (fun ~src raw -> process_raw t ~from_node:src raw);
+  List.iter (fun prefix -> reselect t prefix) cfg.Config.networks;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Rib view and speaker wrapping                                       *)
+(* ------------------------------------------------------------------ *)
+
+let source_of t via =
+  if Ipv4.equal via (address t) then Rib.local_source
+  else
+    let remote_as =
+      match peer_of t via with
+      | Some p -> p.p_cfg.Config.remote_as
+      | None -> 0
+    in
+    { Rib.peer_addr = via; peer_as = remote_as; peer_bgp_id = via;
+      ebgp = remote_as <> t.cfg.Config.asn; igp_metric = 0 }
+
+let rib_view t =
+  let adj_in =
+    List.fold_left
+      (fun acc (addr, p) ->
+        let pm =
+          Prefix_trie.fold
+            (fun prefix attrs pm ->
+              Prefix.Map.add prefix
+                { Rib.attrs; source = source_of t addr }
+                pm)
+            p.p_in Prefix.Map.empty
+        in
+        if Prefix.Map.is_empty pm then acc else Ipv4.Map.add addr pm acc)
+      Ipv4.Map.empty t.peers
+  in
+  let loc =
+    Prefix_trie.fold
+      (fun prefix (attrs, via) acc ->
+        Prefix.Map.add prefix { Rib.attrs; source = source_of t via } acc)
+      t.loc Prefix.Map.empty
+  in
+  let adj_out =
+    List.fold_left
+      (fun acc (addr, p) ->
+        let pm =
+          Prefix_trie.fold
+            (fun prefix attrs pm -> Prefix.Map.add prefix attrs pm)
+            p.p_out Prefix.Map.empty
+        in
+        if Prefix.Map.is_empty pm then acc else Ipv4.Map.add addr pm acc)
+      Ipv4.Map.empty t.peers
+  in
+  { Rib.adj_in; loc; adj_out }
+
+let restore_view t ~rib ~established =
+  t.loc <- Prefix_trie.empty;
+  Prefix.Map.iter
+    (fun prefix (r : Rib.route) ->
+      t.loc <- Prefix_trie.add prefix (r.Rib.attrs, r.Rib.source.Rib.peer_addr) t.loc)
+    rib.Rib.loc;
+  List.iter
+    (fun (addr, p) ->
+      let of_peer m =
+        Option.value (Ipv4.Map.find_opt addr m) ~default:Prefix.Map.empty
+      in
+      p.p_in <-
+        Prefix.Map.fold
+          (fun prefix (r : Rib.route) acc -> Prefix_trie.add prefix r.Rib.attrs acc)
+          (of_peer rib.Rib.adj_in) Prefix_trie.empty;
+      p.p_out <-
+        Prefix.Map.fold
+          (fun prefix attrs acc -> Prefix_trie.add prefix attrs acc)
+          (of_peer rib.Rib.adj_out) Prefix_trie.empty;
+      let up = List.exists (Ipv4.equal addr) established in
+      p.p_phase <- (if up then Up else Down);
+      p.p_sent_open <- up;
+      p.p_got_open <- up)
+    t.peers
+
+type image = {
+  im_cfg : Config.t;
+  im_loc : (Attr.t * Ipv4.t) Prefix_trie.t;
+  im_peers : (Ipv4.t * phase * Attr.t Prefix_trie.t * Attr.t Prefix_trie.t) list;
+}
+
+let capture_image t =
+  { im_cfg = t.cfg;
+    im_loc = t.loc;
+    im_peers =
+      List.map (fun (a, p) -> (a, p.p_phase, p.p_in, p.p_out)) t.peers }
+
+let restore_image t image =
+  t.cfg <- image.im_cfg;
+  t.loc <- image.im_loc;
+  List.iter
+    (fun (a, phase, p_in, p_out) ->
+      match peer_of t a with
+      | Some p ->
+          p.p_phase <- phase;
+          p.p_sent_open <- phase <> Down;
+          p.p_got_open <- phase <> Down;
+          p.p_in <- p_in;
+          p.p_out <- p_out
+      | None -> ())
+    image.im_peers
+
+let route_count t =
+  Prefix_trie.cardinal t.loc
+  + List.fold_left (fun acc (_, p) -> acc + Prefix_trie.cardinal p.p_in) 0 t.peers
+
+let rec speaker t =
+  { Speaker.sp_node = t.node;
+    sp_impl = "sparrow";
+    sp_config = (fun () -> t.cfg);
+    sp_set_config =
+      (fun cfg ->
+        t.cfg <- cfg;
+        List.iter (reselect t) cfg.Config.networks);
+    sp_rib = (fun () -> rib_view t);
+    sp_bugs = (fun () -> t.bugs);
+    sp_set_bugs = (fun b -> t.bugs <- b);
+    sp_start = (fun () -> start t);
+    sp_established = (fun () -> established_peers t);
+    sp_process_raw = (fun ~from_node raw -> process_raw t ~from_node raw);
+    sp_inject_update = (fun ~from u -> inject_update t ~from u);
+    sp_stats = (fun () -> t.stats);
+    sp_capture = (fun () -> capture t) }
+
+and capture t =
+  let image = capture_image t in
+  { Speaker.cap_node = t.node;
+    cap_impl = "sparrow";
+    cap_config = t.cfg;
+    cap_route_count = lazy (route_count t);
+    cap_respawn =
+      (fun ~net ~bugs ->
+        let clone = create ~liveness_timers:false ~bugs ~net ~node:t.node t.cfg in
+        restore_image clone image;
+        speaker clone) }

@@ -1,0 +1,44 @@
+(** Sparrow: a second, independent BGP speaker implementation.
+
+    Interoperates with {!Router} purely over RFC 4271 wire messages —
+    the "multiple implementations of open interfaces" that make the
+    paper's target systems heterogeneous.  Differences from the
+    reference implementation (all within spec latitude, or documented
+    leniencies):
+
+    - reactive session bring-up (greets on start, answers OPEN with
+      OPEN + KEEPALIVE) instead of the full RFC state machine;
+    - tolerates early UPDATEs instead of sending an FSM-error
+      NOTIFICATION;
+    - radix tries and per-peer association lists instead of persistent
+      maps; its own decision-process implementation;
+    - one UPDATE per prefix on the wire (no attribute batching);
+    - supports only the [crash_community] and [skip_loop_check] seeded
+      bugs ({!Router.bugs} flags it does not model are ignored). *)
+
+type t
+
+val create :
+  ?liveness_timers:bool ->
+  ?bugs:Router.bugs ->
+  net:string Netsim.Network.t ->
+  node:int ->
+  Config.t ->
+  t
+
+val start : t -> unit
+val node : t -> int
+val config : t -> Config.t
+val rib_view : t -> Rib.t
+(** Materialize the Rib-shaped view of the current state. *)
+
+val established_peers : t -> Ipv4.t list
+val process_raw : t -> from_node:int -> string -> unit
+val inject_update : t -> from:Ipv4.t -> Msg.update -> unit
+val stats : t -> Netsim.Stats.t
+
+val restore_view : t -> rib:Rib.t -> established:Ipv4.t list -> unit
+(** Load routing state from a Rib-shaped view (used by checkpoint
+    import); peers in [established] come back up. *)
+
+val speaker : t -> Speaker.t

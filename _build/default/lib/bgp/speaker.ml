@@ -1,0 +1,58 @@
+type t = {
+  sp_node : int;
+  sp_impl : string;
+  sp_config : unit -> Config.t;
+  sp_set_config : Config.t -> unit;
+  sp_rib : unit -> Rib.t;
+  sp_bugs : unit -> Router.bugs;
+  sp_set_bugs : Router.bugs -> unit;
+  sp_start : unit -> unit;
+  sp_established : unit -> Ipv4.t list;
+  sp_process_raw : from_node:int -> string -> unit;
+  sp_inject_update : from:Ipv4.t -> Msg.update -> unit;
+  sp_stats : unit -> Netsim.Stats.t;
+  sp_capture : unit -> capture;
+}
+
+and capture = {
+  cap_node : int;
+  cap_impl : string;
+  cap_config : Config.t;
+  cap_route_count : int Lazy.t;
+  cap_respawn : net:string Netsim.Network.t -> bugs:Router.bugs -> t;
+}
+
+let loc_rib t = (t.sp_rib ()).Rib.loc
+let capture t = t.sp_capture ()
+
+let rec of_router r =
+  { sp_node = Router.node r;
+    sp_impl = "bird-like";
+    sp_config = (fun () -> Router.config r);
+    sp_set_config = Router.set_config r;
+    sp_rib = (fun () -> Router.rib r);
+    sp_bugs = (fun () -> Router.bugs r);
+    sp_set_bugs = Router.set_bugs r;
+    sp_start = (fun () -> Router.start r);
+    sp_established = (fun () -> Router.established_peers r);
+    sp_process_raw = (fun ~from_node raw -> Router.process_raw r ~from_node raw);
+    sp_inject_update = (fun ~from u -> Router.inject_update r ~from u);
+    sp_stats = (fun () -> Router.stats r);
+    sp_capture = (fun () -> capture_router r) }
+
+and capture_router r =
+  let st = Router.state r in
+  let cfg = Router.config r in
+  let rib = st.Router.rib in
+  { cap_node = Router.node r;
+    cap_impl = "bird-like";
+    cap_config = cfg;
+    cap_route_count = lazy (Rib.loc_cardinal rib + Rib.total_adj_in rib);
+    cap_respawn =
+      (fun ~net ~bugs ->
+        let clone =
+          Router.create ~auto_restart:false ~liveness_timers:false ~bugs ~net
+            ~node:(Router.node r) cfg
+        in
+        Router.restore clone st;
+        of_router clone) }

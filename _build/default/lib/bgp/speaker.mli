@@ -1,0 +1,46 @@
+(** Implementation-agnostic BGP speaker interface.
+
+    The systems DiCE targets are {e heterogeneous}: several independent
+    implementations of the same open protocol coexist.  Everything
+    above the wire (snapshots, clones, property checks, exploration)
+    talks to a speaker through this record, never to a concrete
+    implementation — mirroring how DiCE drives deployed routers through
+    protocol messages rather than internal APIs.
+
+    Two implementations ship with this repository: {!Router} (the
+    BIRD-like reference) and {!Sparrow} (an independently structured
+    implementation of the same RFCs). *)
+
+type t = {
+  sp_node : int;
+  sp_impl : string;  (** implementation name, e.g. "bird-like" *)
+  sp_config : unit -> Config.t;
+  sp_set_config : Config.t -> unit;
+  sp_rib : unit -> Rib.t;
+      (** RIB-shaped view of current routing state (copies allowed) *)
+  sp_bugs : unit -> Router.bugs;
+  sp_set_bugs : Router.bugs -> unit;
+  sp_start : unit -> unit;
+  sp_established : unit -> Ipv4.t list;
+  sp_process_raw : from_node:int -> string -> unit;
+  sp_inject_update : from:Ipv4.t -> Msg.update -> unit;
+  sp_stats : unit -> Netsim.Stats.t;
+  sp_capture : unit -> capture;
+}
+
+and capture = {
+  cap_node : int;
+  cap_impl : string;
+  cap_config : Config.t;
+  cap_route_count : int Lazy.t;  (** Loc-RIB + Adj-RIB-In entries (computed on demand: counting is O(n), capturing must stay O(1)) *)
+  cap_respawn : net:string Netsim.Network.t -> bugs:Router.bugs -> t;
+      (** Recreate this speaker (same implementation, same state) on an
+          isolated network whose node ids match the original. *)
+}
+
+val loc_rib : t -> Rib.route Prefix.Map.t
+val capture : t -> capture
+
+val of_router : Router.t -> t
+(** Wrap the reference implementation.  Respawned clones run with
+    liveness timers disabled (shadow semantics). *)

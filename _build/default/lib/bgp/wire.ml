@@ -1,0 +1,428 @@
+type error = { code : int; subcode : int; reason : string }
+
+let header_length = 19
+let max_length = 4096
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s (%s)" e.reason (Msg.Error.to_string e.code e.subcode)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  put_u16 b (v lsr 16);
+  put_u16 b (v land 0xFFFF)
+
+(* A prefix is encoded as a length byte followed by ceil(len/8) bytes. *)
+let put_prefix b p =
+  let len = Prefix.len p in
+  put_u8 b len;
+  let a = Ipv4.to_int (Prefix.addr p) in
+  let nbytes = (len + 7) / 8 in
+  for i = 0 to nbytes - 1 do
+    put_u8 b ((a lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let put_as_path b path =
+  let seg (kind, asns) =
+    put_u8 b kind;
+    put_u8 b (List.length asns);
+    List.iter (put_u16 b) asns
+  in
+  List.iter
+    (function
+      | As_path.Set asns -> seg (1, asns)
+      | As_path.Seq asns -> seg (2, asns))
+    path
+
+let put_attr b ~flags ~code value =
+  let len = String.length value in
+  if len > 255 then begin
+    put_u8 b (flags lor Attr.flag_extended);
+    put_u8 b code;
+    put_u16 b len
+  end
+  else begin
+    put_u8 b flags;
+    put_u8 b code;
+    put_u8 b len
+  end;
+  Buffer.add_string b value
+
+let in_buffer f =
+  let b = Buffer.create 32 in
+  f b;
+  Buffer.contents b
+
+let encode_attrs (a : Attr.t) =
+  let b = Buffer.create 64 in
+  let wk = Attr.flag_transitive in
+  let opt_trans = Attr.flag_optional lor Attr.flag_transitive in
+  let opt_nontrans = Attr.flag_optional in
+  put_attr b ~flags:wk ~code:Attr.code_origin
+    (in_buffer (fun b -> put_u8 b (Attr.origin_code a.origin)));
+  put_attr b ~flags:wk ~code:Attr.code_as_path (in_buffer (fun b -> put_as_path b a.as_path));
+  put_attr b ~flags:wk ~code:Attr.code_next_hop
+    (in_buffer (fun b -> put_u32 b (Ipv4.to_int a.next_hop)));
+  (match a.med with
+  | Some v -> put_attr b ~flags:opt_nontrans ~code:Attr.code_med (in_buffer (fun b -> put_u32 b v))
+  | None -> ());
+  (match a.local_pref with
+  | Some v -> put_attr b ~flags:wk ~code:Attr.code_local_pref (in_buffer (fun b -> put_u32 b v))
+  | None -> ());
+  if a.atomic_aggregate then put_attr b ~flags:wk ~code:Attr.code_atomic_aggregate "";
+  (match a.aggregator with
+  | Some (asn, ip) ->
+      put_attr b ~flags:opt_trans ~code:Attr.code_aggregator
+        (in_buffer (fun b ->
+             put_u16 b asn;
+             put_u32 b (Ipv4.to_int ip)))
+  | None -> ());
+  (match a.communities with
+  | [] -> ()
+  | cs ->
+      put_attr b ~flags:opt_trans ~code:Attr.code_communities
+        (in_buffer (fun b -> List.iter (fun c -> put_u32 b (Community.to_int c)) cs)));
+  List.iter
+    (fun (u : Attr.unknown) -> put_attr b ~flags:u.u_flags ~code:u.u_type u.u_value)
+    a.unknown;
+  Buffer.contents b
+
+let encode_body = function
+  | Msg.Keepalive -> ""
+  | Msg.Open o ->
+      in_buffer (fun b ->
+          put_u8 b o.version;
+          put_u16 b o.my_as;
+          put_u16 b o.hold_time;
+          put_u32 b (Ipv4.to_int o.bgp_id);
+          put_u8 b 0 (* no optional parameters *))
+  | Msg.Notification n ->
+      in_buffer (fun b ->
+          put_u8 b n.code;
+          put_u8 b n.subcode;
+          Buffer.add_string b n.data)
+  | Msg.Update u ->
+      in_buffer (fun b ->
+          let withdrawn = in_buffer (fun b -> List.iter (put_prefix b) u.withdrawn) in
+          put_u16 b (String.length withdrawn);
+          Buffer.add_string b withdrawn;
+          let attrs =
+            match u.attrs with
+            | Some a when u.nlri <> [] || u.withdrawn = [] -> encode_attrs a
+            | Some a -> encode_attrs a
+            | None -> ""
+          in
+          put_u16 b (String.length attrs);
+          Buffer.add_string b attrs;
+          List.iter (put_prefix b) u.nlri)
+
+let type_code = function
+  | Msg.Open _ -> 1
+  | Msg.Update _ -> 2
+  | Msg.Notification _ -> 3
+  | Msg.Keepalive -> 4
+
+let encode msg =
+  let body = encode_body msg in
+  let total = header_length + String.length body in
+  if total > max_length then
+    invalid_arg (Printf.sprintf "Wire.encode: message of %d bytes exceeds limit" total);
+  in_buffer (fun b ->
+      for _ = 1 to 16 do
+        put_u8 b 0xFF
+      done;
+      put_u16 b total;
+      put_u8 b (type_code msg);
+      Buffer.add_string b body)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Fail of error
+
+let fail code subcode fmt =
+  Printf.ksprintf (fun reason -> raise (Fail { code; subcode; reason })) fmt
+
+module E = Msg.Error
+
+(* A cursor over a sub-range of the buffer. *)
+type cursor = { buf : string; mutable pos : int; stop : int }
+
+let remaining c = c.stop - c.pos
+
+let need c n ~code ~subcode what =
+  if remaining c < n then
+    fail code subcode "truncated %s: need %d bytes, have %d" what n (remaining c)
+
+let u8 c ~code ~subcode what =
+  need c 1 ~code ~subcode what;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c ~code ~subcode what =
+  let hi = u8 c ~code ~subcode what in
+  let lo = u8 c ~code ~subcode what in
+  (hi lsl 8) lor lo
+
+let u32 c ~code ~subcode what =
+  let hi = u16 c ~code ~subcode what in
+  let lo = u16 c ~code ~subcode what in
+  (hi lsl 16) lor lo
+
+let take c n ~code ~subcode what =
+  need c n ~code ~subcode what;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_prefix c ~code ~subcode =
+  let len = u8 c ~code ~subcode "prefix length" in
+  if len > 32 then fail code subcode "prefix length %d > 32" len;
+  let nbytes = (len + 7) / 8 in
+  need c nbytes ~code ~subcode "prefix bytes";
+  let a = ref 0 in
+  for i = 0 to nbytes - 1 do
+    a := !a lor (Char.code c.buf.[c.pos + i] lsl (24 - (8 * i)))
+  done;
+  c.pos <- c.pos + nbytes;
+  let addr = Ipv4.of_int32_exn (!a land 0xFFFF_FFFF) in
+  (* RFC: trailing bits are irrelevant; canonicalize by masking. *)
+  Prefix.make addr len
+
+let get_prefixes c ~code ~subcode =
+  let rec go acc = if remaining c = 0 then List.rev acc else go (get_prefix c ~code ~subcode :: acc) in
+  go []
+
+let get_as_path value =
+  let c = { buf = value; pos = 0; stop = String.length value } in
+  let code = E.update_message and subcode = E.malformed_as_path in
+  let rec segs acc =
+    if remaining c = 0 then List.rev acc
+    else begin
+      let kind = u8 c ~code ~subcode "AS_PATH segment type" in
+      let count = u8 c ~code ~subcode "AS_PATH segment count" in
+      if count = 0 then fail code subcode "empty AS_PATH segment";
+      let asns = List.init count (fun _ -> u16 c ~code ~subcode "ASN") in
+      match kind with
+      | 1 -> segs (As_path.Set asns :: acc)
+      | 2 -> segs (As_path.Seq asns :: acc)
+      | k -> fail code subcode "bad AS_PATH segment type %d" k
+    end
+  in
+  segs []
+
+type partial_attrs = {
+  mutable p_origin : Attr.origin option;
+  mutable p_as_path : As_path.t option;
+  mutable p_next_hop : Ipv4.t option;
+  mutable p_med : int option;
+  mutable p_local_pref : int option;
+  mutable p_atomic : bool;
+  mutable p_aggregator : (int * Ipv4.t) option;
+  mutable p_communities : Community.t list;
+  mutable p_unknown : Attr.unknown list;
+  mutable p_seen : int list;
+}
+
+let check_flags ~flags ~code ~well_known ~transitive =
+  let has f = flags land f <> 0 in
+  let attr_err sub = fail E.update_message sub "bad flags 0x%02x on attribute %d" flags code in
+  if well_known then begin
+    if has Attr.flag_optional then attr_err E.attribute_flags;
+    if not (has Attr.flag_transitive) then attr_err E.attribute_flags
+  end
+  else begin
+    if not (has Attr.flag_optional) then attr_err E.attribute_flags;
+    match transitive with
+    | Some true -> if not (has Attr.flag_transitive) then attr_err E.attribute_flags
+    | Some false -> if has Attr.flag_transitive then attr_err E.attribute_flags
+    | None -> ()
+  end
+
+let decode_one_attr c p =
+  let code = E.update_message in
+  let flags = u8 c ~code ~subcode:E.malformed_attribute_list "attribute flags" in
+  let typ = u8 c ~code ~subcode:E.malformed_attribute_list "attribute type" in
+  let len =
+    if flags land Attr.flag_extended <> 0 then
+      u16 c ~code ~subcode:E.malformed_attribute_list "attribute length"
+    else u8 c ~code ~subcode:E.malformed_attribute_list "attribute length"
+  in
+  let value = take c len ~code ~subcode:E.attribute_length "attribute value" in
+  if List.mem typ p.p_seen then
+    fail code E.malformed_attribute_list "duplicate attribute %d" typ;
+  p.p_seen <- typ :: p.p_seen;
+  let expect_len n =
+    if len <> n then fail code E.attribute_length "attribute %d: length %d, expected %d" typ len n
+  in
+  let vcur () = { buf = value; pos = 0; stop = String.length value } in
+  if typ = Attr.code_origin then begin
+    check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
+    expect_len 1;
+    match Attr.origin_of_code (Char.code value.[0]) with
+    | Some o -> p.p_origin <- Some o
+    | None -> fail code E.invalid_origin "bad ORIGIN value %d" (Char.code value.[0])
+  end
+  else if typ = Attr.code_as_path then begin
+    check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
+    p.p_as_path <- Some (get_as_path value)
+  end
+  else if typ = Attr.code_next_hop then begin
+    check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
+    expect_len 4;
+    let v = u32 (vcur ()) ~code ~subcode:E.invalid_next_hop "NEXT_HOP" in
+    p.p_next_hop <- Some (Ipv4.of_int32_exn v)
+  end
+  else if typ = Attr.code_med then begin
+    check_flags ~flags ~code:typ ~well_known:false ~transitive:(Some false);
+    expect_len 4;
+    p.p_med <- Some (u32 (vcur ()) ~code ~subcode:E.attribute_length "MED")
+  end
+  else if typ = Attr.code_local_pref then begin
+    check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
+    expect_len 4;
+    p.p_local_pref <- Some (u32 (vcur ()) ~code ~subcode:E.attribute_length "LOCAL_PREF")
+  end
+  else if typ = Attr.code_atomic_aggregate then begin
+    check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
+    expect_len 0;
+    p.p_atomic <- true
+  end
+  else if typ = Attr.code_aggregator then begin
+    check_flags ~flags ~code:typ ~well_known:false ~transitive:(Some true);
+    expect_len 6;
+    let vc = vcur () in
+    let asn = u16 vc ~code ~subcode:E.attribute_length "AGGREGATOR" in
+    let ip = u32 vc ~code ~subcode:E.attribute_length "AGGREGATOR" in
+    p.p_aggregator <- Some (asn, Ipv4.of_int32_exn ip)
+  end
+  else if typ = Attr.code_communities then begin
+    check_flags ~flags ~code:typ ~well_known:false ~transitive:(Some true);
+    if len mod 4 <> 0 then fail code E.attribute_length "COMMUNITIES length %d not multiple of 4" len;
+    let vc = vcur () in
+    let n = len / 4 in
+    p.p_communities <-
+      List.init n (fun _ ->
+          Community.of_int32_exn (u32 vc ~code ~subcode:E.attribute_length "community"))
+  end
+  else if flags land Attr.flag_optional = 0 then
+    (* Unrecognized well-known attribute. *)
+    fail code E.unrecognized_wellknown "unrecognized well-known attribute %d" typ
+  else if flags land Attr.flag_transitive <> 0 then
+    (* Unrecognized optional transitive: keep, set Partial. *)
+    p.p_unknown <-
+      { u_type = typ; u_flags = flags lor Attr.flag_partial; u_value = value }
+      :: p.p_unknown
+  else (* Unrecognized optional non-transitive: silently drop. *)
+    ()
+
+let decode_attrs value ~has_nlri =
+  let c = { buf = value; pos = 0; stop = String.length value } in
+  let p =
+    { p_origin = None; p_as_path = None; p_next_hop = None; p_med = None;
+      p_local_pref = None; p_atomic = false; p_aggregator = None;
+      p_communities = []; p_unknown = []; p_seen = [] }
+  in
+  while remaining c > 0 do
+    decode_one_attr c p
+  done;
+  if not has_nlri then
+    (* Pure withdrawal may omit all attributes. *)
+    match (p.p_origin, p.p_as_path, p.p_next_hop) with
+    | None, None, None -> None
+    | _ ->
+        Some
+          (Attr.make
+             ~origin:(Option.value p.p_origin ~default:Attr.Incomplete)
+             ~as_path:(Option.value p.p_as_path ~default:As_path.empty)
+             ~med:p.p_med ~local_pref:p.p_local_pref ~atomic_aggregate:p.p_atomic
+             ~aggregator:p.p_aggregator ~communities:p.p_communities
+             ~unknown:(List.rev p.p_unknown)
+             ~next_hop:(Option.value p.p_next_hop ~default:Ipv4.any)
+             ())
+  else begin
+    let missing what = fail E.update_message E.missing_wellknown "missing well-known attribute %s" what in
+    let origin = match p.p_origin with Some o -> o | None -> missing "ORIGIN" in
+    let as_path = match p.p_as_path with Some x -> x | None -> missing "AS_PATH" in
+    let next_hop = match p.p_next_hop with Some x -> x | None -> missing "NEXT_HOP" in
+    Some
+      (Attr.make ~origin ~as_path ~med:p.p_med ~local_pref:p.p_local_pref
+         ~atomic_aggregate:p.p_atomic ~aggregator:p.p_aggregator
+         ~communities:p.p_communities ~unknown:(List.rev p.p_unknown) ~next_hop ())
+  end
+
+let decode_update body =
+  let code = E.update_message in
+  let c = { buf = body; pos = 0; stop = String.length body } in
+  let wlen = u16 c ~code ~subcode:E.malformed_attribute_list "withdrawn length" in
+  let wbytes = take c wlen ~code ~subcode:E.malformed_attribute_list "withdrawn routes" in
+  let withdrawn =
+    get_prefixes
+      { buf = wbytes; pos = 0; stop = String.length wbytes }
+      ~code ~subcode:E.invalid_network_field
+  in
+  let alen = u16 c ~code ~subcode:E.malformed_attribute_list "attributes length" in
+  let abytes = take c alen ~code ~subcode:E.malformed_attribute_list "attributes" in
+  let nlri = get_prefixes c ~code ~subcode:E.invalid_network_field in
+  let attrs = decode_attrs abytes ~has_nlri:(nlri <> []) in
+  Msg.Update { withdrawn; attrs; nlri }
+
+let decode_open body =
+  let code = E.open_message in
+  let c = { buf = body; pos = 0; stop = String.length body } in
+  let version = u8 c ~code ~subcode:E.unsupported_version "version" in
+  if version <> 4 then fail code E.unsupported_version "unsupported BGP version %d" version;
+  let my_as = u16 c ~code ~subcode:E.bad_peer_as "my-AS" in
+  if my_as = 0 then fail code E.bad_peer_as "AS number 0";
+  let hold_time = u16 c ~code ~subcode:E.unacceptable_hold_time "hold time" in
+  if hold_time = 1 || hold_time = 2 then
+    fail code E.unacceptable_hold_time "hold time %d" hold_time;
+  let bgp_id = u32 c ~code ~subcode:E.bad_bgp_id "BGP identifier" in
+  if bgp_id = 0 then fail code E.bad_bgp_id "BGP identifier 0";
+  let opt_len = u8 c ~code ~subcode:E.unsupported_version "optional parameters length" in
+  let _opt = take c opt_len ~code ~subcode:E.unsupported_version "optional parameters" in
+  Msg.Open { version; my_as; hold_time; bgp_id = Ipv4.of_int32_exn bgp_id }
+
+let decode_notification body =
+  let code = E.message_header in
+  let c = { buf = body; pos = 0; stop = String.length body } in
+  let ecode = u8 c ~code ~subcode:E.bad_length "error code" in
+  let subcode = u8 c ~code ~subcode:E.bad_length "error subcode" in
+  let data = take c (remaining c) ~code ~subcode:E.bad_length "data" in
+  Msg.Notification { code = ecode; subcode; data }
+
+let decode buf =
+  try
+    let c = { buf; pos = 0; stop = String.length buf } in
+    let code = E.message_header in
+    for _ = 1 to 16 do
+      if u8 c ~code ~subcode:E.bad_marker "marker" <> 0xFF then
+        fail code E.bad_marker "marker byte not 0xFF"
+    done;
+    let len = u16 c ~code ~subcode:E.bad_length "length" in
+    if len <> String.length buf then
+      fail code E.bad_length "length field %d but buffer has %d bytes" len
+        (String.length buf);
+    if len < header_length || len > max_length then
+      fail code E.bad_length "length %d outside [19,4096]" len;
+    let typ = u8 c ~code ~subcode:E.bad_type "type" in
+    let body = take c (remaining c) ~code ~subcode:E.bad_length "body" in
+    match typ with
+    | 1 -> Ok (decode_open body)
+    | 2 -> Ok (decode_update body)
+    | 3 -> Ok (decode_notification body)
+    | 4 ->
+        if body = "" then Ok Msg.Keepalive
+        else fail code E.bad_length "KEEPALIVE with a body"
+    | t -> fail code E.bad_type "unknown message type %d" t
+  with Fail e -> Error e

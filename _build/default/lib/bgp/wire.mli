@@ -1,0 +1,22 @@
+(** RFC 4271 binary message codec.
+
+    One BGP message per buffer.  Decoding validates the header, the
+    attribute flags and lengths, and the NLRI encoding; violations are
+    reported with the notification (code, subcode) a conforming speaker
+    would send, which the session FSM forwards to the peer. *)
+
+type error = { code : int; subcode : int; reason : string }
+
+val encode : Msg.t -> string
+(** @raise Invalid_argument if the message exceeds the 4096-byte limit. *)
+
+val decode : string -> (Msg.t, error) result
+(** Decodes exactly one message occupying the whole buffer. *)
+
+val header_length : int
+(** 19 *)
+
+val max_length : int
+(** 4096 *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,1 @@
+lib/concolic/ctx.ml: Cval Expr Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/concolic/ctx.mli: Cval Expr

@@ -1,0 +1,1 @@
+lib/concolic/cval.ml: Expr Format

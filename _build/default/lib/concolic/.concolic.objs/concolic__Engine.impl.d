@@ -1,0 +1,1 @@
+lib/concolic/engine.ml: Array Char Ctx Expr Hashtbl List Queue Solver String

@@ -1,0 +1,1 @@
+lib/concolic/expr.ml: Format Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/concolic/grammar.ml: Array List Netsim

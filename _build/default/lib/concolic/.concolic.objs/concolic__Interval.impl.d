@@ -1,0 +1,1 @@
+lib/concolic/interval.ml: Expr Format List

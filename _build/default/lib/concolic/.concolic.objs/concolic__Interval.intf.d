@@ -1,0 +1,1 @@
+lib/concolic/interval.mli: Expr Format

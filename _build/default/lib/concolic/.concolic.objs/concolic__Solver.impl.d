@@ -1,0 +1,1 @@
+lib/concolic/solver.ml: Expr Format Hashtbl Int Interval List Map Option

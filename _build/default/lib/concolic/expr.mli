@@ -1,0 +1,53 @@
+(** Symbolic expressions.
+
+    Integer-valued; booleans are 0/1.  Variables carry a bounded domain
+    (message fields have natural bit-widths), which is what makes the
+    solver's interval reasoning effective. *)
+
+type var = private {
+  v_id : int;  (** unique per name *)
+  v_name : string;
+  v_lo : int;
+  v_hi : int;
+}
+
+val var : string -> lo:int -> hi:int -> var
+(** Interned by (name, domain): the same name and bounds always yield
+    the same variable, so constraints from different runs over the same
+    input field talk about the same thing.
+    @raise Invalid_argument on an empty domain. *)
+
+type t =
+  | Const of int
+  | Var of var
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Band of t * t  (** bitwise and *)
+  | Eq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val const : int -> t
+val tru : t
+val fls : t
+
+val eval : (var -> int) -> t -> int
+(** Boolean nodes evaluate to 0/1. *)
+
+val is_true : (var -> int) -> t -> bool
+val vars : t -> var list
+(** Deduplicated, in first-occurrence order. *)
+
+val negate : t -> t
+(** Logical negation, pushing through comparisons where cheap
+    ([negate (Lt a b)] is [Le b a]). *)
+
+val size : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

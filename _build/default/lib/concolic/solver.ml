@@ -1,0 +1,331 @@
+type model = (Expr.var * int) list
+
+type outcome = Sat of model | Unsat | Unknown
+
+type stats = {
+  mutable solved_sat : int;
+  mutable solved_unsat : int;
+  mutable solved_unknown : int;
+  mutable search_nodes : int;
+}
+
+let stats = { solved_sat = 0; solved_unsat = 0; solved_unknown = 0; search_nodes = 0 }
+
+let reset_stats () =
+  stats.solved_sat <- 0;
+  stats.solved_unsat <- 0;
+  stats.solved_unknown <- 0;
+  stats.search_nodes <- 0
+
+(* Wide sentinels that survive interval arithmetic without overflow. *)
+let neg_big = -(1 lsl 40)
+let pos_big = 1 lsl 40
+
+let top = Interval.make neg_big pos_big
+
+module Vmap = Map.Make (Int)
+
+type domains = Interval.t Vmap.t
+
+exception Contradiction
+
+let dom ds (v : Expr.var) =
+  Option.value (Vmap.find_opt v.Expr.v_id ds) ~default:(Interval.of_var v)
+
+(* Forward interval evaluation. *)
+let rec ieval ds (e : Expr.t) : Interval.t =
+  match e with
+  | Expr.Const n -> Interval.point n
+  | Expr.Var v -> dom ds v
+  | Expr.Add (a, b) -> Interval.add (ieval ds a) (ieval ds b)
+  | Expr.Sub (a, b) -> Interval.sub (ieval ds a) (ieval ds b)
+  | Expr.Mul (a, b) -> Interval.mul (ieval ds a) (ieval ds b)
+  | Expr.Band (a, b) -> Interval.band (ieval ds a) (ieval ds b)
+  | Expr.Eq (a, b) -> (
+      let ia = ieval ds a and ib = ieval ds b in
+      match Interval.inter ia ib with
+      | None -> Interval.point 0
+      | Some _ ->
+          if Interval.is_point ia && Interval.is_point ib then Interval.point 1
+          else Interval.make 0 1)
+  | Expr.Lt (a, b) ->
+      let ia = ieval ds a and ib = ieval ds b in
+      if ia.Interval.hi < ib.Interval.lo then Interval.point 1
+      else if ia.Interval.lo >= ib.Interval.hi then Interval.point 0
+      else Interval.make 0 1
+  | Expr.Le (a, b) ->
+      let ia = ieval ds a and ib = ieval ds b in
+      if ia.Interval.hi <= ib.Interval.lo then Interval.point 1
+      else if ia.Interval.lo > ib.Interval.hi then Interval.point 0
+      else Interval.make 0 1
+  | Expr.And (a, b) ->
+      let ia = ieval ds a and ib = ieval ds b in
+      if ia.Interval.lo > 0 || ia.Interval.hi < 0 then
+        (* a definitely true *)
+        if ib.Interval.lo > 0 || ib.Interval.hi < 0 then Interval.point 1
+        else if Interval.is_point ib && ib.Interval.lo = 0 then Interval.point 0
+        else Interval.make 0 1
+      else if Interval.is_point ia && ia.Interval.lo = 0 then Interval.point 0
+      else Interval.make 0 1
+  | Expr.Or (a, b) ->
+      let ia = ieval ds a and ib = ieval ds b in
+      let def_true (i : Interval.t) = i.Interval.lo > 0 || i.Interval.hi < 0 in
+      let def_false (i : Interval.t) = Interval.is_point i && i.Interval.lo = 0 in
+      if def_true ia || def_true ib then Interval.point 1
+      else if def_false ia && def_false ib then Interval.point 0
+      else Interval.make 0 1
+  | Expr.Not a ->
+      let ia = ieval ds a in
+      if Interval.is_point ia && ia.Interval.lo = 0 then Interval.point 1
+      else if ia.Interval.lo > 0 || ia.Interval.hi < 0 then Interval.point 0
+      else Interval.make 0 1
+
+let def_true (i : Interval.t) = i.Interval.lo > 0 || i.Interval.hi < 0
+let def_false (i : Interval.t) = Interval.is_point i && i.Interval.lo = 0
+
+(* Backward contractor: refine [ds] so that [e]'s value can lie in [i].
+   Raises [Contradiction] when impossible.  Conservative: operators we
+   cannot invert precisely keep the current domains. *)
+let rec narrow ds (e : Expr.t) (i : Interval.t) : domains =
+  match e with
+  | Expr.Const n -> if Interval.mem n i then ds else raise Contradiction
+  | Expr.Var v -> (
+      match Interval.inter (dom ds v) i with
+      | Some d -> Vmap.add v.Expr.v_id d ds
+      | None -> raise Contradiction)
+  | Expr.Add (a, b) ->
+      let ia = ieval ds a and ib = ieval ds b in
+      let ds = narrow ds a (Interval.sub i ib) in
+      narrow ds b (Interval.sub i ia)
+  | Expr.Sub (a, b) ->
+      (* a - b in i  =>  a in i + ib,  b in ia - i *)
+      let ia = ieval ds a and ib = ieval ds b in
+      let ds = narrow ds a (Interval.add i ib) in
+      narrow ds b (Interval.sub ia i)
+  | Expr.Mul (a, b) ->
+      (* Invert only through a positive constant factor. *)
+      let invert_const c other =
+        if c > 0 then
+          let lo = Interval.(i.lo) and hi = Interval.(i.hi) in
+          let div_lo = if lo >= 0 then (lo + c - 1) / c else lo / c in
+          let div_hi = if hi >= 0 then hi / c else (hi - c + 1) / c in
+          if div_lo > div_hi then raise Contradiction
+          else narrow ds other (Interval.make div_lo div_hi)
+        else ds
+      in
+      (match (a, b) with
+      | Expr.Const c, other -> invert_const c other
+      | other, Expr.Const c -> invert_const c other
+      | _ ->
+          if Interval.inter (ieval ds e) i = None then raise Contradiction else ds)
+  | Expr.Band _ ->
+      if Interval.inter (ieval ds e) i = None then raise Contradiction else ds
+  | Expr.Eq (a, b) ->
+      if not (Interval.mem 0 i) then begin
+        (* must be true: both sides share the intersection *)
+        let ia = ieval ds a and ib = ieval ds b in
+        match Interval.inter ia ib with
+        | None -> raise Contradiction
+        | Some common ->
+            let ds = narrow ds a common in
+            narrow ds b common
+      end
+      else if def_false i then begin
+        (* must be false: prune only when one side is a point *)
+        let ia = ieval ds a and ib = ieval ds b in
+        if Interval.is_point ia && Interval.is_point ib && ia = ib then
+          raise Contradiction
+        else ds
+      end
+      else ds
+  | Expr.Lt (a, b) ->
+      if not (Interval.mem 0 i) then begin
+        (* a < b *)
+        let ia = ieval ds a and ib = ieval ds b in
+        let ds = narrow ds a (Interval.make neg_big (ib.Interval.hi - 1)) in
+        narrow ds b (Interval.make (ia.Interval.lo + 1) pos_big)
+      end
+      else if def_false i then begin
+        (* b <= a *)
+        let ia = ieval ds a and ib = ieval ds b in
+        let ds = narrow ds b (Interval.make neg_big ia.Interval.hi) in
+        narrow ds a (Interval.make ib.Interval.lo pos_big)
+      end
+      else ds
+  | Expr.Le (a, b) ->
+      if not (Interval.mem 0 i) then begin
+        let ia = ieval ds a and ib = ieval ds b in
+        let ds = narrow ds a (Interval.make neg_big ib.Interval.hi) in
+        narrow ds b (Interval.make ia.Interval.lo pos_big)
+      end
+      else if def_false i then begin
+        (* b < a *)
+        let ia = ieval ds a and ib = ieval ds b in
+        let ds = narrow ds b (Interval.make neg_big (ia.Interval.hi - 1)) in
+        narrow ds a (Interval.make (ib.Interval.lo + 1) pos_big)
+      end
+      else ds
+  | Expr.And (a, b) ->
+      if not (Interval.mem 0 i) then
+        let ds = narrow ds a (Interval.make 1 pos_big) in
+        narrow ds b (Interval.make 1 pos_big)
+      else if def_false i then begin
+        let ia = ieval ds a and ib = ieval ds b in
+        if def_true ia then narrow ds b (Interval.point 0)
+        else if def_true ib then narrow ds a (Interval.point 0)
+        else ds
+      end
+      else ds
+  | Expr.Or (a, b) ->
+      if not (Interval.mem 0 i) then begin
+        let ia = ieval ds a and ib = ieval ds b in
+        if def_false ia then narrow ds b (Interval.make 1 pos_big)
+        else if def_false ib then narrow ds a (Interval.make 1 pos_big)
+        else ds
+      end
+      else if def_false i then
+        let ds = narrow ds a (Interval.point 0) in
+        narrow ds b (Interval.point 0)
+      else ds
+  | Expr.Not a ->
+      if not (Interval.mem 0 i) then narrow ds a (Interval.point 0)
+      else if def_false i then narrow ds a (Interval.make 1 pos_big)
+      else ds
+
+let assert_true ds e = narrow ds e (Interval.make 1 pos_big)
+
+(* Comparisons treat any nonzero as true, but branch conditions are
+   boolean-shaped; asserting value >= 1 is correct for all our
+   constructors (booleans are 0/1, and branch() normalizes). *)
+
+let propagate constraints ds =
+  let rec fix ds n =
+    if n = 0 then ds
+    else
+      let ds' = List.fold_left assert_true ds constraints in
+      if Vmap.equal (fun a b -> a = b) ds ds' then ds else fix ds' (n - 1)
+  in
+  fix ds 8
+
+let all_vars constraints =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (v : Expr.var) ->
+          if not (Hashtbl.mem tbl v.Expr.v_id) then begin
+            Hashtbl.add tbl v.Expr.v_id v;
+            order := v :: !order
+          end)
+        (Expr.vars c))
+    constraints;
+  List.rev !order
+
+let model_value m v =
+  List.find_map
+    (fun ((v' : Expr.var), x) -> if v'.Expr.v_id = v.Expr.v_id then Some x else None)
+    m
+
+let env_of_model m (v : Expr.var) =
+  match model_value m v with Some x -> x | None -> v.Expr.v_lo
+
+let check m constraints = List.for_all (Expr.is_true (env_of_model m)) constraints
+
+(* Interesting values for a variable: constants appearing in the
+   constraints, shifted by +-1, clipped to the domain. *)
+let interesting_values constraints (v : Expr.var) (d : Interval.t) =
+  let consts = ref [] in
+  let rec collect (e : Expr.t) =
+    match e with
+    | Expr.Const n -> consts := n :: !consts
+    | Expr.Var _ -> ()
+    | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Band (a, b)
+    | Expr.Eq (a, b) | Expr.Lt (a, b) | Expr.Le (a, b) | Expr.And (a, b)
+    | Expr.Or (a, b) ->
+        collect a;
+        collect b
+    | Expr.Not a -> collect a
+  in
+  List.iter
+    (fun c -> if List.exists (fun (u : Expr.var) -> u.Expr.v_id = v.Expr.v_id) (Expr.vars c) then collect c)
+    constraints;
+  let candidates =
+    d.Interval.lo :: d.Interval.hi
+    :: ((d.Interval.lo + d.Interval.hi) / 2)
+    :: List.concat_map (fun n -> [ n; n - 1; n + 1 ]) !consts
+  in
+  List.sort_uniq Int.compare (List.filter (fun n -> Interval.mem n d) candidates)
+
+let solve ?(max_nodes = 20_000) constraints =
+  let vars = all_vars constraints in
+  let nodes = ref 0 in
+  let exception Found of model in
+  let record outcome =
+    (match outcome with
+    | Sat _ -> stats.solved_sat <- stats.solved_sat + 1
+    | Unsat -> stats.solved_unsat <- stats.solved_unsat + 1
+    | Unknown -> stats.solved_unknown <- stats.solved_unknown + 1);
+    outcome
+  in
+  let budget_hit = ref false in
+  let sampled = ref false in
+  (* Depth-first: propagate, check, pick the tightest unfixed variable,
+     try its interesting values. *)
+  let rec search ds =
+    incr nodes;
+    stats.search_nodes <- stats.search_nodes + 1;
+    if !nodes > max_nodes then budget_hit := true
+    else
+      match propagate constraints ds with
+      | exception Contradiction -> ()
+      | ds ->
+          let candidate_model =
+            List.map (fun v -> (v, (dom ds v).Interval.lo)) vars
+          in
+          if check candidate_model constraints then raise (Found candidate_model);
+          (* choose branching variable: smallest non-point domain *)
+          let unfixed =
+            List.filter_map
+              (fun v ->
+                let d = dom ds v in
+                if Interval.is_point d then None else Some (v, d))
+              vars
+          in
+          let by_width (_, (a : Interval.t)) (_, (b : Interval.t)) =
+            Int.compare (Interval.width a) (Interval.width b)
+          in
+          match List.sort by_width unfixed with
+          | [] -> () (* all fixed but check failed: dead branch *)
+          | (v, d) :: _ ->
+              let values =
+                if Interval.width d <= 64 then
+                  List.init (Interval.width d) (fun i -> d.Interval.lo + i)
+                else begin
+                  (* Non-exhaustive: failure below no longer proves Unsat. *)
+                  sampled := true;
+                  interesting_values constraints v d
+                end
+              in
+              List.iter
+                (fun value ->
+                  if not !budget_hit then
+                    match Interval.inter d (Interval.point value) with
+                    | Some _ ->
+                        search (Vmap.add v.Expr.v_id (Interval.point value) ds)
+                    | None -> ())
+                values
+  in
+  match search Vmap.empty with
+  | () -> if !budget_hit || !sampled then record Unknown else record Unsat
+  | exception Found m -> record (Sat m)
+  | exception Contradiction -> record Unsat
+
+let _ = ignore top
+
+let pp_model ppf m =
+  Format.fprintf ppf "@[<h>";
+  List.iter
+    (fun ((v : Expr.var), x) -> Format.fprintf ppf "%s=%d@ " v.Expr.v_name x)
+    m;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Constraint solver for path conditions.
+
+    Interval (bounds) propagation with a contractor per operator,
+    followed by branch-and-propagate search over the remaining domains.
+    Complete enough for the linear / bitfield constraints that message
+    parsing and policy evaluation generate; answers:
+
+    - [Sat model] — the model is {e verified} by concrete evaluation of
+      every constraint before being returned, so SAT answers are sound
+      unconditionally;
+    - [Unsat] — sound because contractors only ever remove values that
+      cannot appear in any solution;
+    - [Unknown] — search budget exhausted. *)
+
+type model = (Expr.var * int) list
+
+type outcome = Sat of model | Unsat | Unknown
+
+type stats = {
+  mutable solved_sat : int;
+  mutable solved_unsat : int;
+  mutable solved_unknown : int;
+  mutable search_nodes : int;
+}
+
+val stats : stats
+(** Global counters for the benchmark harness. *)
+
+val reset_stats : unit -> unit
+
+val solve : ?max_nodes:int -> Expr.t list -> outcome
+(** [max_nodes] bounds the search tree (default 20_000). *)
+
+val check : model -> Expr.t list -> bool
+(** Do all constraints evaluate true under the model (unbound variables
+    default to their domain minimum)? *)
+
+val model_value : model -> Expr.var -> int option
+val pp_model : Format.formatter -> model -> unit

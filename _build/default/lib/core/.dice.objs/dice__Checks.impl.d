@@ -1,0 +1,1 @@
+lib/core/checks.ml: Bgp Fault Hashtbl List Netsim Printf Snapshot String Topology

@@ -1,0 +1,1 @@
+lib/core/checks.mli: Bgp Fault Snapshot Topology

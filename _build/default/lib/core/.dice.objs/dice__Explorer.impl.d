@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Bgp Checks Concolic Fault Format List Netsim Printexc Privacy Snapshot Sym_handler Topology Unix

@@ -1,0 +1,1 @@
+lib/core/explorer.mli: Checks Concolic Fault Format Netsim Privacy Snapshot Topology

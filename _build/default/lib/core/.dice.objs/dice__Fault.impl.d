@@ -1,0 +1,1 @@
+lib/core/fault.ml: Concolic Format List Netsim String

@@ -1,0 +1,1 @@
+lib/core/inject.ml: Bgp Fault List Printf String Topology

@@ -1,0 +1,1 @@
+lib/core/inject.mli: Bgp Fault Topology

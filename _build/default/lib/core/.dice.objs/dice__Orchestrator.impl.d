@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Explorer Fault Format List Netsim Option Snapshot Topology

@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Checks Explorer Fault Format Netsim Topology

@@ -1,0 +1,1 @@
+lib/core/sym_handler.ml: Bgp Bytes Char Concolic Ctx Cval Grammar List Option Printf String Sym_policy Sym_route

@@ -1,0 +1,1 @@
+lib/core/sym_handler.mli: Bgp Concolic Netsim

@@ -1,0 +1,1 @@
+lib/core/sym_policy.ml: Bgp Concolic Ctx Cval List Option Sym_route

@@ -1,0 +1,1 @@
+lib/core/sym_policy.mli: Bgp Concolic Sym_route

@@ -1,0 +1,1 @@
+lib/core/sym_route.ml: Bgp Concolic List String

@@ -1,0 +1,1 @@
+lib/core/sym_route.mli: Bgp Concolic

@@ -1,0 +1,239 @@
+type params = {
+  limits : Concolic.Engine.limits;
+  fuzz_extra : int;
+  peers_per_node : int;
+  shadow_budget : int;
+  check_convergence : bool;
+}
+
+let default_params =
+  { limits =
+      { Concolic.Engine.max_inputs = 48; max_branches = 48; solver_nodes = 20_000 };
+    fuzz_extra = 12;
+    peers_per_node = 1;
+    shadow_budget = 30_000;
+    check_convergence = true }
+
+type exploration = {
+  x_node : int;
+  x_snapshot : Snapshot.Cut.snapshot;
+  x_faults : Fault.t list;
+  x_digests : Privacy.digest list;
+  x_inputs : int;
+  x_shadow_runs : int;
+  x_distinct_paths : int;
+  x_crashes : int;
+  x_snapshot_span : Netsim.Time.span;
+  x_wall_seconds : float;
+}
+
+let take_snapshot ~build ~cut ~node =
+  let eng = build.Topology.Build.engine in
+  let result = ref None in
+  let _id =
+    Snapshot.Cut.initiate cut ~initiator:node ~on_complete:(fun s -> result := Some s)
+  in
+  (* Drive the live system until the markers have flooded the graph. *)
+  let horizon = Netsim.Time.span_sec 120. in
+  let deadline = Netsim.Time.add (Netsim.Engine.now eng) horizon in
+  let rec wait () =
+    match !result with
+    | Some s -> s
+    | None ->
+        if Netsim.Time.(deadline <= Netsim.Engine.now eng) then
+          failwith "Explorer.take_snapshot: cut did not complete within horizon"
+        else begin
+          ignore (Netsim.Engine.step eng);
+          wait ()
+        end
+  in
+  wait ()
+
+(* Live bug flags per node, so clones run the same (buggy) code. *)
+let bugs_of_build build id =
+  match List.assoc_opt id build.Topology.Build.speakers with
+  | Some sp -> sp.Bgp.Speaker.sp_bugs ()
+  | None -> Bgp.Router.no_bugs
+
+let verdicts_to_results ~self ~now ?input ~checker_class verdicts =
+  List.fold_left
+    (fun (faults, digests) (v : Checks.verdict) ->
+      if v.Checks.v_node = self then
+        if v.Checks.v_ok then (faults, digests)
+        else
+          ( Fault.make ?input ~at:now ~node:v.Checks.v_node
+              ~property:v.Checks.v_property checker_class v.Checks.v_evidence
+            :: faults,
+            digests )
+      else
+        let d =
+          Privacy.digest ~node:v.Checks.v_node ~property:v.Checks.v_property
+            ~ok:v.Checks.v_ok ~evidence:v.Checks.v_evidence
+        in
+        let faults =
+          if v.Checks.v_ok then faults
+          else
+            (* Only the digest crossed the domain boundary: the report
+               carries no remote evidence. *)
+            Fault.make ?input ~at:now ~node:v.Checks.v_node
+              ~property:v.Checks.v_property checker_class
+              "remote check digest reported a violation"
+            :: faults
+        in
+        (faults, d :: digests))
+    ([], []) verdicts
+
+let explore_peer ~params ~build ~gt ~snapshot ~node ~peer_addr =
+  let t0 = Unix.gettimeofday () in
+  let now = Netsim.Engine.now build.Topology.Build.engine in
+  (* Probe clone: gives the instrumented handler a consistent view. *)
+  let probe = Snapshot.Store.spawn ~bugs_of:(bugs_of_build build) snapshot in
+  let probe_speaker = Snapshot.Store.speaker probe node in
+  let view = Sym_handler.view_of_speaker probe_speaker ~peer:peer_addr in
+  (* Step 2: derive inputs by concolic execution. *)
+  let result =
+    Concolic.Engine.explore ~limits:params.limits ~seeds:(Sym_handler.seeds view)
+      (Sym_handler.run view)
+  in
+  (* Crashes in the instrumented mirror are programming-error faults. *)
+  let crash_faults =
+    List.filter_map
+      (fun (r : _ Concolic.Engine.run) ->
+        match r.Concolic.Engine.run_outcome with
+        | Concolic.Engine.Raised (Bgp.Router.Crash detail) ->
+            Some
+              (Fault.make ~input:r.Concolic.Engine.run_input ~at:now ~node
+                 ~property:"handler-crash" Fault.Programming_error detail)
+        | Concolic.Engine.Raised e ->
+            Some
+              (Fault.make ~input:r.Concolic.Engine.run_input ~at:now ~node
+                 ~property:"handler-exception" Fault.Programming_error
+                 (Printexc.to_string e))
+        | Concolic.Engine.Value _ -> None)
+      result.Concolic.Engine.runs
+  in
+  (* Step 3: subject clones to each derived input. *)
+  let rng = Netsim.Rng.create (0xF0 + node) in
+  let inputs =
+    List.map (fun (r : _ Concolic.Engine.run) -> r.Concolic.Engine.run_input)
+      result.Concolic.Engine.runs
+    @ Sym_handler.fuzz_inputs view rng params.fuzz_extra
+  in
+  let suite = Checks.standard_suite gt in
+  let baseline, per_input =
+    List.partition (fun (c : Checks.checker) -> c.Checks.scope = Checks.Baseline) suite
+  in
+  let shadow_runs = ref 0 in
+  let all_faults = ref crash_faults in
+  let all_digests = ref [] in
+  (* Baseline (state) properties: checked once against the unperturbed
+     clone of the snapshot, after it quiesces. *)
+  let pristine = Snapshot.Store.spawn ~bugs_of:(bugs_of_build build) snapshot in
+  ignore (Snapshot.Store.run_to_quiescence ~max_events:params.shadow_budget pristine);
+  List.iter
+    (fun (c : Checks.checker) ->
+      List.iter
+        (fun v ->
+          let faults, digests =
+            verdicts_to_results ~self:node ~now ~checker_class:c.Checks.fault_class
+              [ v ]
+          in
+          all_faults := faults @ !all_faults;
+          all_digests := digests @ !all_digests)
+        (c.Checks.run pristine))
+    baseline;
+  List.iter
+    (fun input ->
+      let raw = Sym_handler.concretize view input in
+      let shadow = Snapshot.Store.spawn ~bugs_of:(bugs_of_build build) snapshot in
+      incr shadow_runs;
+      let target = Snapshot.Store.speaker shadow node in
+      (match target.Bgp.Speaker.sp_process_raw ~from_node:(Bgp.Router.node_of_addr peer_addr) raw with
+      | () -> ()
+      | exception Bgp.Router.Crash detail ->
+          all_faults :=
+            Fault.make ~input ~at:now ~node ~property:"handler-crash"
+              Fault.Programming_error detail
+            :: !all_faults);
+      (* Observe system-wide consequences. *)
+      let conv_verdicts =
+        if params.check_convergence then
+          Checks.convergence ~budget:params.shadow_budget shadow
+        else begin
+          ignore (Snapshot.Store.run_to_quiescence ~max_events:params.shadow_budget shadow);
+          []
+        end
+      in
+      let verdicts =
+        List.concat_map
+          (fun (c : Checks.checker) ->
+            List.map (fun v -> (c.Checks.fault_class, v)) (c.Checks.run shadow))
+          per_input
+        @ List.map (fun v -> (Fault.Policy_conflict, v)) conv_verdicts
+      in
+      List.iter
+        (fun (cls, v) ->
+          let faults, digests =
+            verdicts_to_results ~self:node ~now ~input ~checker_class:cls [ v ]
+          in
+          all_faults := faults @ !all_faults;
+          all_digests := digests @ !all_digests)
+        verdicts)
+    inputs;
+  ( Fault.dedupe (List.rev !all_faults),
+    List.rev !all_digests,
+    result,
+    !shadow_runs,
+    Unix.gettimeofday () -. t0 )
+
+let explore_node ?(params = default_params) ~build ~cut ~gt ~node () =
+  let t_start = Netsim.Engine.now build.Topology.Build.engine in
+  (* Step 1: consistent snapshot. *)
+  let snapshot = take_snapshot ~build ~cut ~node in
+  let span =
+    Netsim.Time.diff snapshot.Snapshot.Cut.completed_at snapshot.Snapshot.Cut.started_at
+  in
+  ignore t_start;
+  let cfg = (Topology.Build.speaker build node).Bgp.Speaker.sp_config () in
+  let peers =
+    List.filteri (fun i _ -> i < params.peers_per_node) cfg.Bgp.Config.neighbors
+  in
+  let merged =
+    List.map
+      (fun (n : Bgp.Config.neighbor) ->
+        explore_peer ~params ~build ~gt ~snapshot ~node ~peer_addr:n.Bgp.Config.addr)
+      peers
+  in
+  let faults = List.concat_map (fun (f, _, _, _, _) -> f) merged in
+  let digests = List.concat_map (fun (_, d, _, _, _) -> d) merged in
+  let inputs =
+    List.fold_left (fun acc (_, _, r, _, _) -> acc + r.Concolic.Engine.inputs_executed) 0 merged
+  in
+  let paths =
+    List.fold_left (fun acc (_, _, r, _, _) -> acc + r.Concolic.Engine.distinct_paths) 0 merged
+  in
+  let crashes =
+    List.fold_left
+      (fun acc (_, _, r, _, _) -> acc + List.length r.Concolic.Engine.crashes)
+      0 merged
+  in
+  let shadows = List.fold_left (fun acc (_, _, _, s, _) -> acc + s) 0 merged in
+  let wall = List.fold_left (fun acc (_, _, _, _, w) -> acc +. w) 0. merged in
+  { x_node = node;
+    x_snapshot = snapshot;
+    x_faults = Fault.dedupe faults;
+    x_digests = digests;
+    x_inputs = inputs;
+    x_shadow_runs = shadows;
+    x_distinct_paths = paths;
+    x_crashes = crashes;
+    x_snapshot_span = span;
+    x_wall_seconds = wall }
+
+let pp_exploration ppf x =
+  Format.fprintf ppf
+    "@[<v>node %d: %d inputs, %d paths, %d shadow runs, %d crashes, snapshot %dus, %.2fs wall@ "
+    x.x_node x.x_inputs x.x_distinct_paths x.x_shadow_runs x.x_crashes
+    x.x_snapshot_span x.x_wall_seconds;
+  List.iter (fun f -> Format.fprintf ppf "  %a@ " Fault.pp f) x.x_faults;
+  Format.fprintf ppf "@]"

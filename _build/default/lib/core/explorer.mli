@@ -1,0 +1,47 @@
+(** Per-node exploration: the core DiCE loop of Figure 2.
+
+    1. trigger a consistent snapshot from the explorer node;
+    2. derive inputs by concolic execution of the node's instrumented
+       handler (plus grammar-based fuzzing);
+    3. subject an isolated clone of the snapshot to each input and
+       observe system-wide consequences through the property checkers;
+    4. aggregate remote verdicts only as privacy-preserving digests. *)
+
+type params = {
+  limits : Concolic.Engine.limits;
+  fuzz_extra : int;  (** grammar-fuzzed inputs on top of concolic ones *)
+  peers_per_node : int;  (** explore the first k sessions of the node *)
+  shadow_budget : int;  (** event budget per shadow run *)
+  check_convergence : bool;
+}
+
+val default_params : params
+
+type exploration = {
+  x_node : int;
+  x_snapshot : Snapshot.Cut.snapshot;
+  x_faults : Fault.t list;  (** deduplicated *)
+  x_digests : Privacy.digest list;  (** remote check results *)
+  x_inputs : int;  (** concolic executions of the instrumented handler *)
+  x_shadow_runs : int;  (** clones subjected to inputs *)
+  x_distinct_paths : int;
+  x_crashes : int;
+  x_snapshot_span : Netsim.Time.span;  (** sim time to collect the cut *)
+  x_wall_seconds : float;  (** host time spent exploring *)
+}
+
+val take_snapshot :
+  build:Topology.Build.t -> cut:Snapshot.Cut.t -> node:int -> Snapshot.Cut.snapshot
+(** Initiate from [node] and drive the live engine until the cut
+    completes. *)
+
+val explore_node :
+  ?params:params ->
+  build:Topology.Build.t ->
+  cut:Snapshot.Cut.t ->
+  gt:Checks.ground_truth ->
+  node:int ->
+  unit ->
+  exploration
+
+val pp_exploration : Format.formatter -> exploration -> unit

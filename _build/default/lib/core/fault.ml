@@ -1,0 +1,37 @@
+type fault_class = Operator_mistake | Policy_conflict | Programming_error
+
+let class_to_string = function
+  | Operator_mistake -> "operator-mistake"
+  | Policy_conflict -> "policy-conflict"
+  | Programming_error -> "programming-error"
+
+type t = {
+  f_class : fault_class;
+  f_property : string;
+  f_node : int;
+  f_detail : string;
+  f_input : Concolic.Ctx.input option;
+  f_detected_at : Netsim.Time.t;
+}
+
+let make ?input ~at ~node ~property f_class detail =
+  { f_class; f_property = property; f_node = node; f_detail = detail;
+    f_input = input; f_detected_at = at }
+
+let same_root a b =
+  a.f_class = b.f_class && String.equal a.f_property b.f_property
+  && a.f_node = b.f_node
+
+let dedupe faults =
+  List.fold_left
+    (fun acc f -> if List.exists (same_root f) acc then acc else f :: acc)
+    [] faults
+  |> List.rev
+
+let pp ppf t =
+  Format.fprintf ppf "[%a] %s %s at node %d: %s%s" Netsim.Time.pp t.f_detected_at
+    (class_to_string t.f_class) t.f_property t.f_node t.f_detail
+    (match t.f_input with
+    | Some [] -> " (input: defaults)"
+    | Some i -> " (input: " ^ Concolic.Ctx.input_to_string i ^ ")"
+    | None -> " (baseline state)")

@@ -1,0 +1,34 @@
+(** Fault reports — what DiCE detects.
+
+    The three classes are the paper's: operator mistakes
+    (misconfiguration), policy conflicts across domains, and
+    programming errors in the implementation. *)
+
+type fault_class = Operator_mistake | Policy_conflict | Programming_error
+
+val class_to_string : fault_class -> string
+
+type t = {
+  f_class : fault_class;
+  f_property : string;  (** property whose violation was detected *)
+  f_node : int;  (** node at which the violation manifests *)
+  f_detail : string;
+  f_input : Concolic.Ctx.input option;  (** triggering explored input *)
+  f_detected_at : Netsim.Time.t;  (** simulated time of detection *)
+}
+
+val make :
+  ?input:Concolic.Ctx.input ->
+  at:Netsim.Time.t ->
+  node:int ->
+  property:string ->
+  fault_class ->
+  string ->
+  t
+
+val same_root : t -> t -> bool
+(** Same class, property and node — used to deduplicate reports across
+    explored inputs. *)
+
+val dedupe : t list -> t list
+val pp : Format.formatter -> t -> unit

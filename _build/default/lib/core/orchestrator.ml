@@ -1,0 +1,100 @@
+type round = {
+  rd_index : int;
+  rd_started_at : Netsim.Time.t;
+  rd_exploration : Explorer.exploration;
+}
+
+type summary = {
+  rounds : round list;
+  faults : Fault.t list;
+  first_detection : (Fault.fault_class * Netsim.Time.t * int) list;
+  total_inputs : int;
+  total_shadow_runs : int;
+  total_wall_seconds : float;
+}
+
+let summarize rounds =
+  let faults =
+    Fault.dedupe
+      (List.concat_map (fun r -> r.rd_exploration.Explorer.x_faults) rounds)
+  in
+  let first_detection =
+    List.fold_left
+      (fun acc r ->
+        List.fold_left
+          (fun acc (f : Fault.t) ->
+            if List.mem_assoc f.Fault.f_class acc then acc
+            else (f.Fault.f_class, (f.Fault.f_detected_at, r.rd_index + 1)) :: acc)
+          acc r.rd_exploration.Explorer.x_faults)
+      [] rounds
+    |> List.map (fun (c, (t, n)) -> (c, t, n))
+  in
+  { rounds;
+    faults;
+    first_detection;
+    total_inputs =
+      List.fold_left (fun a r -> a + r.rd_exploration.Explorer.x_inputs) 0 rounds;
+    total_shadow_runs =
+      List.fold_left (fun a r -> a + r.rd_exploration.Explorer.x_shadow_runs) 0 rounds;
+    total_wall_seconds =
+      List.fold_left (fun a r -> a +. r.rd_exploration.Explorer.x_wall_seconds) 0. rounds }
+
+let make_cut build =
+  Snapshot.Cut.create
+    ~speakers:(fun id -> Topology.Build.speaker build id)
+    build.Topology.Build.net
+
+let one_round ~params ~build ~cut ~gt ~interval ~index node =
+  let started_at = Netsim.Engine.now build.Topology.Build.engine in
+  let exploration = Explorer.explore_node ?params ~build ~cut ~gt ~node () in
+  (* Let the live system make progress before the next explorer. *)
+  Topology.Build.run_for build interval;
+  { rd_index = index; rd_started_at = started_at; rd_exploration = exploration }
+
+let run ?params ?(interval = Netsim.Time.span_sec 5.) ?nodes ~build ~gt ~rounds () =
+  let all_nodes =
+    match nodes with
+    | Some l -> l
+    | None -> Topology.Graph.node_ids build.Topology.Build.graph
+  in
+  let cut = make_cut build in
+  let n = List.length all_nodes in
+  let result =
+    List.init rounds (fun i ->
+        one_round ~params ~build ~cut ~gt ~interval ~index:i
+          (List.nth all_nodes (i mod n)))
+  in
+  summarize result
+
+let run_until_detection ?params ?(interval = Netsim.Time.span_sec 5.) ?nodes
+    ?max_rounds ~build ~gt ~expect () =
+  let all_nodes =
+    match nodes with
+    | Some l -> l
+    | None -> Topology.Graph.node_ids build.Topology.Build.graph
+  in
+  let cut = make_cut build in
+  let n = List.length all_nodes in
+  let max_rounds = Option.value max_rounds ~default:(2 * n) in
+  let rec go i acc =
+    if i >= max_rounds then (summarize (List.rev acc), None)
+    else begin
+      let round =
+        one_round ~params ~build ~cut ~gt ~interval ~index:i (List.nth all_nodes (i mod n))
+      in
+      let hit =
+        List.exists
+          (fun (f : Fault.t) -> f.Fault.f_class = expect)
+          round.rd_exploration.Explorer.x_faults
+      in
+      if hit then (summarize (List.rev (round :: acc)), Some round)
+      else go (i + 1) (round :: acc)
+    end
+  in
+  go 0 []
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>%d rounds, %d inputs, %d shadow runs, %.2fs wall@ "
+    (List.length s.rounds) s.total_inputs s.total_shadow_runs s.total_wall_seconds;
+  List.iter (fun f -> Format.fprintf ppf "%a@ " Fault.pp f) s.faults;
+  Format.fprintf ppf "@]"

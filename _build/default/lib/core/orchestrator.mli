@@ -1,0 +1,51 @@
+(** Continuous exploration alongside the live system.
+
+    Round-robin over explorer nodes: each round takes a snapshot,
+    explores it in isolation, then lets the live system run for the
+    configured interval before the next node starts.  This is the
+    "operates alongside the deployed system but in isolation from it"
+    loop of the paper. *)
+
+type round = {
+  rd_index : int;
+  rd_started_at : Netsim.Time.t;
+  rd_exploration : Explorer.exploration;
+}
+
+type summary = {
+  rounds : round list;
+  faults : Fault.t list;  (** deduplicated across rounds *)
+  first_detection : (Fault.fault_class * Netsim.Time.t * int) list;
+      (** per detected class: simulated detection time and rounds used *)
+  total_inputs : int;
+  total_shadow_runs : int;
+  total_wall_seconds : float;
+}
+
+val run :
+  ?params:Explorer.params ->
+  ?interval:Netsim.Time.span ->
+  ?nodes:int list ->
+  build:Topology.Build.t ->
+  gt:Checks.ground_truth ->
+  rounds:int ->
+  unit ->
+  summary
+(** [nodes] defaults to every node of the deployment; [interval]
+    (default 5 s simulated) separates successive snapshots. *)
+
+val run_until_detection :
+  ?params:Explorer.params ->
+  ?interval:Netsim.Time.span ->
+  ?nodes:int list ->
+  ?max_rounds:int ->
+  build:Topology.Build.t ->
+  gt:Checks.ground_truth ->
+  expect:Fault.fault_class ->
+  unit ->
+  summary * round option
+(** Stop at the first round whose exploration reports a fault of class
+    [expect]; [None] if [max_rounds] (default: 2 passes over the node
+    list) were exhausted. *)
+
+val pp_summary : Format.formatter -> summary -> unit

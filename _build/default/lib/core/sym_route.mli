@@ -1,0 +1,39 @@
+(** Symbolic route descriptor.
+
+    The abstraction of an incoming UPDATE that the instrumented
+    handlers compute on: each field is a concolic value.  Multi-valued
+    attributes are abstracted — the AS path is represented by its
+    length, end points and a contains-own-AS flag; the community list
+    by a selector into a per-node universe of interesting communities.
+    This mirrors what the paper marks symbolic in BIRD: NLRI netmask
+    lengths and the (type, length, value) triples of path attributes. *)
+
+type t = {
+  sr_withdraw : Concolic.Cval.t;  (** 0 = announcement, 1 = withdrawal *)
+  sr_prefix_a : Concolic.Cval.t;  (** first octet of the NLRI *)
+  sr_prefix_b : Concolic.Cval.t;  (** second octet *)
+  sr_prefix_c : Concolic.Cval.t;  (** third octet *)
+  sr_prefix_len : Concolic.Cval.t;  (** netmask length, 0..32 *)
+  sr_origin : Concolic.Cval.t;  (** ORIGIN code; 3 encodes "malformed" *)
+  sr_path_len : Concolic.Cval.t;
+  sr_origin_as : Concolic.Cval.t;
+  sr_neighbor_as : Concolic.Cval.t;
+  sr_contains_self : Concolic.Cval.t;  (** 0/1: AS path contains our AS *)
+  sr_med : Concolic.Cval.t;
+  sr_local_pref : Concolic.Cval.t;  (** effective (default applied) *)
+  sr_community : Concolic.Cval.t;  (** index into the universe; 0 = none *)
+  sr_malform : Concolic.Cval.t;  (** 0 ok / 1 bad origin byte / 2 bad attr length *)
+}
+
+val field_specs : asn_lo:int -> asn_hi:int -> universe_size:int -> (string * int * int * int) list
+(** (name, lo, hi, default) for every symbolic input field; defaults
+    describe a benign, well-formed announcement. *)
+
+val read : Concolic.Ctx.t -> asn_lo:int -> asn_hi:int -> universe_size:int -> t
+(** Declare all fields in [ctx] and assemble the descriptor. *)
+
+(** The community universe for a node: index 0 means "no community". *)
+val universe : Bgp.Config.t -> Bgp.Router.bugs -> Bgp.Community.t list
+
+val community_index : Bgp.Community.t list -> Bgp.Community.t -> int option
+(** 1-based index into the universe. *)

@@ -1,0 +1,1 @@
+lib/netsim/engine.ml: Pqueue Rng Time

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Engine Hashtbl Int Link List Printf Rng Time Trace

@@ -1,0 +1,1 @@
+lib/netsim/time.ml: Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Array Format List String Time

@@ -1,0 +1,73 @@
+type state = Pending | Cancelled | Fired
+
+type timer = { mutable state : state; action : unit -> unit; live : int ref }
+
+type t = {
+  mutable clock : Time.t;
+  queue : timer Pqueue.t;
+  root_rng : Rng.t;
+  live : int ref;
+  mutable stopping : bool;
+}
+
+let create ?(seed = 0x51CE) () =
+  { clock = Time.zero; queue = Pqueue.create (); root_rng = Rng.create seed;
+    live = ref 0; stopping = false }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let at t when_ f =
+  let when_ = if Time.(when_ < t.clock) then t.clock else when_ in
+  let timer = { state = Pending; action = f; live = t.live } in
+  Pqueue.push t.queue ~prio:(Time.to_us when_) timer;
+  incr t.live;
+  timer
+
+let schedule t ~after f = at t (Time.add t.clock (max 0 after)) f
+
+let cancel = function
+  | { state = Pending; _ } as timer ->
+      timer.state <- Cancelled;
+      decr timer.live
+  | { state = Cancelled | Fired; _ } -> ()
+
+let is_cancelled timer = timer.state = Cancelled
+
+let pending t = !(t.live)
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (prio, timer) -> (
+      match timer.state with
+      | Cancelled | Fired -> true
+      | Pending ->
+          timer.state <- Fired;
+          decr t.live;
+          t.clock <- Time.of_us prio;
+          timer.action ();
+          true)
+
+let run ?until ?max_events t =
+  t.stopping <- false;
+  let fired = ref 0 in
+  let continue () =
+    (not t.stopping)
+    && (match max_events with Some m -> !fired < m | None -> true)
+    &&
+    match (Pqueue.peek_prio t.queue, until) with
+    | None, _ -> false
+    | Some p, Some u -> p <= Time.to_us u
+    | Some _, None -> true
+  in
+  while continue () do
+    if step t then incr fired
+  done;
+  (* When bounded by [until], advance the clock to the horizon so repeated
+     bounded runs observe monotonic time. *)
+  match until with
+  | Some u when Time.(t.clock < u) && not t.stopping -> t.clock <- u
+  | Some _ | None -> ()
+
+let stop t = t.stopping <- true

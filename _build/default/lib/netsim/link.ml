@@ -1,0 +1,28 @@
+type t = {
+  latency : Time.span;
+  jitter : Time.span;
+  loss : float;
+  retransmit : Time.span;
+}
+
+let make ?(jitter = 0) ?(loss = 0.) ?(retransmit = Time.span_ms 300) latency =
+  if latency < 0 || jitter < 0 || retransmit < 0 then
+    invalid_arg "Link.make: negative delay";
+  if loss < 0. || loss >= 1. then invalid_arg "Link.make: loss must be in [0,1)";
+  { latency; jitter; loss; retransmit }
+
+let ideal = make (Time.span_ms 1)
+
+let delay t rng =
+  let base = t.latency + (if t.jitter > 0 then Rng.int rng (t.jitter + 1) else 0) in
+  (* Each lost transmission costs one retransmit timeout; bound the number
+     of retries so a pathological RNG stream cannot stall the channel. *)
+  let rec retries n acc =
+    if n >= 8 || t.loss <= 0. then acc
+    else if Rng.chance rng t.loss then retries (n + 1) (acc + t.retransmit)
+    else acc
+  in
+  base + retries 0 0
+
+let pp ppf t =
+  Format.fprintf ppf "link(lat=%dus jit=%dus loss=%.2f)" t.latency t.jitter t.loss

@@ -1,0 +1,23 @@
+(** Directed link model: propagation latency, jitter and loss.
+
+    Channels are reliable and FIFO (the systems we simulate run over
+    TCP): a "lost" transmission is modelled as one or more retransmit
+    timeouts added to the delivery delay, never as an actual drop. *)
+
+type t = {
+  latency : Time.span;  (** base one-way propagation delay *)
+  jitter : Time.span;  (** uniform extra delay in [\[0, jitter\]] *)
+  loss : float;  (** per-transmission loss probability, in [\[0, 1)] *)
+  retransmit : Time.span;  (** delay added per lost transmission *)
+}
+
+val make : ?jitter:Time.span -> ?loss:float -> ?retransmit:Time.span -> Time.span -> t
+(** [make latency] — defaults: no jitter, no loss, 300 ms retransmit. *)
+
+val ideal : t
+(** 1 ms, no jitter, no loss. *)
+
+val delay : t -> Rng.t -> Time.span
+(** Sample a delivery delay (includes simulated retransmissions). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type control = Marker of { snapshot : int; initiator : int }
+
+type 'msg envelope = Data of 'msg | Control of control
+
+type 'msg channel = {
+  link : Link.t;
+  chan_rng : Rng.t;
+  mutable last_delivery : Time.t;  (* FIFO floor for the next delivery *)
+}
+
+type 'msg node = { mutable handler : src:int -> 'msg -> unit }
+
+type 'msg t = {
+  eng : Engine.t;
+  tr : Trace.t option;
+  node_tbl : (int, 'msg node) Hashtbl.t;
+  chan_tbl : (int * int, 'msg channel) Hashtbl.t;
+  net_rng : Rng.t;
+  mutable control_handler : self:int -> src:int -> control -> unit;
+  mutable tap : (dst:int -> src:int -> 'msg -> unit) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable flying : int;
+}
+
+let create ?trace eng =
+  {
+    eng;
+    tr = trace;
+    node_tbl = Hashtbl.create 64;
+    chan_tbl = Hashtbl.create 256;
+    net_rng = Rng.split (Engine.rng eng);
+    control_handler = (fun ~self:_ ~src:_ _ -> ());
+    tap = None;
+    sent = 0;
+    delivered = 0;
+    flying = 0;
+  }
+
+let engine t = t.eng
+let trace t = t.tr
+
+let add_node t id handler =
+  if Hashtbl.mem t.node_tbl id then
+    invalid_arg (Printf.sprintf "Network.add_node: node %d exists" id);
+  Hashtbl.add t.node_tbl id { handler }
+
+let set_handler t id handler =
+  match Hashtbl.find_opt t.node_tbl id with
+  | Some n -> n.handler <- handler
+  | None -> invalid_arg (Printf.sprintf "Network.set_handler: no node %d" id)
+
+let connect t a b link =
+  if not (Hashtbl.mem t.node_tbl a) then
+    invalid_arg (Printf.sprintf "Network.connect: no node %d" a);
+  if not (Hashtbl.mem t.node_tbl b) then
+    invalid_arg (Printf.sprintf "Network.connect: no node %d" b);
+  if Hashtbl.mem t.chan_tbl (a, b) then
+    invalid_arg (Printf.sprintf "Network.connect: channel %d->%d exists" a b);
+  Hashtbl.add t.chan_tbl (a, b)
+    { link; chan_rng = Rng.split t.net_rng; last_delivery = Time.zero }
+
+let connect_sym t a b link =
+  connect t a b link;
+  connect t b a link
+
+let emit t ~node ~kind detail =
+  match t.tr with
+  | Some tr -> Trace.emit tr ~at:(Engine.now t.eng) ~node ~kind detail
+  | None -> ()
+
+let deliver t ~src ~dst env =
+  t.flying <- t.flying - 1;
+  match env with
+  | Control c -> t.control_handler ~self:dst ~src c
+  | Data m -> (
+      t.delivered <- t.delivered + 1;
+      (match t.tap with Some f -> f ~dst ~src m | None -> ());
+      emit t ~node:dst ~kind:"deliver" (Printf.sprintf "from %d" src);
+      match Hashtbl.find_opt t.node_tbl dst with
+      | Some n -> n.handler ~src m
+      | None -> ())
+
+let transmit t ~src ~dst env =
+  match Hashtbl.find_opt t.chan_tbl (src, dst) with
+  | None -> invalid_arg (Printf.sprintf "Network.send: no channel %d->%d" src dst)
+  | Some ch ->
+      let now = Engine.now t.eng in
+      let arrival = Time.add now (Link.delay ch.link ch.chan_rng) in
+      (* Clamp to the previous delivery instant to preserve FIFO order. *)
+      let arrival =
+        if Time.(arrival < ch.last_delivery) then ch.last_delivery else arrival
+      in
+      ch.last_delivery <- arrival;
+      t.flying <- t.flying + 1;
+      ignore (Engine.at t.eng arrival (fun () -> deliver t ~src ~dst env))
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  emit t ~node:src ~kind:"send" (Printf.sprintf "to %d" dst);
+  transmit t ~src ~dst (Data msg)
+
+let send_control t ~src ~dst c = transmit t ~src ~dst (Control c)
+
+let set_control_handler t f = t.control_handler <- f
+let set_delivery_tap t tap = t.tap <- tap
+
+let nodes t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.node_tbl [] |> List.sort Int.compare
+
+let has_node t id = Hashtbl.mem t.node_tbl id
+
+let neighbors_out t id =
+  Hashtbl.fold (fun (a, b) _ acc -> if a = id then b :: acc else acc) t.chan_tbl []
+  |> List.sort Int.compare
+
+let neighbors_in t id =
+  Hashtbl.fold (fun (a, b) _ acc -> if b = id then a :: acc else acc) t.chan_tbl []
+  |> List.sort Int.compare
+
+let channels t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.chan_tbl [] |> List.sort compare
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let in_flight t = t.flying

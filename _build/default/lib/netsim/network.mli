@@ -1,0 +1,54 @@
+(** Message-passing network over the event engine.
+
+    Nodes are integers; channels are directed, reliable and FIFO.  The
+    network is polymorphic in the application message type.
+
+    Two hooks exist for the snapshot subsystem:
+    - control messages ([Marker]) travel on the same FIFO channels as
+      data but are delivered to the control handler instead of the node;
+    - a delivery tap observes every data message just before it reaches
+      its destination handler (used to record in-flight messages). *)
+
+type control = Marker of { snapshot : int; initiator : int }
+
+type 'msg t
+
+val create : ?trace:Trace.t -> Engine.t -> 'msg t
+val engine : 'msg t -> Engine.t
+val trace : 'msg t -> Trace.t option
+
+val add_node : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** @raise Invalid_argument if the node already exists. *)
+
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Replace an existing node's message handler. *)
+
+val connect : 'msg t -> int -> int -> Link.t -> unit
+(** [connect t a b link] creates the directed channel [a -> b].
+    @raise Invalid_argument if either endpoint is unknown or the channel
+    exists. *)
+
+val connect_sym : 'msg t -> int -> int -> Link.t -> unit
+(** Both directions with the same link model. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** @raise Invalid_argument if the channel does not exist. *)
+
+val send_control : 'msg t -> src:int -> dst:int -> control -> unit
+
+val set_control_handler : 'msg t -> (self:int -> src:int -> control -> unit) -> unit
+val set_delivery_tap : 'msg t -> (dst:int -> src:int -> 'msg -> unit) option -> unit
+
+val nodes : 'msg t -> int list
+(** Sorted. *)
+
+val has_node : 'msg t -> int -> bool
+val neighbors_out : 'msg t -> int -> int list
+val neighbors_in : 'msg t -> int -> int list
+val channels : 'msg t -> (int * int) list
+
+val messages_sent : 'msg t -> int
+(** Data messages ever submitted to [send]. *)
+
+val messages_delivered : 'msg t -> int
+val in_flight : 'msg t -> int

@@ -1,0 +1,51 @@
+type 'a node = { prio : int; seq : int; value : 'a; mutable children : 'a node list }
+
+type 'a t = {
+  mutable root : 'a node option;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { root = None; size = 0; next_seq = 0 }
+let is_empty t = t.root = None
+let length t = t.size
+
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let meld a b =
+  if before a b then begin
+    a.children <- b :: a.children;
+    a
+  end
+  else begin
+    b.children <- a :: b.children;
+    b
+  end
+
+(* Two-pass pairing: meld adjacent pairs left-to-right, then fold right-to-left. *)
+let rec merge_pairs = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld a b in
+      match merge_pairs rest with None -> Some ab | Some r -> Some (meld ab r))
+
+let push t ~prio value =
+  let node = { prio; seq = t.next_seq; value; children = [] } in
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  t.root <- (match t.root with None -> Some node | Some r -> Some (meld node r))
+
+let pop t =
+  match t.root with
+  | None -> None
+  | Some r ->
+      t.root <- merge_pairs r.children;
+      t.size <- t.size - 1;
+      Some (r.prio, r.value)
+
+let peek_prio t = match t.root with None -> None | Some r -> Some r.prio
+
+let clear t =
+  t.root <- None;
+  t.size <- 0

@@ -1,0 +1,20 @@
+(** Imperative priority queue keyed by [(priority, sequence)].
+
+    A pairing heap.  Entries with equal priority dequeue in insertion
+    order (stability), which keeps the discrete-event engine
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> prio:int -> 'a -> unit
+(** Lower [prio] dequeues first. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the minimum entry as [(prio, value)]. *)
+
+val peek_prio : 'a t -> int option
+val clear : 'a t -> unit

@@ -1,0 +1,69 @@
+type dist = { mutable samples : float list; mutable n : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  dists : (string, dist) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; dists = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr t name = Stdlib.incr (counter t name)
+let add t name n = counter t name := !(counter t name) + n
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let dist t name =
+  match Hashtbl.find_opt t.dists name with
+  | Some d -> d
+  | None ->
+      let d = { samples = []; n = 0 } in
+      Hashtbl.add t.dists name d;
+      d
+
+let observe t name v =
+  let d = dist t name in
+  d.samples <- v :: d.samples;
+  d.n <- d.n + 1
+
+let count t name = match Hashtbl.find_opt t.dists name with Some d -> d.n | None -> 0
+
+let with_samples t name f =
+  match Hashtbl.find_opt t.dists name with
+  | Some d when d.n > 0 -> f d.samples
+  | Some _ | None -> nan
+
+let mean t name =
+  with_samples t name (fun s -> List.fold_left ( +. ) 0. s /. float_of_int (List.length s))
+
+let min_value t name = with_samples t name (fun s -> List.fold_left min infinity s)
+let max_value t name = with_samples t name (fun s -> List.fold_left max neg_infinity s)
+
+let percentile t name p =
+  with_samples t name (fun s ->
+      let a = Array.of_list s in
+      Array.sort compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1))))
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src =
+  Hashtbl.iter (fun k r -> add dst k !r) src.counters;
+  Hashtbl.iter (fun k d -> List.iter (observe dst k) (List.rev d.samples)) src.dists
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.dists
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%s=%d@ " k v) (counters t)

@@ -1,0 +1,28 @@
+(** Counters and simple distributions for experiment reporting. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 for a counter never touched. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample of the named distribution. *)
+
+val count : t -> string -> int
+val mean : t -> string -> float
+val min_value : t -> string -> float
+val max_value : t -> string -> float
+val percentile : t -> string -> float -> float
+(** [percentile t name 0.99]; nearest-rank on the recorded samples.
+    Distribution queries return [nan] when no sample was recorded. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val merge_into : dst:t -> t -> unit
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type record = { at : Time.t; node : int; kind : string; detail : string }
+
+type t = {
+  capacity : int;
+  ring : record option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; count = 0 }
+
+let emit t ~at ~node ~kind detail =
+  t.ring.(t.next) <- Some { at; node; kind; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.count <- t.count + 1
+
+let length t = min t.count t.capacity
+let total t = t.count
+
+let to_list t =
+  let n = length t in
+  let start = if t.count <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some r -> r
+      | None -> assert false)
+
+let find t ~kind = List.filter (fun r -> String.equal r.kind kind) (to_list t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] node=%d %s: %s" Time.pp r.at r.node r.kind r.detail

@@ -1,0 +1,29 @@
+(** Structured event trace.
+
+    A bounded ring of timestamped records, shared by the simulator and
+    the systems built on it.  Used by tests to assert on event ordering
+    and by the demo to display activity. *)
+
+type record = {
+  at : Time.t;
+  node : int;  (** -1 when not attributable to a node *)
+  kind : string;
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val emit : t -> at:Time.t -> node:int -> kind:string -> string -> unit
+val to_list : t -> record list
+(** Oldest first. *)
+
+val length : t -> int
+(** Number of records currently retained. *)
+
+val total : t -> int
+(** Number of records ever emitted (including evicted ones). *)
+
+val find : t -> kind:string -> record list
+val clear : t -> unit
+val pp_record : Format.formatter -> record -> unit

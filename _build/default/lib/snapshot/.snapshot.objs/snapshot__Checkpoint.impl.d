@@ -1,0 +1,1 @@
+lib/snapshot/checkpoint.ml: Bgp Format Lazy Netsim

@@ -1,0 +1,1 @@
+lib/snapshot/checkpoint.mli: Bgp Format Netsim

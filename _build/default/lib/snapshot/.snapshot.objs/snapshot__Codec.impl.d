@@ -1,0 +1,1 @@
+lib/snapshot/codec.ml: Bgp Buffer Char Format List Printf String

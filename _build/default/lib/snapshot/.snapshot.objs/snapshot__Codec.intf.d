@@ -1,0 +1,1 @@
+lib/snapshot/codec.mli: Bgp Netsim

@@ -1,0 +1,1 @@
+lib/snapshot/cut.ml: Bgp Checkpoint Hashtbl Int List Netsim

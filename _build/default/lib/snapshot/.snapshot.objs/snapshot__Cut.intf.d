@@ -1,0 +1,1 @@
+lib/snapshot/cut.mli: Bgp Checkpoint Netsim

@@ -1,0 +1,1 @@
+lib/snapshot/store.ml: Bgp Buffer Checkpoint Cut Digest Hashtbl List Netsim Printf

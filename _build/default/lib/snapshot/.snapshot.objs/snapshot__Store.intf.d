@@ -1,0 +1,1 @@
+lib/snapshot/store.mli: Bgp Cut Netsim

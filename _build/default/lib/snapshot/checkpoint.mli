@@ -1,0 +1,28 @@
+(** Lightweight per-node checkpoints.
+
+    A checkpoint is an immutable image of one speaker's routing state
+    plus its configuration, taken through the implementation-agnostic
+    {!Bgp.Speaker} interface.  Both shipped implementations build their
+    state from persistent data structures, so [take] is O(1): it copies
+    pointers, not RIBs. *)
+
+type t = {
+  node : int;
+  taken_at : Netsim.Time.t;
+  image : Bgp.Speaker.capture;
+}
+
+val take : at:Netsim.Time.t -> Bgp.Speaker.t -> t
+
+val respawn :
+  t -> net:string Netsim.Network.t -> bugs:Bgp.Router.bugs -> Bgp.Speaker.t
+(** Recreate the speaker (same implementation, captured state) on an
+    isolated network. *)
+
+val route_count : t -> int
+(** Loc-RIB + Adj-RIB-In entries — the "state size" metric used by the
+    overhead experiments. *)
+
+val impl : t -> string
+val config : t -> Bgp.Config.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,192 @@
+let hex_of_string s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  if String.length h mod 2 <> 0 then failwith "odd hex length";
+  String.init (String.length h / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+(* One route = one single-prefix UPDATE on the wire. *)
+let encode_route prefix (attrs : Bgp.Attr.t) =
+  hex_of_string
+    (Bgp.Wire.encode
+       (Bgp.Msg.Update { withdrawn = []; attrs = Some attrs; nlri = [ prefix ] }))
+
+let decode_route hexed =
+  match Bgp.Wire.decode (string_of_hex hexed) with
+  | Ok (Bgp.Msg.Update { attrs = Some attrs; nlri = [ prefix ]; _ }) -> (prefix, attrs)
+  | Ok _ -> failwith "checkpoint route record is not a single-prefix update"
+  | Error e -> failwith (Format.asprintf "bad route record: %a" Bgp.Wire.pp_error e)
+
+let encode_source (s : Bgp.Rib.source) =
+  Printf.sprintf "%s %d %s %d %d"
+    (Bgp.Ipv4.to_string s.Bgp.Rib.peer_addr)
+    s.Bgp.Rib.peer_as
+    (Bgp.Ipv4.to_string s.Bgp.Rib.peer_bgp_id)
+    (if s.Bgp.Rib.ebgp then 1 else 0)
+    s.Bgp.Rib.igp_metric
+
+let decode_source addr asn bgp_id ebgp metric =
+  { Bgp.Rib.peer_addr = Bgp.Ipv4.of_string_exn addr;
+    peer_as = int_of_string asn;
+    peer_bgp_id = Bgp.Ipv4.of_string_exn bgp_id;
+    ebgp = ebgp = "1";
+    igp_metric = int_of_string metric }
+
+let export (sp : Bgp.Speaker.t) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let rib = sp.Bgp.Speaker.sp_rib () in
+  let config_text = Bgp.Config.to_text (sp.Bgp.Speaker.sp_config ()) in
+  line "dice-checkpoint v1";
+  line "node %d" sp.Bgp.Speaker.sp_node;
+  line "impl %s" sp.Bgp.Speaker.sp_impl;
+  line "config %d" (String.length config_text);
+  Buffer.add_string b config_text;
+  line "established %s"
+    (String.concat " " (List.map Bgp.Ipv4.to_string (sp.Bgp.Speaker.sp_established ())));
+  Bgp.Ipv4.Map.iter
+    (fun peer pm ->
+      Bgp.Prefix.Map.iter
+        (fun prefix (r : Bgp.Rib.route) ->
+          line "adj-in %s %s %s" (Bgp.Ipv4.to_string peer)
+            (encode_source r.Bgp.Rib.source)
+            (encode_route prefix r.Bgp.Rib.attrs))
+        pm)
+    rib.Bgp.Rib.adj_in;
+  Bgp.Prefix.Map.iter
+    (fun prefix (r : Bgp.Rib.route) ->
+      line "loc %s %s" (encode_source r.Bgp.Rib.source) (encode_route prefix r.Bgp.Rib.attrs))
+    rib.Bgp.Rib.loc;
+  Bgp.Ipv4.Map.iter
+    (fun peer pm ->
+      Bgp.Prefix.Map.iter
+        (fun prefix attrs ->
+          line "adj-out %s %s" (Bgp.Ipv4.to_string peer) (encode_route prefix attrs))
+        pm)
+    rib.Bgp.Rib.adj_out;
+  line "end";
+  Buffer.contents b
+
+type parsed = {
+  p_node : int;
+  p_impl : string;
+  p_config : Bgp.Config.t;
+  p_established : Bgp.Ipv4.t list;
+  p_rib : Bgp.Rib.t;
+}
+
+let parse text =
+  (* The config block is length-delimited raw text; parse around it. *)
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let len = String.length text in
+  let pos = ref 0 in
+  let next_line () =
+    if !pos >= len then fail "unexpected end of checkpoint";
+    let stop = match String.index_from_opt text !pos '\n' with Some i -> i | None -> len in
+    let l = String.sub text !pos (stop - !pos) in
+    pos := stop + 1;
+    l
+  in
+  let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
+  (match next_line () with
+  | "dice-checkpoint v1" -> ()
+  | other -> fail "bad header %S" other);
+  let node =
+    match words (next_line ()) with
+    | [ "node"; n ] -> int_of_string n
+    | _ -> fail "expected node line"
+  in
+  let impl =
+    match words (next_line ()) with
+    | [ "impl"; name ] -> name
+    | _ -> fail "expected impl line"
+  in
+  let config =
+    match words (next_line ()) with
+    | [ "config"; n ] ->
+        let n = int_of_string n in
+        if !pos + n > len then fail "truncated config block";
+        let raw = String.sub text !pos n in
+        pos := !pos + n;
+        (match Bgp.Config.parse raw with
+        | Ok cfg -> cfg
+        | Error e -> fail "embedded config: %s" (Format.asprintf "%a" Bgp.Config.pp_parse_error e))
+    | _ -> fail "expected config line"
+  in
+  let established =
+    match words (next_line ()) with
+    | "established" :: addrs -> List.map Bgp.Ipv4.of_string_exn addrs
+    | _ -> fail "expected established line"
+  in
+  let rib = ref Bgp.Rib.empty in
+  let rec records () =
+    match words (next_line ()) with
+    | [ "end" ] -> ()
+    | [ "adj-in"; peer; a; asn; bid; ebgp; metric; route ] ->
+        let prefix, attrs = decode_route route in
+        rib :=
+          Bgp.Rib.adj_in_set (Bgp.Ipv4.of_string_exn peer) prefix
+            { Bgp.Rib.attrs; source = decode_source a asn bid ebgp metric }
+            !rib;
+        records ()
+    | [ "loc"; a; asn; bid; ebgp; metric; route ] ->
+        let prefix, attrs = decode_route route in
+        rib :=
+          Bgp.Rib.loc_set prefix
+            { Bgp.Rib.attrs; source = decode_source a asn bid ebgp metric }
+            !rib;
+        records ()
+    | [ "adj-out"; peer; route ] ->
+        let prefix, attrs = decode_route route in
+        rib := Bgp.Rib.adj_out_set (Bgp.Ipv4.of_string_exn peer) prefix attrs !rib;
+        records ()
+    | l -> fail "cannot parse record: %s" (String.concat " " l)
+  in
+  records ();
+  { p_node = node; p_impl = impl; p_config = config; p_established = established;
+    p_rib = !rib }
+
+let import ?impl ~net text =
+  match parse text with
+  | exception Failure msg -> Error msg
+  | p -> (
+      let impl_name =
+        match impl with
+        | Some `Bird_like -> "bird-like"
+        | Some `Sparrow -> "sparrow"
+        | None -> p.p_impl
+      in
+      match impl_name with
+      | "sparrow" ->
+          let s =
+            Bgp.Sparrow.create ~liveness_timers:false ~net ~node:p.p_node p.p_config
+          in
+          Bgp.Sparrow.restore_view s ~rib:p.p_rib ~established:p.p_established;
+          Ok (Bgp.Sparrow.speaker s)
+      | _ ->
+          let r =
+            Bgp.Router.create ~auto_restart:false ~liveness_timers:false ~net
+              ~node:p.p_node p.p_config
+          in
+          let sessions =
+            List.fold_left
+              (fun acc peer ->
+                Bgp.Ipv4.Map.add peer
+                  { Bgp.Fsm.state = Bgp.Fsm.Established;
+                    peer_bgp_id = Some peer;
+                    negotiated_hold = p.p_config.Bgp.Config.hold_time }
+                  acc)
+              Bgp.Ipv4.Map.empty p.p_established
+          in
+          Bgp.Router.restore r { Bgp.Router.rib = p.p_rib; sessions };
+          Ok (Bgp.Speaker.of_router r))
+
+let route_entries text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         String.length l > 4
+         && (String.sub l 0 4 = "adj-" || String.sub l 0 4 = "loc "))
+  |> List.length

@@ -1,0 +1,27 @@
+(** Checkpoint serialization.
+
+    Renders a speaker's checkpoint (configuration + routing state +
+    session set) to a self-contained byte string and reconstructs a
+    live speaker from it.  Route entries reuse the RFC 4271 wire
+    encoding — the one format every implementation already understands
+    — so a checkpoint exported by one implementation can be imported as
+    another (the importing domain instantiates its own code, which is
+    exactly the heterogeneous/federated transfer story).
+
+    The textual envelope is versioned ([dice-checkpoint v1]). *)
+
+val export : Bgp.Speaker.t -> string
+
+val import :
+  ?impl:[ `Bird_like | `Sparrow ] ->
+  net:string Netsim.Network.t ->
+  string ->
+  (Bgp.Speaker.t, string) result
+(** Rebuild a speaker on [net] (its node id must exist there).  The
+    routing state is restored exactly; sessions listed as established
+    come back established.  [impl] overrides the implementation to
+    instantiate (default: whatever the checkpoint recorded, falling
+    back to the reference implementation for unknown names). *)
+
+val route_entries : string -> int
+(** Number of route records in a serialized checkpoint (diagnostics). *)

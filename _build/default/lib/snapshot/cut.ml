@@ -1,0 +1,141 @@
+type channel_record = { ch_from : int; ch_to : int; ch_messages : string list }
+
+type snapshot = {
+  snap_id : int;
+  initiator : int;
+  started_at : Netsim.Time.t;
+  completed_at : Netsim.Time.t;
+  checkpoints : (int * Checkpoint.t) list;
+  channels : channel_record list;
+  control_messages : int;
+}
+
+let in_flight_total snapshot =
+  List.fold_left (fun acc c -> acc + List.length c.ch_messages) 0 snapshot.channels
+
+type chan_status = Recording of string list ref | Closed of string list
+
+type active_snap = {
+  a_id : int;
+  a_initiator : int;
+  a_started : Netsim.Time.t;
+  a_checkpoints : (int, Checkpoint.t) Hashtbl.t;
+  a_channels : (int * int, chan_status) Hashtbl.t;
+  a_markers_seen : (int * int, unit) Hashtbl.t;
+  mutable a_markers_sent : int;
+  a_on_complete : snapshot -> unit;
+}
+
+type t = {
+  net : string Netsim.Network.t;
+  speakers : int -> Bgp.Speaker.t;
+  active_tbl : (int, active_snap) Hashtbl.t;
+  mutable done_list : snapshot list;
+  mutable next_id : int;
+}
+
+let now t = Netsim.Engine.now (Netsim.Network.engine t.net)
+
+let total_channels t = List.length (Netsim.Network.channels t.net)
+
+let finish t a =
+  let checkpoints =
+    Hashtbl.fold (fun node cp acc -> (node, cp) :: acc) a.a_checkpoints []
+    |> List.sort (fun (x, _) (y, _) -> Int.compare x y)
+  in
+  let channels =
+    Hashtbl.fold
+      (fun (f, d) status acc ->
+        let msgs = match status with Recording r -> List.rev !r | Closed m -> m in
+        { ch_from = f; ch_to = d; ch_messages = msgs } :: acc)
+      a.a_channels []
+    |> List.sort compare
+  in
+  let snap =
+    { snap_id = a.a_id;
+      initiator = a.a_initiator;
+      started_at = a.a_started;
+      completed_at = now t;
+      checkpoints;
+      channels;
+      control_messages = a.a_markers_sent }
+  in
+  Hashtbl.remove t.active_tbl a.a_id;
+  t.done_list <- snap :: t.done_list;
+  a.a_on_complete snap
+
+(* First involvement of [node] in snapshot [a]: checkpoint it, start
+   recording every incoming channel, and flood markers downstream.
+   [closed_from] is the incoming channel whose marker triggered this
+   (recorded empty per the algorithm); [None] at the initiator. *)
+let engage t a node ~closed_from =
+  Hashtbl.replace a.a_checkpoints node (Checkpoint.take ~at:(now t) (t.speakers node));
+  List.iter
+    (fun src ->
+      let key = (src, node) in
+      match closed_from with
+      | Some c when c = src -> Hashtbl.replace a.a_channels key (Closed [])
+      | Some _ | None -> Hashtbl.replace a.a_channels key (Recording (ref [])))
+    (Netsim.Network.neighbors_in t.net node);
+  List.iter
+    (fun dst ->
+      a.a_markers_sent <- a.a_markers_sent + 1;
+      Netsim.Network.send_control t.net ~src:node ~dst
+        (Netsim.Network.Marker { snapshot = a.a_id; initiator = a.a_initiator }))
+    (Netsim.Network.neighbors_out t.net node)
+
+let check_done t a =
+  if Hashtbl.length a.a_markers_seen = total_channels t then finish t a
+
+let on_marker t ~self ~src ~snapshot ~initiator =
+  match Hashtbl.find_opt t.active_tbl snapshot with
+  | None -> () (* marker of an already-finished snapshot: stale, ignore *)
+  | Some a ->
+      if Hashtbl.mem a.a_markers_seen (src, self) then ()
+      else begin
+        Hashtbl.replace a.a_markers_seen (src, self) ();
+        (if not (Hashtbl.mem a.a_checkpoints self) then
+           engage t a self ~closed_from:(Some src)
+         else
+           match Hashtbl.find_opt a.a_channels (src, self) with
+           | Some (Recording r) ->
+               Hashtbl.replace a.a_channels (src, self) (Closed (List.rev !r))
+           | Some (Closed _) | None -> ());
+        ignore initiator;
+        check_done t a
+      end
+
+let on_delivery t ~dst ~src msg =
+  Hashtbl.iter
+    (fun _ a ->
+      match Hashtbl.find_opt a.a_channels (src, dst) with
+      | Some (Recording r) -> r := msg :: !r
+      | Some (Closed _) | None -> ())
+    t.active_tbl
+
+let create ~speakers net =
+  let t =
+    { net; speakers; active_tbl = Hashtbl.create 4; done_list = []; next_id = 0 }
+  in
+  Netsim.Network.set_control_handler net (fun ~self ~src control ->
+      match control with
+      | Netsim.Network.Marker { snapshot; initiator } ->
+          on_marker t ~self ~src ~snapshot ~initiator);
+  Netsim.Network.set_delivery_tap net (Some (fun ~dst ~src msg -> on_delivery t ~dst ~src msg));
+  t
+
+let initiate t ~initiator ~on_complete =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let a =
+    { a_id = id; a_initiator = initiator; a_started = now t;
+      a_checkpoints = Hashtbl.create 32; a_channels = Hashtbl.create 64;
+      a_markers_seen = Hashtbl.create 64; a_markers_sent = 0;
+      a_on_complete = on_complete }
+  in
+  Hashtbl.replace t.active_tbl id a;
+  engage t a initiator ~closed_from:None;
+  id
+
+let active t = Hashtbl.length t.active_tbl
+let completed t = List.rev t.done_list

@@ -1,0 +1,44 @@
+(** Consistent global snapshots via the Chandy–Lamport marker
+    algorithm, run over the live simulation's FIFO channels.
+
+    On initiation the initiator checkpoints itself and floods markers;
+    every node checkpoints on its first marker and records each
+    incoming channel until that channel's marker arrives.  The result
+    is a causally consistent cut including in-flight messages — the
+    "consistent shadow snapshot of local node checkpoints" of the
+    paper's Figure 2 (step 2). *)
+
+type channel_record = {
+  ch_from : int;
+  ch_to : int;
+  ch_messages : string list;  (** in arrival order *)
+}
+
+type snapshot = {
+  snap_id : int;
+  initiator : int;
+  started_at : Netsim.Time.t;
+  completed_at : Netsim.Time.t;
+  checkpoints : (int * Checkpoint.t) list;  (** sorted by node *)
+  channels : channel_record list;
+  control_messages : int;  (** markers sent — the overhead metric *)
+}
+
+val in_flight_total : snapshot -> int
+
+type t
+(** The snapshot controller: owns the network's control handler and
+    delivery tap.  Create exactly one per network. *)
+
+val create : speakers:(int -> Bgp.Speaker.t) -> string Netsim.Network.t -> t
+
+val initiate : t -> initiator:int -> on_complete:(snapshot -> unit) -> int
+(** Starts the marker algorithm from [initiator]; returns the snapshot
+    id.  [on_complete] fires (via the event engine) once every channel
+    has been closed by its marker.  Multiple snapshots may be in flight
+    concurrently. *)
+
+val active : t -> int
+(** Number of snapshots still collecting. *)
+
+val completed : t -> snapshot list

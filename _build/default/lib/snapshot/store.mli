@@ -1,0 +1,40 @@
+(** Shadow clones: isolated re-instantiations of a consistent snapshot.
+
+    A shadow owns a fresh event engine and network — nothing it does
+    can reach the live system (Figure 2, steps 3-5: "explore input k
+    over cloned snapshot k").  Cloning is cheap because checkpoints are
+    persistent values; the expensive parts (fresh speaker shells,
+    re-delivery of in-flight messages) are proportional to topology
+    size, not RIB size.  Each node is respawned with its original
+    implementation, so heterogeneous deployments clone
+    heterogeneously. *)
+
+type shadow = {
+  sh_engine : Netsim.Engine.t;
+  sh_net : string Netsim.Network.t;
+  sh_speakers : (int * Bgp.Speaker.t) list;  (** sorted by node id *)
+  sh_from : int;  (** snapshot id this shadow was cloned from *)
+}
+
+val spawn :
+  ?bugs_of:(int -> Bgp.Router.bugs) ->
+  ?deliver_in_flight:bool ->
+  Cut.snapshot ->
+  shadow
+(** Rebuilds every checkpointed node with its captured configuration
+    and state on an isolated network (ideal links), then re-injects the
+    snapshot's in-flight channel messages ([deliver_in_flight]
+    defaults to [true]). *)
+
+val speaker : shadow -> int -> Bgp.Speaker.t
+val run : shadow -> Netsim.Time.span -> unit
+(** Advance the shadow's virtual time. *)
+
+val run_to_quiescence : ?max_events:int -> shadow -> bool
+(** Run until the shadow's queue drains ([true]) or the event budget is
+    hit ([false]).  Shadow speakers have no liveness timers, so
+    quiescence is reachable. *)
+
+val loc_rib_fingerprint : shadow -> int
+(** Hash of every speaker's Loc-RIB — used by isolation and oscillation
+    checks. *)

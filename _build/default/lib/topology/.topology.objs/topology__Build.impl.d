@@ -1,0 +1,1 @@
+lib/topology/build.ml: Bgp Gao_rexford Generate Graph List Netsim Printf

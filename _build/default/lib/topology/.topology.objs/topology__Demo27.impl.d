@@ -1,0 +1,1 @@
+lib/topology/demo27.ml: Graph List

@@ -1,0 +1,1 @@
+lib/topology/gadget.ml: Graph

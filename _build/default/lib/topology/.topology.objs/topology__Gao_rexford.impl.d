@@ -1,0 +1,1 @@
+lib/topology/gao_rexford.ml: Bgp Graph List Option

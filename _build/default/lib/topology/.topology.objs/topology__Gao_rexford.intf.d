@@ -1,0 +1,1 @@
+lib/topology/gao_rexford.mli: Bgp Graph

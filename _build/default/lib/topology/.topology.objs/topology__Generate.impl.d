@@ -1,0 +1,1 @@
+lib/topology/generate.ml: Graph List Netsim

@@ -1,0 +1,1 @@
+lib/topology/render.ml: Buffer Gao_rexford Graph List Printf String

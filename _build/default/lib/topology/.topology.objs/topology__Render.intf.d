@@ -1,0 +1,1 @@
+lib/topology/render.mli: Graph

@@ -1,0 +1,1 @@
+lib/topology/topo_file.ml: Buffer Format Graph List Printf String

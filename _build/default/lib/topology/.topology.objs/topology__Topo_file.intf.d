@@ -1,0 +1,1 @@
+lib/topology/topo_file.mli: Format Graph

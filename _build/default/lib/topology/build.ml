@@ -1,0 +1,95 @@
+type t = {
+  graph : Graph.t;
+  engine : Netsim.Engine.t;
+  net : string Netsim.Network.t;
+  speakers : (int * Bgp.Speaker.t) list;
+  trace : Netsim.Trace.t;
+}
+
+let deploy ?(seed = 42) ?(config_of = Gao_rexford.config_of)
+    ?(bugs_of = fun _ -> Bgp.Router.no_bugs) ?(links_of = Generate.link_model)
+    ?(sparrow_nodes = []) graph =
+  let engine = Netsim.Engine.create ~seed () in
+  let trace = Netsim.Trace.create () in
+  let net = Netsim.Network.create ~trace engine in
+  let link_rng = Netsim.Rng.split (Netsim.Engine.rng engine) in
+  List.iter
+    (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ()))
+    (Graph.node_ids graph);
+  List.iter
+    (fun (e : Graph.edge) ->
+      Netsim.Network.connect_sym net e.a e.b (links_of link_rng graph e.a e.b))
+    graph.Graph.edges;
+  let speakers =
+    List.map
+      (fun id ->
+        let cfg = config_of graph id in
+        let sp =
+          if List.mem id sparrow_nodes then
+            Bgp.Sparrow.speaker (Bgp.Sparrow.create ~bugs:(bugs_of id) ~net ~node:id cfg)
+          else
+            Bgp.Speaker.of_router
+              (Bgp.Router.create ~bugs:(bugs_of id) ~net ~node:id cfg)
+        in
+        (id, sp))
+      (Graph.node_ids graph)
+  in
+  { graph; engine; net; speakers; trace }
+
+let speaker t id =
+  match List.assoc_opt id t.speakers with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Build.speaker: unknown node %d" id)
+
+let start_all t = List.iter (fun (_, sp) -> sp.Bgp.Speaker.sp_start ()) t.speakers
+
+let run_for t span =
+  Netsim.Engine.run ~until:(Netsim.Time.add (Netsim.Engine.now t.engine) span) t.engine
+
+let loc_rib_snapshot t =
+  List.map
+    (fun (id, sp) ->
+      let entries =
+        Bgp.Prefix.Map.fold
+          (fun p (route : Bgp.Rib.route) acc ->
+            let via =
+              if Bgp.Rib.is_local route then -1
+              else Bgp.Router.node_of_addr route.Bgp.Rib.source.Bgp.Rib.peer_addr
+            in
+            (p, via) :: acc)
+          (Bgp.Speaker.loc_rib sp) []
+      in
+      (id, List.rev entries))
+    t.speakers
+
+let total_updates_sent t =
+  List.fold_left
+    (fun acc (_, sp) -> acc + Netsim.Stats.get (sp.Bgp.Speaker.sp_stats ()) "tx_update")
+    0 t.speakers
+
+(* Quiescence = selections stable over a whole window AND no UPDATE
+   traffic during it; comparing snapshots alone can alias when an
+   oscillation's period lines up with the window. *)
+let converge ?(window = Netsim.Time.span_sec 30.) ?(timeout = Netsim.Time.span_sec 600.) t =
+  let deadline = Netsim.Time.add (Netsim.Engine.now t.engine) timeout in
+  let rec go previous sent_before =
+    if Netsim.Time.(deadline <= Netsim.Engine.now t.engine) then false
+    else begin
+      run_for t window;
+      let current = loc_rib_snapshot t in
+      let sent_now = total_updates_sent t in
+      if current = previous && sent_now = sent_before then true
+      else go current sent_now
+    end
+  in
+  go (loc_rib_snapshot t) (total_updates_sent t)
+
+let total_loc_routes t =
+  List.fold_left
+    (fun acc (_, sp) -> acc + Bgp.Prefix.Map.cardinal (Bgp.Speaker.loc_rib sp))
+    0 t.speakers
+
+let established_sessions t =
+  List.fold_left
+    (fun acc (_, sp) -> acc + List.length (sp.Bgp.Speaker.sp_established ()))
+    0 t.speakers

@@ -1,0 +1,46 @@
+(** Deploy a topology into a running simulation: one network node and
+    one BGP speaker per AS, links with Internet-like characteristics,
+    Gao–Rexford configurations.
+
+    Deployments may be heterogeneous: by default every node runs the
+    reference ("bird-like") implementation; [sparrow_nodes] selects
+    nodes that run {!Bgp.Sparrow} instead. *)
+
+type t = {
+  graph : Graph.t;
+  engine : Netsim.Engine.t;
+  net : string Netsim.Network.t;
+  speakers : (int * Bgp.Speaker.t) list;  (** sorted by node id *)
+  trace : Netsim.Trace.t;
+}
+
+val deploy :
+  ?seed:int ->
+  ?config_of:(Graph.t -> int -> Bgp.Config.t) ->
+  ?bugs_of:(int -> Bgp.Router.bugs) ->
+  ?links_of:(Netsim.Rng.t -> Graph.t -> int -> int -> Netsim.Link.t) ->
+  ?sparrow_nodes:int list ->
+  Graph.t ->
+  t
+(** Defaults: Gao–Rexford configs, no bugs, [Generate.link_model],
+    homogeneous bird-like deployment. *)
+
+val speaker : t -> int -> Bgp.Speaker.t
+val start_all : t -> unit
+
+val run_for : t -> Netsim.Time.span -> unit
+
+val converge : ?window:Netsim.Time.span -> ?timeout:Netsim.Time.span -> t -> bool
+(** Advance the simulation until every speaker's Loc-RIB is unchanged
+    and no UPDATE was sent over a whole [window] (default 30 s), or
+    [timeout] (default 600 s) of simulated time elapses.  Returns
+    whether quiescence was reached. *)
+
+val total_updates_sent : t -> int
+
+val loc_rib_snapshot : t -> (int * (Bgp.Prefix.t * int) list) list
+(** Per node: selected (prefix, next-hop AS as node id, -1 for local). *)
+
+val total_loc_routes : t -> int
+val established_sessions : t -> int
+(** Directed count, so a fully-up session between two routers counts 2. *)

@@ -1,0 +1,28 @@
+let tier1 = [ 0; 1; 2 ]
+let transit = [ 3; 4; 5; 6; 7; 8; 9; 10 ]
+let stubs = List.init 16 (fun i -> 11 + i)
+
+let cp a b = { Graph.a; b; rel = Graph.Customer_provider }
+let pp a b = { Graph.a; b; rel = Graph.Peer_peer }
+
+let graph =
+  let nodes =
+    List.map (fun id -> (id, Graph.Tier1)) tier1
+    @ List.map (fun id -> (id, Graph.Transit)) transit
+    @ List.map (fun id -> (id, Graph.Stub)) stubs
+  in
+  let edges =
+    [ (* tier-1 clique *)
+      pp 0 1; pp 0 2; pp 1 2;
+      (* transit homing: spread over the three tier-1s, two multihomed *)
+      cp 3 0; cp 4 0; cp 5 1; cp 6 1; cp 7 2; cp 8 2;
+      cp 9 0; cp 9 1;  (* multihomed transit *)
+      cp 10 1; cp 10 2;  (* multihomed transit *)
+      (* lateral transit peerings *)
+      pp 3 5; pp 4 7; pp 6 8;
+      (* stubs, two per transit in order; 13 and 20 multihomed *)
+      cp 11 3; cp 12 3; cp 13 4; cp 13 5; cp 14 4; cp 15 5; cp 16 5;
+      cp 17 6; cp 18 6; cp 19 7; cp 20 7; cp 20 8; cp 21 8; cp 22 9;
+      cp 23 9; cp 24 10; cp 25 10; cp 26 3 ]
+  in
+  Graph.make ~nodes ~edges

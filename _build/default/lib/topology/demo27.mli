@@ -1,0 +1,11 @@
+(** The fixed 27-router topology of the paper's Figure 1.
+
+    3 tier-1 ASes in a peering clique, 8 transit ASes, 16 stubs.  The
+    shape is fixed (not seed-dependent) so experiments on "the demo
+    topology" are stable across runs. *)
+
+val graph : Graph.t
+
+val tier1 : int list
+val transit : int list
+val stubs : int list

@@ -1,0 +1,27 @@
+let victim = 0
+let wheel = [ 1; 2; 3 ]
+
+let cp a b = { Graph.a; b; rel = Graph.Customer_provider }
+let pp a b = { Graph.a; b; rel = Graph.Peer_peer }
+
+let bad_gadget () =
+  Graph.make
+    ~nodes:
+      [ (0, Graph.Stub); (1, Graph.Transit); (2, Graph.Transit); (3, Graph.Transit) ]
+    ~edges:[ cp 0 1; cp 0 2; cp 0 3; pp 1 2; pp 2 3; pp 1 3 ]
+
+let embedded () =
+  Graph.make
+    ~nodes:
+      [ (0, Graph.Stub);
+        (1, Graph.Transit); (2, Graph.Transit); (3, Graph.Transit);
+        (4, Graph.Tier1); (5, Graph.Tier1);
+        (6, Graph.Stub); (7, Graph.Stub); (8, Graph.Stub);
+        (9, Graph.Stub); (10, Graph.Stub); (11, Graph.Stub) ]
+    ~edges:
+      [ (* the gadget *)
+        cp 0 1; cp 0 2; cp 0 3; pp 1 2; pp 2 3; pp 1 3;
+        (* tier above *)
+        pp 4 5; cp 1 4; cp 2 4; cp 2 5; cp 3 5;
+        (* sibling stubs *)
+        cp 6 1; cp 7 1; cp 8 2; cp 9 2; cp 10 3; cp 11 3 ]

@@ -1,0 +1,21 @@
+(** Canonical policy-conflict topologies (Griffin's BAD GADGET family).
+
+    A dispute wheel needs every wheel member to own a customer path to
+    the victim; none of the random topologies guarantee that, so the
+    policy-conflict experiments run on these. *)
+
+val victim : int
+(** Node 0: the destination everyone routes to. *)
+
+val wheel : int list
+(** Nodes 1..3: pairwise peers, each a provider of the victim. *)
+
+val bad_gadget : unit -> Graph.t
+(** 4 nodes: the victim multihomed to three pairwise-peering
+    providers.  With Gao–Rexford policies alone this converges; with
+    {!Dice.Inject.Policy_dispute} applied over [wheel] it oscillates
+    forever. *)
+
+val embedded : unit -> Graph.t
+(** The gadget embedded in a larger Internet-like graph (the wheel
+    members gain their own providers and sibling stubs) — 12 nodes. *)

@@ -1,0 +1,125 @@
+let asn_of_node id =
+  if id < 0 || id > 64000 then invalid_arg "Gao_rexford.asn_of_node: out of range";
+  1000 + id
+
+let node_of_asn asn = asn - 1000
+
+let prefix_of_node id =
+  if id < 0 || id > 0xFFFF then invalid_arg "Gao_rexford.prefix_of_node: out of range";
+  Bgp.Prefix.make (Bgp.Ipv4.of_octets 192 (id lsr 8) (id land 0xFF) 0) 24
+
+let community_customer = Bgp.Community.make 65000 100
+let community_peer = Bgp.Community.make 65000 200
+let community_provider = Bgp.Community.make 65000 300
+
+let local_pref_customer = 200
+let local_pref_peer = 150
+let local_pref_provider = 100
+
+let import_map_name = function
+  | Graph.Customer -> "FROM-CUSTOMER"
+  | Graph.Peer -> "FROM-PEER"
+  | Graph.Provider -> "FROM-PROVIDER"
+
+let export_map_name = function
+  | Graph.Customer -> "TO-CUSTOMER"
+  | Graph.Peer -> "TO-PEER"
+  | Graph.Provider -> "TO-PROVIDER"
+
+(* Standard ingress hygiene: drop martian space and bogus netmasks
+   before anything else.  Entries 1-4 of every import map. *)
+let martian_filter =
+  let p = Bgp.Prefix.of_string_exn in
+  let deny seq rule =
+    Bgp.Policy.entry seq Bgp.Policy.Deny ~matches:[ Bgp.Policy.Match_prefix [ rule ] ]
+  in
+  [ deny 1 (Bgp.Policy.prefix_rule ~ge:0 ~le:7 (p "0.0.0.0/0"));   (* bogus short masks *)
+    deny 2 (Bgp.Policy.prefix_rule ~ge:25 ~le:32 (p "0.0.0.0/0")); (* too specific *)
+    deny 3 (Bgp.Policy.prefix_rule ~le:32 (p "127.0.0.0/8"));      (* loopback *)
+    deny 4 (Bgp.Policy.prefix_rule ~ge:4 ~le:32 (p "240.0.0.0/4")); (* class E *)
+    deny 5 (Bgp.Policy.prefix_rule ~le:32 (p "0.0.0.0/8"))         (* current network *) ]
+
+(* Tag with the relationship community (clearing any inbound tag so a
+   malicious or misconfigured neighbor cannot spoof "customer") and set
+   the Gao-Rexford local preference. *)
+let import_map role =
+  let community, pref =
+    match role with
+    | Graph.Customer -> (community_customer, local_pref_customer)
+    | Graph.Peer -> (community_peer, local_pref_peer)
+    | Graph.Provider -> (community_provider, local_pref_provider)
+  in
+  martian_filter
+  @ [ Bgp.Policy.entry 10 Bgp.Policy.Permit
+        ~sets:
+          [ Bgp.Policy.Del_community community_customer;
+            Bgp.Policy.Del_community community_peer;
+            Bgp.Policy.Del_community community_provider;
+            Bgp.Policy.Add_community community;
+            Bgp.Policy.Set_local_pref pref ] ]
+
+(* Export: to a customer, everything; to a peer or provider, only our
+   own routes (empty AS path before export prepending) and routes
+   tagged customer-learned. *)
+let export_map role =
+  match role with
+  | Graph.Customer -> Bgp.Policy.accept_all
+  | Graph.Peer | Graph.Provider ->
+      [ Bgp.Policy.entry 10 Bgp.Policy.Permit
+          ~matches:[ Bgp.Policy.Match_as_path (Bgp.Policy.Path_length_at_most 0) ];
+        Bgp.Policy.entry 20 Bgp.Policy.Permit
+          ~matches:[ Bgp.Policy.Match_community community_customer ] ]
+
+let config_of graph id =
+  let neighbors =
+    Graph.neighbors graph id
+    |> List.filter_map (fun nb ->
+           match Graph.role_of graph ~self:id ~neighbor:nb with
+           | None -> None
+           | Some role ->
+               Some
+                 (Bgp.Config.neighbor
+                    (Bgp.Router.addr_of_node nb)
+                    ~remote_as:(asn_of_node nb)
+                    ~import_map:(import_map_name role)
+                    ~export_map:(export_map_name role)))
+  in
+  let route_maps =
+    List.concat_map
+      (fun role ->
+        [ (import_map_name role, import_map role);
+          (export_map_name role, export_map role) ])
+      [ Graph.Customer; Graph.Peer; Graph.Provider ]
+  in
+  Bgp.Config.make ~asn:(asn_of_node id)
+    ~router_id:(Bgp.Router.addr_of_node id)
+    ~networks:[ prefix_of_node id ]
+    ~neighbors ~route_maps ()
+
+(* A node path a-b-c-... is valley-free iff it climbs customer->provider
+   edges (and at most one peer edge at the apex) then descends
+   provider->customer edges. *)
+let valley_free graph path =
+  let rec steps = function
+    | a :: (b :: _ as rest) -> (
+        match Graph.role_of graph ~self:a ~neighbor:b with
+        | None -> None
+        | Some role -> Option.map (fun tl -> role :: tl) (steps rest))
+    | [ _ ] | [] -> Some []
+  in
+  match steps path with
+  | None -> false
+  | Some roles ->
+      (* Phases: Up (towards providers) -> at most one Peer -> Down. *)
+      let rec up = function
+        | Graph.Provider :: rest -> up rest
+        | rest -> peer rest
+      and peer = function
+        | Graph.Peer :: rest -> down rest
+        | rest -> down rest
+      and down = function
+        | [] -> true
+        | Graph.Customer :: rest -> down rest
+        | Graph.Provider :: _ | Graph.Peer :: _ -> false
+      in
+      up roles

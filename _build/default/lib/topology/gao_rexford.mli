@@ -1,0 +1,55 @@
+(** Gao–Rexford routing policies.
+
+    Turns a relationship-labelled topology into per-router BGP
+    configurations implementing the canonical export rules — routes
+    learned from a provider or peer are re-exported only to customers —
+    and the canonical preferences (customer > peer > provider).
+
+    Relationship tagging uses communities in the reserved [65000:*]
+    space at import; export maps match on them.  The generated
+    configurations therefore exercise the whole policy engine, which is
+    exactly the "configuration interpreter" surface DiCE instruments. *)
+
+val asn_of_node : int -> int
+(** 1000 + id (16-bit safe for topologies up to ~64k nodes). *)
+
+val node_of_asn : int -> int
+
+val prefix_of_node : int -> Bgp.Prefix.t
+(** The /24 each AS originates: 192.{id/256}.{id mod 256}.0/24. *)
+
+val community_customer : Bgp.Community.t
+(** 65000:100 — route learned from a customer. *)
+
+val community_peer : Bgp.Community.t
+(** 65000:200 *)
+
+val community_provider : Bgp.Community.t
+(** 65000:300 *)
+
+val local_pref_customer : int
+val local_pref_peer : int
+val local_pref_provider : int
+
+val martian_filter : Bgp.Policy.entry list
+(** Deny entries for martian space and bogus netmasks, prepended to
+    every generated import map (entries 1-4). *)
+
+val import_map_name : Graph.role -> string
+val export_map_name : Graph.role -> string
+
+val import_map : Graph.role -> Bgp.Policy.t
+(** Martian filter + relationship tagging + Gao-Rexford preference. *)
+
+val export_map : Graph.role -> Bgp.Policy.t
+(** To customers: everything; to peers/providers: own and
+    customer-learned routes only. *)
+
+val config_of : Graph.t -> int -> Bgp.Config.t
+(** The full configuration for one node: neighbors with role-specific
+    import/export maps, its own network statement, and the shared
+    route-map definitions. *)
+
+val valley_free : Graph.t -> int list -> bool
+(** Is the node path valley-free (and peering used at most once at the
+    top)?  Ground truth for property tests. *)

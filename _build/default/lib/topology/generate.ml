@@ -1,0 +1,79 @@
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_stub : int;
+  transit_extra_peering : float;
+  multihome : float;
+}
+
+let default_params =
+  { n_tier1 = 3; n_transit = 8; n_stub = 16; transit_extra_peering = 0.3;
+    multihome = 0.4 }
+
+let generate ?(params = default_params) rng =
+  let { n_tier1; n_transit; n_stub; transit_extra_peering; multihome } = params in
+  if n_tier1 < 1 then invalid_arg "Generate.generate: need at least one tier-1";
+  let tier1 = List.init n_tier1 (fun i -> i) in
+  let transit = List.init n_transit (fun i -> n_tier1 + i) in
+  let stub = List.init n_stub (fun i -> n_tier1 + n_transit + i) in
+  let nodes =
+    List.map (fun id -> (id, Graph.Tier1)) tier1
+    @ List.map (fun id -> (id, Graph.Transit)) transit
+    @ List.map (fun id -> (id, Graph.Stub)) stub
+  in
+  let edges = ref [] in
+  let add_edge a b rel =
+    if not (List.exists (fun (e : Graph.edge) ->
+                (e.a = a && e.b = b) || (e.a = b && e.b = a))
+              !edges)
+    then edges := { Graph.a; b; rel } :: !edges
+  in
+  (* Tier-1 clique. *)
+  List.iter
+    (fun x -> List.iter (fun y -> if x < y then add_edge x y Graph.Peer_peer) tier1)
+    tier1;
+  (* Transit ASes home to tier-1s (and sometimes each other). *)
+  List.iteri
+    (fun i id ->
+      let primary = Netsim.Rng.pick rng tier1 in
+      add_edge id primary Graph.Customer_provider;
+      if Netsim.Rng.chance rng multihome then begin
+        let second = Netsim.Rng.pick rng tier1 in
+        if second <> primary then add_edge id second Graph.Customer_provider
+      end;
+      (* Lateral peering with an earlier transit AS. *)
+      if i > 0 && Netsim.Rng.chance rng transit_extra_peering then begin
+        let other = List.nth transit (Netsim.Rng.int rng i) in
+        if other <> id then add_edge (min id other) (max id other) Graph.Peer_peer
+      end)
+    transit;
+  (* Stubs home to transit ASes (fall back to tier-1 when there is no
+     transit tier). *)
+  let providers_pool = if transit = [] then tier1 else transit in
+  List.iter
+    (fun id ->
+      let primary = Netsim.Rng.pick rng providers_pool in
+      add_edge id primary Graph.Customer_provider;
+      if Netsim.Rng.chance rng multihome then begin
+        let second = Netsim.Rng.pick rng providers_pool in
+        if second <> primary then add_edge id second Graph.Customer_provider
+      end)
+    stub;
+  Graph.make ~nodes ~edges:(List.rev !edges)
+
+let link_model rng graph a b =
+  let tier id = Graph.tier_of graph id in
+  let ms v = Netsim.Time.span_ms v in
+  match (tier a, tier b) with
+  | Graph.Tier1, Graph.Tier1 ->
+      Netsim.Link.make ~jitter:(ms 5) ~loss:0.001
+        (ms (Netsim.Rng.int_in rng 20 40))
+  | (Graph.Tier1, Graph.Transit | Graph.Transit, Graph.Tier1) ->
+      Netsim.Link.make ~jitter:(ms 4) ~loss:0.002
+        (ms (Netsim.Rng.int_in rng 10 30))
+  | Graph.Transit, Graph.Transit ->
+      Netsim.Link.make ~jitter:(ms 3) ~loss:0.002
+        (ms (Netsim.Rng.int_in rng 8 20))
+  | (Graph.Stub, _ | _, Graph.Stub) ->
+      Netsim.Link.make ~jitter:(ms 2) ~loss:0.005
+        (ms (Netsim.Rng.int_in rng 3 15))

@@ -1,0 +1,24 @@
+(** Random tiered Internet-like topology generation.
+
+    Tier-1 ASes form a full peering clique; transit ASes buy from 1-3
+    providers above them and may peer laterally; stubs buy from 1-2
+    transit providers.  All generation is driven by a splittable RNG,
+    so a seed fully determines the topology. *)
+
+type params = {
+  n_tier1 : int;
+  n_transit : int;
+  n_stub : int;
+  transit_extra_peering : float;  (** probability of a lateral transit peering *)
+  multihome : float;  (** probability a stub/transit adds a second provider *)
+}
+
+val default_params : params
+
+val generate : ?params:params -> Netsim.Rng.t -> Graph.t
+(** Always connected (every non-tier-1 node has at least one provider,
+    every tier-1 peers with every other tier-1). *)
+
+val link_model : Netsim.Rng.t -> Graph.t -> int -> int -> Netsim.Link.t
+(** Internet-like link characteristics by tier: long fat tier-1 pipes,
+    shorter edge links, a little jitter and loss everywhere. *)

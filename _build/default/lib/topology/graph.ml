@@ -1,0 +1,109 @@
+type rel = Customer_provider | Peer_peer
+
+type edge = { a : int; b : int; rel : rel }
+
+type tier = Tier1 | Transit | Stub
+
+type t = { nodes : (int * tier) list; edges : edge list }
+
+let tier_to_string = function
+  | Tier1 -> "tier1"
+  | Transit -> "transit"
+  | Stub -> "stub"
+
+let make ~nodes ~edges =
+  let nodes = List.sort (fun (a, _) (b, _) -> Int.compare a b) nodes in
+  let ids = List.map fst nodes in
+  let id_set = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem id_set id then
+        invalid_arg (Printf.sprintf "Graph.make: duplicate node %d" id);
+      Hashtbl.add id_set id ())
+    ids;
+  let pair_seen = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if e.a = e.b then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" e.a);
+      if not (Hashtbl.mem id_set e.a) then
+        invalid_arg (Printf.sprintf "Graph.make: unknown node %d" e.a);
+      if not (Hashtbl.mem id_set e.b) then
+        invalid_arg (Printf.sprintf "Graph.make: unknown node %d" e.b);
+      let key = (min e.a e.b, max e.a e.b) in
+      if Hashtbl.mem pair_seen key then
+        invalid_arg (Printf.sprintf "Graph.make: duplicate edge %d-%d" e.a e.b);
+      Hashtbl.add pair_seen key ())
+    edges;
+  { nodes; edges }
+
+let size t = List.length t.nodes
+let node_ids t = List.map fst t.nodes
+
+let tier_of t id =
+  match List.assoc_opt id t.nodes with
+  | Some tier -> tier
+  | None -> invalid_arg (Printf.sprintf "Graph.tier_of: unknown node %d" id)
+
+let providers_of t id =
+  List.filter_map
+    (fun e ->
+      match e.rel with
+      | Customer_provider when e.a = id -> Some e.b
+      | Customer_provider | Peer_peer -> None)
+    t.edges
+
+let customers_of t id =
+  List.filter_map
+    (fun e ->
+      match e.rel with
+      | Customer_provider when e.b = id -> Some e.a
+      | Customer_provider | Peer_peer -> None)
+    t.edges
+
+let peers_of t id =
+  List.filter_map
+    (fun e ->
+      match e.rel with
+      | Peer_peer when e.a = id -> Some e.b
+      | Peer_peer when e.b = id -> Some e.a
+      | Peer_peer | Customer_provider -> None)
+    t.edges
+
+let neighbors t id =
+  List.filter_map
+    (fun e -> if e.a = id then Some e.b else if e.b = id then Some e.a else None)
+    t.edges
+  |> List.sort_uniq Int.compare
+
+let edge_between t x y =
+  List.find_opt (fun e -> (e.a = x && e.b = y) || (e.a = y && e.b = x)) t.edges
+
+type role = Customer | Provider | Peer
+
+let role_to_string = function
+  | Customer -> "customer"
+  | Provider -> "provider"
+  | Peer -> "peer"
+
+let role_of t ~self ~neighbor =
+  match edge_between t self neighbor with
+  | None -> None
+  | Some { rel = Peer_peer; _ } -> Some Peer
+  | Some { rel = Customer_provider; a; _ } ->
+      (* [a] is the customer end. *)
+      if a = self then Some Provider (* neighbor provides transit to us *)
+      else Some Customer
+
+let is_connected t =
+  match node_ids t with
+  | [] -> true
+  | first :: _ ->
+      let visited = Hashtbl.create 64 in
+      let rec dfs id =
+        if not (Hashtbl.mem visited id) then begin
+          Hashtbl.add visited id ();
+          List.iter dfs (neighbors t id)
+        end
+      in
+      dfs first;
+      Hashtbl.length visited = size t

@@ -1,0 +1,80 @@
+type annotation = { label : string; highlight : bool }
+
+let find_ann annotations id = List.assoc_opt id annotations
+
+let dot ?(annotations = []) graph =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "graph dice_topology {";
+  line "  rankdir=TB;";
+  line "  node [shape=circle fontsize=10];";
+  List.iter
+    (fun (id, tier) ->
+      let shape, color =
+        match tier with
+        | Graph.Tier1 -> ("doublecircle", "lightblue")
+        | Graph.Transit -> ("circle", "lightyellow")
+        | Graph.Stub -> ("circle", "white")
+      in
+      let ann = find_ann annotations id in
+      let extra =
+        match ann with
+        | Some a ->
+            Printf.sprintf "\\nAS%d\\n%s" (Gao_rexford.asn_of_node id) a.label
+        | None -> Printf.sprintf "\\nAS%d" (Gao_rexford.asn_of_node id)
+      in
+      let color =
+        match ann with Some { highlight = true; _ } -> "salmon" | Some _ | None -> color
+      in
+      line "  n%d [label=\"%d%s\" shape=%s style=filled fillcolor=%s];" id id extra
+        shape color)
+    graph.Graph.nodes;
+  List.iter
+    (fun (e : Graph.edge) ->
+      match e.rel with
+      | Graph.Customer_provider ->
+          (* provider drawn above customer: b -> a *)
+          line "  n%d -- n%d [style=solid];" e.b e.a
+      | Graph.Peer_peer -> line "  n%d -- n%d [style=dashed];" e.a e.b)
+    graph.Graph.edges;
+  line "}";
+  Buffer.contents b
+
+let ascii ?(annotations = []) graph =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let show_tier name tier =
+    let members =
+      List.filter (fun (_, t) -> t = tier) graph.Graph.nodes |> List.map fst
+    in
+    if members <> [] then begin
+      line "%s:" name;
+      List.iter
+        (fun id ->
+          let up = Graph.providers_of graph id in
+          let down = Graph.customers_of graph id in
+          let peers = Graph.peers_of graph id in
+          let ann =
+            match find_ann annotations id with
+            | Some a -> Printf.sprintf "  <%s>%s" a.label (if a.highlight then " !" else "")
+            | None -> ""
+          in
+          line "  [%2d] AS%-5d up:%-12s peer:%-12s down:%s%s" id
+            (Gao_rexford.asn_of_node id)
+            (String.concat "," (List.map string_of_int up))
+            (String.concat "," (List.map string_of_int peers))
+            (String.concat "," (List.map string_of_int down))
+            ann)
+        members
+    end
+  in
+  show_tier "Tier-1" Graph.Tier1;
+  show_tier "Transit" Graph.Transit;
+  show_tier "Stub" Graph.Stub;
+  Buffer.contents b
+
+let summary_line graph =
+  let count tier = List.length (List.filter (fun (_, t) -> t = tier) graph.Graph.nodes) in
+  Printf.sprintf "%d ASes (%d tier-1, %d transit, %d stub), %d links"
+    (Graph.size graph) (count Graph.Tier1) (count Graph.Transit) (count Graph.Stub)
+    (List.length graph.Graph.edges)

@@ -1,0 +1,18 @@
+(** Rendering of topologies — the stand-in for the paper's graphical
+    demo interface (Figure 1).
+
+    Produces Graphviz DOT (for offline rendering) and an ASCII overview
+    (for the terminal demo), both optionally annotated with per-node
+    exploration status. *)
+
+type annotation = {
+  label : string;  (** extra per-node line, e.g. "exploring 12/40" *)
+  highlight : bool;  (** faulty / currently-exploring node *)
+}
+
+val dot : ?annotations:(int * annotation) list -> Graph.t -> string
+
+val ascii : ?annotations:(int * annotation) list -> Graph.t -> string
+(** Tier-by-tier textual layout with relationship edge counts. *)
+
+val summary_line : Graph.t -> string

@@ -1,0 +1,1 @@
+test/test_attrs.ml: Alcotest Bgp Format List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Concolic Ctx Cval Engine Expr Grammar Interval List Netsim Option QCheck QCheck_alcotest Solver String

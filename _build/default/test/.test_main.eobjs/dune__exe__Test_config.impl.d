@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Bgp Format List Option Printf Result String Topology

@@ -1,0 +1,1 @@
+test/test_dice.ml: Alcotest Bgp Concolic Dice Format Lazy List Netsim Option QCheck QCheck_alcotest Result Snapshot String Topology

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Bgp List

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Bgp Concolic Dice Float List Netsim Printf QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_prefix.ml: Alcotest Bgp List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Bgp List Option Printf QCheck QCheck_alcotest String

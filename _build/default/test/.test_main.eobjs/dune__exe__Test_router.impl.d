@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Bgp Bytes List Netsim Option Printf

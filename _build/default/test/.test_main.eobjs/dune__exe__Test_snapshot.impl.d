@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Bgp List Netsim Printf Result Snapshot Topology Unix

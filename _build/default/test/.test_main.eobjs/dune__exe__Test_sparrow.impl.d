@@ -1,0 +1,1 @@
+test/test_sparrow.ml: Alcotest Bgp Bytes Dice Lazy List Netsim Printf QCheck QCheck_alcotest Snapshot String Topology

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Bgp Format List Netsim Printf QCheck QCheck_alcotest String Topology

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bgp Buffer Bytes Char Format List Printf QCheck QCheck_alcotest String

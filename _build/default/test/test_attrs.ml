@@ -1,0 +1,87 @@
+(* AS paths, communities, and path attributes. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let as_path_length () =
+  let path = [ Bgp.As_path.Seq [ 1; 2; 3 ]; Bgp.As_path.Set [ 4; 5 ] ] in
+  check Alcotest.int "set counts 1" 4 (Bgp.As_path.length path);
+  check Alcotest.int "empty" 0 (Bgp.As_path.length Bgp.As_path.empty)
+
+let as_path_prepend () =
+  let p0 = Bgp.As_path.empty in
+  let p1 = Bgp.As_path.prepend 65001 p0 in
+  let p2 = Bgp.As_path.prepend 65002 p1 in
+  check Alcotest.string "prepend merges into Seq" "65002 65001" (Bgp.As_path.to_string p2);
+  let p3 = Bgp.As_path.prepend_n 9 3 p2 in
+  check Alcotest.int "prepend_n adds n" 5 (Bgp.As_path.length p3);
+  check (Alcotest.option Alcotest.int) "neighbor" (Some 9) (Bgp.As_path.neighbor_as p3);
+  check (Alcotest.option Alcotest.int) "origin" (Some 65001) (Bgp.As_path.origin_as p3)
+
+let as_path_origin_edge_cases () =
+  check (Alcotest.option Alcotest.int) "empty has no origin" None
+    (Bgp.As_path.origin_as Bgp.As_path.empty);
+  check (Alcotest.option Alcotest.int) "trailing Set has no origin" None
+    (Bgp.As_path.origin_as [ Bgp.As_path.Seq [ 1 ]; Bgp.As_path.Set [ 2; 3 ] ])
+
+let as_path_contains =
+  QCheck.Test.make ~name:"as-path: contains agrees with as_list" ~count:300
+    QCheck.(pair (int_bound 70000) (list (int_bound 70000)))
+    (fun (needle, asns) ->
+      let path = [ Bgp.As_path.Seq asns ] in
+      Bgp.As_path.contains needle path = List.mem needle (Bgp.As_path.as_list path))
+
+let community_parse () =
+  check Alcotest.string "roundtrip" "65001:100"
+    (Bgp.Community.to_string (Bgp.Community.make 65001 100));
+  (match Bgp.Community.of_string "no-export" with
+  | Ok c -> Alcotest.(check bool) "well-known" true (Bgp.Community.equal c Bgp.Community.no_export)
+  | Error _ -> Alcotest.fail "no-export must parse");
+  Alcotest.(check bool) "rejects 70000:1" true
+    (Result.is_error (Bgp.Community.of_string "70000:1"));
+  check Alcotest.int "asn part" 65001 (Bgp.Community.asn (Bgp.Community.make 65001 7));
+  check Alcotest.int "tag part" 7 (Bgp.Community.tag (Bgp.Community.make 65001 7))
+
+let attr_communities () =
+  let nh = Bgp.Ipv4.of_string_exn "10.0.0.1" in
+  let c1 = Bgp.Community.make 1 1 and c2 = Bgp.Community.make 2 2 in
+  let a = Bgp.Attr.make ~next_hop:nh () in
+  let a = Bgp.Attr.add_community c2 (Bgp.Attr.add_community c1 a) in
+  Alcotest.(check bool) "has c1" true (Bgp.Attr.has_community c1 a);
+  let a = Bgp.Attr.add_community c1 a in
+  check Alcotest.int "no duplicates" 2 (List.length a.Bgp.Attr.communities);
+  let a = Bgp.Attr.remove_community c1 a in
+  Alcotest.(check bool) "removed" false (Bgp.Attr.has_community c1 a);
+  Alcotest.(check bool) "other kept" true (Bgp.Attr.has_community c2 a)
+
+let attr_local_pref_default () =
+  let nh = Bgp.Ipv4.of_string_exn "10.0.0.1" in
+  let a = Bgp.Attr.make ~next_hop:nh () in
+  check Alcotest.int "default 100" 100 (Bgp.Attr.effective_local_pref a);
+  check Alcotest.int "explicit" 250
+    (Bgp.Attr.effective_local_pref (Bgp.Attr.with_local_pref 250 a))
+
+let attr_origin_codes () =
+  List.iter
+    (fun (o, c) ->
+      check Alcotest.int (Bgp.Attr.origin_to_string o) c (Bgp.Attr.origin_code o);
+      check
+        (Alcotest.option
+           (Alcotest.testable
+              (fun ppf o -> Format.pp_print_string ppf (Bgp.Attr.origin_to_string o))
+              ( = )))
+        "roundtrip" (Some o)
+        (Bgp.Attr.origin_of_code c))
+    [ (Bgp.Attr.Igp, 0); (Bgp.Attr.Egp, 1); (Bgp.Attr.Incomplete, 2) ];
+  check (Alcotest.option (Alcotest.testable (fun _ _ -> ()) ( = ))) "3 invalid" None
+    (Bgp.Attr.origin_of_code 3)
+
+let suite =
+  [ ("as-path: decision length", `Quick, as_path_length);
+    ("as-path: prepend", `Quick, as_path_prepend);
+    ("as-path: origin edge cases", `Quick, as_path_origin_edge_cases);
+    qtest as_path_contains;
+    ("community: parse/print", `Quick, community_parse);
+    ("attr: community set semantics", `Quick, attr_communities);
+    ("attr: local-pref default", `Quick, attr_local_pref_default);
+    ("attr: origin codes", `Quick, attr_origin_codes) ]

@@ -1,0 +1,160 @@
+(* Configuration language: parsing, rendering, validation. *)
+
+let check = Alcotest.check
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let sample =
+  {|# DiCE sample configuration
+router bgp 65001
+router-id 10.0.0.1
+hold-time 30
+network 192.0.2.0/24
+network 198.51.100.0/24
+neighbor 10.0.0.2 remote-as 65002 import PEER-IN export PEER-OUT
+neighbor 10.0.0.3 remote-as 65003
+route-map PEER-IN
+  entry 5 deny
+    match prefix 127.0.0.0/8 le 32
+  entry 10 permit
+    match prefix 192.0.0.0/8 ge 16 le 24
+    match community 65001:100
+    set local-pref 200
+    set prepend 65001 2
+  entry 20 permit
+    match as-path originated-by 65009
+    set med 40
+    set community add no-export
+end
+route-map PEER-OUT
+  entry 10 permit
+end
+|}
+
+let parse_basics () =
+  let cfg = Bgp.Config.parse_exn sample in
+  check Alcotest.int "asn" 65001 cfg.Bgp.Config.asn;
+  check Alcotest.int "hold" 30 cfg.Bgp.Config.hold_time;
+  check Alcotest.int "networks" 2 (List.length cfg.Bgp.Config.networks);
+  check Alcotest.int "neighbors" 2 (List.length cfg.Bgp.Config.neighbors);
+  check Alcotest.int "route maps" 2 (List.length cfg.Bgp.Config.route_maps);
+  let n1 = List.hd cfg.Bgp.Config.neighbors in
+  check (Alcotest.option Alcotest.string) "import" (Some "PEER-IN") n1.Bgp.Config.import_map;
+  check (Alcotest.option Alcotest.string) "export" (Some "PEER-OUT") n1.Bgp.Config.export_map;
+  match Bgp.Config.find_route_map cfg "PEER-IN" with
+  | Some entries -> check Alcotest.int "entries" 3 (List.length entries)
+  | None -> Alcotest.fail "PEER-IN must exist"
+
+let parse_roundtrip () =
+  let cfg = Bgp.Config.parse_exn sample in
+  let text = Bgp.Config.to_text cfg in
+  let cfg2 = Bgp.Config.parse_exn text in
+  Alcotest.(check bool) "to_text/parse fixpoint" true (cfg = cfg2)
+
+let parse_policy_semantics () =
+  (* The parsed map behaves like the hand-built equivalent. *)
+  let cfg = Bgp.Config.parse_exn sample in
+  let map = Option.get (Bgp.Config.find_route_map cfg "PEER-IN") in
+  let attrs =
+    Bgp.Attr.add_community (Bgp.Community.make 65001 100)
+      (Bgp.Attr.make
+         ~as_path:[ Bgp.As_path.Seq [ 65002 ] ]
+         ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.2")
+         ())
+  in
+  (match Bgp.Policy.apply map (Bgp.Prefix.of_string_exn "192.0.2.0/24") attrs with
+  | Some a ->
+      check Alcotest.int "local-pref set" 200 (Bgp.Attr.effective_local_pref a);
+      check Alcotest.int "prepended" 3 (Bgp.As_path.length a.Bgp.Attr.as_path)
+  | None -> Alcotest.fail "entry 10 must permit");
+  (match Bgp.Policy.apply map (Bgp.Prefix.of_string_exn "127.0.0.0/8") attrs with
+  | None -> ()
+  | Some _ -> Alcotest.fail "martian must be denied");
+  match
+    Bgp.Policy.apply map (Bgp.Prefix.of_string_exn "203.0.113.0/24")
+      (Bgp.Attr.make
+         ~as_path:[ Bgp.As_path.Seq [ 65002; 65009 ] ]
+         ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.2")
+         ())
+  with
+  | Some a ->
+      check (Alcotest.option Alcotest.int) "med set" (Some 40) a.Bgp.Attr.med;
+      Alcotest.(check bool) "no-export added" true
+        (Bgp.Attr.has_community Bgp.Community.no_export a)
+  | None -> Alcotest.fail "entry 20 must permit"
+
+let error_reporting () =
+  let cases =
+    [ ("router bgp abc\nrouter-id 1.1.1.1\n", "integer");
+      ("router-id 1.1.1.1\n", "router bgp");
+      ("router bgp 1\n", "router-id");
+      ("router bgp 1\nrouter-id 1.1.1.1\nroute-map X\n  entry 10 permit\n", "end");
+      ("router bgp 1\nrouter-id 1.1.1.1\nnonsense here\n", "unexpected") ]
+  in
+  List.iter
+    (fun (text, expect_substr) ->
+      match Bgp.Config.parse text with
+      | Ok _ -> Alcotest.failf "expected error for %S" text
+      | Error e ->
+          let msg = Format.asprintf "%a" Bgp.Config.pp_parse_error e in
+          Alcotest.(check bool)
+            (Printf.sprintf "error mentions %S (got %S)" expect_substr msg)
+            true
+            (contains_substring msg expect_substr))
+    cases
+
+let validate_catches () =
+  let rid = Bgp.Ipv4.of_string_exn "10.0.0.1" in
+  let bad_ref =
+    Bgp.Config.make ~asn:1 ~router_id:rid
+      ~neighbors:[ Bgp.Config.neighbor (Bgp.Ipv4.of_string_exn "10.0.0.2") ~remote_as:2 ~import_map:"NOPE" ]
+      ()
+  in
+  (match Bgp.Config.validate bad_ref with
+  | Error [ e ] ->
+      Alcotest.(check bool) "mentions route-map" true (contains_substring e "NOPE")
+  | Error _ | Ok () -> Alcotest.fail "expected exactly one error");
+  let dup =
+    Bgp.Config.make ~asn:1 ~router_id:rid
+      ~neighbors:
+        [ Bgp.Config.neighbor (Bgp.Ipv4.of_string_exn "10.0.0.2") ~remote_as:2;
+          Bgp.Config.neighbor (Bgp.Ipv4.of_string_exn "10.0.0.2") ~remote_as:3 ]
+      ()
+  in
+  Alcotest.(check bool) "duplicate neighbor flagged" true
+    (Result.is_error (Bgp.Config.validate dup));
+  Alcotest.(check bool) "valid config passes" true
+    (Result.is_ok (Bgp.Config.validate (Bgp.Config.make ~asn:1 ~router_id:rid ())))
+
+let gao_rexford_configs_valid () =
+  (* Every generated configuration passes its own validation. *)
+  let graph = Topology.Demo27.graph in
+  List.iter
+    (fun id ->
+      let cfg = Topology.Gao_rexford.config_of graph id in
+      match Bgp.Config.validate cfg with
+      | Ok () -> ()
+      | Error errs ->
+          Alcotest.failf "node %d invalid: %s" id (String.concat "; " errs))
+    (Topology.Graph.node_ids graph)
+
+let gao_rexford_configs_roundtrip () =
+  let graph = Topology.Demo27.graph in
+  List.iter
+    (fun id ->
+      let cfg = Topology.Gao_rexford.config_of graph id in
+      let cfg2 = Bgp.Config.parse_exn (Bgp.Config.to_text cfg) in
+      if cfg <> cfg2 then Alcotest.failf "node %d config does not roundtrip" id)
+    (Topology.Graph.node_ids graph)
+
+let suite =
+  [ ("config: parse basics", `Quick, parse_basics);
+    ("config: to_text/parse roundtrip", `Quick, parse_roundtrip);
+    ("config: parsed policy semantics", `Quick, parse_policy_semantics);
+    ("config: parse error reporting", `Quick, error_reporting);
+    ("config: validation", `Quick, validate_catches);
+    ("config: generated configs validate", `Quick, gao_rexford_configs_valid);
+    ("config: generated configs roundtrip", `Quick, gao_rexford_configs_roundtrip) ]

@@ -1,0 +1,153 @@
+(* The decision process: each tie-breaker in isolation and in order. *)
+
+let check = Alcotest.check
+
+let addr s = Bgp.Ipv4.of_string_exn s
+
+let route ?(lp = None) ?(path = [ 65002 ]) ?(origin = Bgp.Attr.Igp) ?(med = None)
+    ?(ebgp = true) ?(igp_metric = 0) ?(peer = "10.0.0.2") ?(bgp_id = "10.0.0.2")
+    ?(peer_as = 65002) () =
+  { Bgp.Rib.attrs =
+      Bgp.Attr.make ~origin
+        ~as_path:(if path = [] then [] else [ Bgp.As_path.Seq path ])
+        ~med ~local_pref:lp ~next_hop:(addr peer) ();
+    source =
+      { Bgp.Rib.peer_addr = addr peer; peer_as; peer_bgp_id = addr bgp_id; ebgp;
+        igp_metric } }
+
+let cfg = Bgp.Decision.default_config
+
+let step_testable =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Bgp.Decision.step_to_string s))
+    ( = )
+
+let expect_step name a b step winner_is_a =
+  let c, s = Bgp.Decision.compare_routes cfg a b in
+  check step_testable (name ^ " step") step s;
+  Alcotest.(check bool) (name ^ " winner") winner_is_a (c < 0)
+
+let local_route_wins () =
+  let local =
+    { Bgp.Rib.attrs = Bgp.Attr.make ~next_hop:(addr "10.0.0.1") ();
+      source = Bgp.Rib.local_source }
+  in
+  (* Even a customer route with sky-high preference loses to a locally
+     originated route. *)
+  let c, s = Bgp.Decision.compare_routes cfg local (route ~lp:(Some 500) ~path:[ 1 ] ()) in
+  check step_testable "local-origin step" Bgp.Decision.Local_origin s;
+  Alcotest.(check bool) "local wins" true (c < 0)
+
+let local_pref_wins () =
+  expect_step "higher local-pref"
+    (route ~lp:(Some 200) ~path:[ 1; 2; 3 ] ())
+    (route ~lp:(Some 100) ())
+    Bgp.Decision.Local_pref true
+
+let path_length () =
+  expect_step "shorter path"
+    (route ~path:[ 1 ] ())
+    (route ~path:[ 2; 3 ] ())
+    Bgp.Decision.As_path_length true
+
+let as_set_counts_one () =
+  let a =
+    { (route ()) with
+      Bgp.Rib.attrs =
+        Bgp.Attr.make ~as_path:[ Bgp.As_path.Seq [ 1 ]; Bgp.As_path.Set [ 2; 3; 4 ] ]
+          ~next_hop:(addr "10.0.0.2") () }
+  in
+  let b = route ~path:[ 9; 8; 7 ] () in
+  (* a's length is 2 (Seq 1 + Set), b's is 3. *)
+  expect_step "set counts one" a b Bgp.Decision.As_path_length true
+
+let origin_preference () =
+  expect_step "IGP over EGP"
+    (route ~origin:Bgp.Attr.Igp ())
+    (route ~origin:Bgp.Attr.Egp ())
+    Bgp.Decision.Origin true;
+  expect_step "EGP over incomplete"
+    (route ~origin:Bgp.Attr.Egp ())
+    (route ~origin:Bgp.Attr.Incomplete ())
+    Bgp.Decision.Origin true
+
+let med_same_neighbor () =
+  expect_step "lower med, same neighbor AS"
+    (route ~path:[ 7; 1 ] ~med:(Some 10) ())
+    (route ~path:[ 7; 2 ] ~med:(Some 20) ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" ())
+    Bgp.Decision.Med true
+
+let med_ignored_across_asns () =
+  (* Different neighbor AS: MED must not decide; falls to router id. *)
+  let a = route ~path:[ 7; 1 ] ~med:(Some 99) ~bgp_id:"10.0.0.2" () in
+  let b = route ~path:[ 8; 1 ] ~med:(Some 1) ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" () in
+  let c, s = Bgp.Decision.compare_routes cfg a b in
+  check step_testable "router id decides" Bgp.Decision.Router_id s;
+  Alcotest.(check bool) "lower id wins" true (c < 0)
+
+let med_always_compare () =
+  let always = { Bgp.Decision.always_compare_med = true } in
+  let a = route ~path:[ 7; 1 ] ~med:(Some 99) () in
+  let b = route ~path:[ 8; 1 ] ~med:(Some 1) ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" () in
+  let c, s = Bgp.Decision.compare_routes always a b in
+  check step_testable "med decides" Bgp.Decision.Med s;
+  Alcotest.(check bool) "lower med wins" true (c > 0)
+
+let missing_med_is_zero () =
+  expect_step "absent MED beats 10"
+    (route ~path:[ 7; 1 ] ~med:None ())
+    (route ~path:[ 7; 2 ] ~med:(Some 10) ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" ())
+    Bgp.Decision.Med true
+
+let ebgp_over_ibgp () =
+  expect_step "eBGP wins"
+    (route ~ebgp:true ())
+    (route ~ebgp:false ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" ())
+    Bgp.Decision.Ebgp_over_ibgp true
+
+let igp_metric_breaks () =
+  expect_step "nearer next hop"
+    (route ~ebgp:false ~igp_metric:5 ())
+    (route ~ebgp:false ~igp_metric:9 ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" ())
+    Bgp.Decision.Igp_metric true
+
+let full_equality () =
+  let a = route () in
+  let c, s = Bgp.Decision.compare_routes cfg a a in
+  check step_testable "equal" Bgp.Decision.Equal s;
+  check Alcotest.int "zero" 0 c
+
+let best_picks_overall () =
+  let worst = route ~lp:(Some 50) ~path:[ 1 ] () in
+  let middle = route ~lp:(Some 100) ~path:[ 1; 2 ] ~peer:"10.0.0.3" ~bgp_id:"10.0.0.3" () in
+  let best = route ~lp:(Some 100) ~path:[ 9 ] ~peer:"10.0.0.4" ~bgp_id:"10.0.0.4" () in
+  match Bgp.Decision.best cfg [ worst; middle; best ] with
+  | Some r -> Alcotest.(check bool) "best chosen" true (r = best)
+  | None -> Alcotest.fail "non-empty"
+
+let acceptable_rejects_loops () =
+  Alcotest.(check bool) "own AS in path" false
+    (Bgp.Decision.acceptable ~local_as:65002 (route ~path:[ 7; 65002 ] ()));
+  Alcotest.(check bool) "clean path ok" true
+    (Bgp.Decision.acceptable ~local_as:65001 (route ~path:[ 7; 65002 ] ()))
+
+let acceptable_rejects_martian_next_hop () =
+  let r = route ~peer:"127.0.0.1" () in
+  Alcotest.(check bool) "martian next hop" false (Bgp.Decision.acceptable ~local_as:1 r)
+
+let suite =
+  [ ("decision: local routes win outright", `Quick, local_route_wins);
+    ("decision: local-pref first", `Quick, local_pref_wins);
+    ("decision: as-path length", `Quick, path_length);
+    ("decision: AS_SET counts one", `Quick, as_set_counts_one);
+    ("decision: origin order", `Quick, origin_preference);
+    ("decision: MED same neighbor", `Quick, med_same_neighbor);
+    ("decision: MED ignored across ASes", `Quick, med_ignored_across_asns);
+    ("decision: always-compare-med", `Quick, med_always_compare);
+    ("decision: missing MED is zero", `Quick, missing_med_is_zero);
+    ("decision: eBGP over iBGP", `Quick, ebgp_over_ibgp);
+    ("decision: IGP metric", `Quick, igp_metric_breaks);
+    ("decision: full equality", `Quick, full_equality);
+    ("decision: best over candidates", `Quick, best_picks_overall);
+    ("decision: loop rejection", `Quick, acceptable_rejects_loops);
+    ("decision: martian next hop", `Quick, acceptable_rejects_martian_next_hop) ]

@@ -1,0 +1,423 @@
+(* The DiCE core: instrumented handlers vs. concrete semantics,
+   property checkers, fault injection, exploration end-to-end. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let p = Bgp.Prefix.of_string_exn
+
+(* A small deployed Internet used by most tests here. *)
+let small_build () =
+  let params =
+    { Topology.Generate.default_params with n_tier1 = 1; n_transit = 2; n_stub = 3 }
+  in
+  let graph = Topology.Generate.generate ~params (Netsim.Rng.create 5) in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  (graph, build)
+
+let make_cut build =
+  Snapshot.Cut.create
+    ~speakers:(fun id -> Topology.Build.speaker build id)
+    build.Topology.Build.net
+
+let fast_params =
+  { Dice.Explorer.default_params with
+    Dice.Explorer.limits =
+      { Concolic.Engine.max_inputs = 24; max_branches = 32; solver_nodes = 10_000 };
+    fuzz_extra = 6;
+    shadow_budget = 15_000 }
+
+(* ------------------------------------------------------------------ *)
+(* Sym_policy agrees with the concrete policy engine                   *)
+(* ------------------------------------------------------------------ *)
+
+let arb_field_input =
+  (* Random assignments over the Sym_route field space (path length
+     >= 2 so the neighbor/origin split is faithful). *)
+  let open QCheck.Gen in
+  let gen =
+    let* nlri_a = oneofl [ 0; 10; 127; 192; 203; 240 ] in
+    let* nlri_b = int_bound 255 in
+    let* nlri_len = int_bound 32 in
+    let* origin = int_bound 2 in
+    let* path_len = int_range 2 6 in
+    let* origin_as = int_range 998 1012 in
+    let* neighbor_as = int_range 998 1012 in
+    let* contains_self = int_bound 1 in
+    let* med = int_bound 300 in
+    let* community = int_bound 6 in
+    return
+      [ ("nlri_a", nlri_a); ("nlri_b", nlri_b); ("nlri_len", nlri_len);
+        ("origin", origin); ("path_len", path_len); ("origin_as", origin_as);
+        ("neighbor_as", neighbor_as); ("contains_self", contains_self);
+        ("med", med); ("community", community) ]
+  in
+  QCheck.make ~print:Concolic.Ctx.input_to_string gen
+
+let lazy_build = lazy (small_build ())
+
+let sym_policy_matches_concrete =
+  QCheck.Test.make
+    ~name:"sym-policy: symbolic evaluation agrees with the concrete engine" ~count:300
+    arb_field_input
+    (fun input ->
+      let graph, build = Lazy.force lazy_build in
+      ignore graph;
+      let node = 1 in
+      let sp = Topology.Build.speaker build node in
+      let cfg = sp.Bgp.Speaker.sp_config () in
+      let peer = List.hd cfg.Bgp.Config.neighbors in
+      let view = Dice.Sym_handler.view_of_speaker sp ~peer:peer.Bgp.Config.addr in
+      let policy = Bgp.Config.import_policy cfg peer in
+      (* Symbolic run. *)
+      let ctx = Concolic.Ctx.create input in
+      let sr =
+        Dice.Sym_route.read ctx ~asn_lo:view.Dice.Sym_handler.sh_asn_lo
+          ~asn_hi:view.Dice.Sym_handler.sh_asn_hi
+          ~universe_size:(List.length view.Dice.Sym_handler.sh_universe)
+      in
+      let sym =
+        Dice.Sym_policy.eval ctx ~own_asn:cfg.Bgp.Config.asn
+          ~universe:view.Dice.Sym_handler.sh_universe policy sr
+      in
+      (* Concrete run over the concretized message. *)
+      let u = Dice.Sym_handler.update_of_input view input in
+      let attrs = Option.get u.Bgp.Msg.attrs in
+      let prefix = List.hd u.Bgp.Msg.nlri in
+      let conc = Bgp.Policy.apply policy prefix attrs in
+      match (sym, conc) with
+      | Dice.Sym_policy.Denied, None -> true
+      | Dice.Sym_policy.Accepted sr', Some attrs' ->
+          Concolic.Cval.to_int sr'.Dice.Sym_route.sr_local_pref
+          = Bgp.Attr.effective_local_pref attrs'
+          && Concolic.Cval.to_int sr'.Dice.Sym_route.sr_path_len
+             = Bgp.As_path.length attrs'.Bgp.Attr.as_path
+        && Concolic.Cval.to_int sr'.Dice.Sym_route.sr_med
+             = Option.value attrs'.Bgp.Attr.med ~default:0
+      | Dice.Sym_policy.Denied, Some _ | Dice.Sym_policy.Accepted _, None -> false)
+
+(* The instrumented mirror agrees with reality: its verdict about an
+   input matches what the concrete pipeline does with the concretized
+   bytes on a fresh clone. *)
+let arb_mirror_input =
+  let open QCheck.Gen in
+  let gen =
+    let* withdraw = frequency [ (5, return 0); (1, return 1) ] in
+    let* malform = frequency [ (6, return 0); (1, return 1); (1, return 2) ] in
+    let* nlri_a = oneofl [ 0; 127; 192; 203; 240 ] in
+    let* nlri_b = int_bound 255 in
+    let* nlri_len = int_bound 32 in
+    let* origin = int_bound 3 in
+    let* path_len = int_range 2 5 in
+    let* origin_as = int_range 998 1012 in
+    let* med = int_bound 300 in
+    let* community = int_bound 6 in
+    return
+      [ ("withdraw", withdraw); ("malform", malform); ("nlri_a", nlri_a);
+        ("nlri_b", nlri_b); ("nlri_len", nlri_len); ("origin", origin);
+        ("path_len", path_len); ("origin_as", origin_as);
+        ("contains_self", 0); ("med", med); ("community", community) ]
+  in
+  QCheck.make ~print:Concolic.Ctx.input_to_string gen
+
+let mirror_matches_reality =
+  QCheck.Test.make
+    ~name:"sym-handler: mirror verdicts match the concrete pipeline" ~count:250
+    arb_mirror_input
+    (fun input ->
+      let _, build = Lazy.force lazy_build in
+      let node = 1 in
+      let sp = Topology.Build.speaker build node in
+      let peer = List.hd (sp.Bgp.Speaker.sp_config ()).Bgp.Config.neighbors in
+      let peer_addr = peer.Bgp.Config.addr in
+      let view = Dice.Sym_handler.view_of_speaker sp ~peer:peer_addr in
+      (* Fill in the peer's AS so the benign path reflects real traffic. *)
+      let input = Concolic.Ctx.input_update input [ ("neighbor_as", peer.Bgp.Config.remote_as) ] in
+      let verdict = Dice.Sym_handler.run view (Concolic.Ctx.create input) in
+      let raw = Dice.Sym_handler.concretize view input in
+      let decoded = Bgp.Wire.decode raw in
+      match verdict with
+      | Dice.Sym_handler.Malformed -> Result.is_error decoded
+      | Dice.Sym_handler.Withdrawal _ -> (
+          match decoded with
+          | Ok (Bgp.Msg.Update u) -> u.Bgp.Msg.nlri = [] && u.Bgp.Msg.withdrawn <> []
+          | _ -> false)
+      | Dice.Sym_handler.Rejected_loop -> true (* excluded by the generator *)
+      | Dice.Sym_handler.Rejected_policy | Dice.Sym_handler.Accepted _ -> (
+          match decoded with
+          | Error _ -> false
+          | Ok (Bgp.Msg.Update u) -> (
+              (* Replay on a fresh clone of the live system and inspect
+                 the node's Adj-RIB-In. *)
+              let cut = make_cut build in
+              let snap = Dice.Explorer.take_snapshot ~build ~cut ~node in
+              let shadow = Snapshot.Store.spawn snap in
+              let target = Snapshot.Store.speaker shadow node in
+              target.Bgp.Speaker.sp_process_raw
+                ~from_node:(Bgp.Router.node_of_addr peer_addr) raw;
+              let prefix = List.hd u.Bgp.Msg.nlri in
+              let entry =
+                Bgp.Rib.adj_in_get peer_addr prefix (target.Bgp.Speaker.sp_rib ())
+              in
+              match verdict with
+              | Dice.Sym_handler.Rejected_policy -> entry = None
+              | Dice.Sym_handler.Accepted _ -> entry <> None
+              | _ -> false)
+          | Ok _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Sym_handler concretization                                          *)
+(* ------------------------------------------------------------------ *)
+
+let view_for_node node =
+  let _, build = Lazy.force lazy_build in
+  let sp = Topology.Build.speaker build node in
+  let peer = List.hd (sp.Bgp.Speaker.sp_config ()).Bgp.Config.neighbors in
+  Dice.Sym_handler.view_of_speaker sp ~peer:peer.Bgp.Config.addr
+
+let concretize_wellformed () =
+  let view = view_for_node 1 in
+  let raw = Dice.Sym_handler.concretize view [] in
+  match Bgp.Wire.decode raw with
+  | Ok (Bgp.Msg.Update u) ->
+      check Alcotest.int "one nlri" 1 (List.length u.Bgp.Msg.nlri);
+      Alcotest.(check bool) "attrs present" true (u.Bgp.Msg.attrs <> None)
+  | Ok m -> Alcotest.failf "expected UPDATE, got %a" Bgp.Msg.pp m
+  | Error e -> Alcotest.failf "benign input must decode: %a" Bgp.Wire.pp_error e
+
+let concretize_malformed_origin () =
+  let view = view_for_node 1 in
+  let raw = Dice.Sym_handler.concretize view [ ("malform", 1) ] in
+  match Bgp.Wire.decode raw with
+  | Error e ->
+      check Alcotest.int "invalid origin subcode" Bgp.Msg.Error.invalid_origin
+        e.Bgp.Wire.subcode
+  | Ok _ -> Alcotest.fail "malform=1 must not decode"
+
+let concretize_malformed_length () =
+  let view = view_for_node 1 in
+  let raw = Dice.Sym_handler.concretize view [ ("malform", 2) ] in
+  match Bgp.Wire.decode raw with
+  | Error e ->
+      check Alcotest.int "update-message error" Bgp.Msg.Error.update_message e.Bgp.Wire.code
+  | Ok _ -> Alcotest.fail "malform=2 must not decode"
+
+let handler_outcomes () =
+  let view = view_for_node 1 in
+  let run input =
+    Dice.Sym_handler.run view (Concolic.Ctx.create input)
+  in
+  check Alcotest.string "malformed input" "malformed"
+    (Dice.Sym_handler.outcome_to_string (run [ ("malform", 2) ]));
+  check Alcotest.string "looped path rejected" "rejected-loop"
+    (Dice.Sym_handler.outcome_to_string (run [ ("contains_self", 1) ]));
+  (* A martian announcement is rejected by the import map. *)
+  check Alcotest.string "martian rejected by policy" "rejected-policy"
+    (Dice.Sym_handler.outcome_to_string (run [ ("nlri_a", 127); ("nlri_len", 8) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Checks and ground truth                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ground_truth_subsumption () =
+  let graph, _ = Lazy.force lazy_build in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  check (Alcotest.option Alcotest.int) "owner of node 2's /24"
+    (Some (Topology.Gao_rexford.asn_of_node 2))
+    (gt.Dice.Checks.owner_of (Topology.Gao_rexford.prefix_of_node 2));
+  (* More specific prefixes belong to the covering owner. *)
+  let sub =
+    Bgp.Prefix.make (Bgp.Prefix.addr (Topology.Gao_rexford.prefix_of_node 2)) 28
+  in
+  check (Alcotest.option Alcotest.int) "sub-prefix same owner"
+    (Some (Topology.Gao_rexford.asn_of_node 2))
+    (gt.Dice.Checks.owner_of sub);
+  check (Alcotest.option Alcotest.int) "unowned space" None
+    (gt.Dice.Checks.owner_of (p "8.8.8.0/24"))
+
+let checks_clean_on_healthy_system () =
+  let graph, build = Lazy.force lazy_build in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let cut = make_cut build in
+  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+  let shadow = Snapshot.Store.spawn snap in
+  ignore (Snapshot.Store.run_to_quiescence shadow);
+  List.iter
+    (fun (c : Dice.Checks.checker) ->
+      List.iter
+        (fun (v : Dice.Checks.verdict) ->
+          if not v.Dice.Checks.v_ok then
+            Alcotest.failf "healthy system violates %s at node %d: %s"
+              v.Dice.Checks.v_property v.Dice.Checks.v_node v.Dice.Checks.v_evidence)
+        (c.Dice.Checks.run shadow))
+    (Dice.Checks.standard_suite gt)
+
+let privacy_digest_opacity () =
+  let d =
+    Dice.Privacy.digest ~node:3 ~property:"origin-authenticity" ~ok:false
+      ~evidence:"192.0.2.0/24 originated by AS1009"
+  in
+  Alcotest.(check bool) "violated recorded" false d.Dice.Privacy.d_ok;
+  Alcotest.(check bool) "contract" true
+    (Dice.Privacy.leaks_nothing d "192.0.2.0/24 originated by AS1009");
+  let agg = Dice.Privacy.aggregate [ d ] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "aggregate lists violation" [ (3, "origin-authenticity") ] agg.Dice.Privacy.violations;
+  Alcotest.(check bool) "not all ok" false (Dice.Privacy.all_ok agg)
+
+let fault_dedupe () =
+  let at = Netsim.Time.zero in
+  let f1 = Dice.Fault.make ~at ~node:1 ~property:"x" Dice.Fault.Operator_mistake "a" in
+  let f2 = Dice.Fault.make ~at ~node:1 ~property:"x" Dice.Fault.Operator_mistake "b" in
+  let f3 = Dice.Fault.make ~at ~node:2 ~property:"x" Dice.Fault.Operator_mistake "c" in
+  check Alcotest.int "dedupes same root" 2 (List.length (Dice.Fault.dedupe [ f1; f2; f3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Injection scenarios                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let inject_validation () =
+  let _, build = Lazy.force lazy_build in
+  Alcotest.(check bool) "non-peer cycle rejected" true
+    (try
+       Dice.Inject.apply build
+         (Dice.Inject.Policy_dispute { cycle = [ 0; 1; 2 ]; victim = 3 });
+       false
+     with Invalid_argument _ -> true);
+  check Alcotest.string "class of hijack" "operator-mistake"
+    (Dice.Fault.class_to_string
+       (Dice.Inject.fault_class (Dice.Inject.Prefix_hijack { at = 1; victim = 2 })));
+  check Alcotest.string "class of dispute" "policy-conflict"
+    (Dice.Fault.class_to_string
+       (Dice.Inject.fault_class (Dice.Inject.Policy_dispute { cycle = []; victim = 0 })));
+  check Alcotest.string "class of bug" "programming-error"
+    (Dice.Fault.class_to_string
+       (Dice.Inject.fault_class (Dice.Inject.Loop_check_bug { at = 0 })))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end detections (fast parameters)                             *)
+(* ------------------------------------------------------------------ *)
+
+let detects_hijack () =
+  let params =
+    { Topology.Generate.default_params with n_tier1 = 1; n_transit = 2; n_stub = 3 }
+  in
+  let graph = Topology.Generate.generate ~params (Netsim.Rng.create 9) in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  Dice.Inject.apply build (Dice.Inject.Prefix_hijack { at = 5; victim = 4 });
+  Topology.Build.run_for build (Netsim.Time.span_sec 30.);
+  let _, hit =
+    Dice.Orchestrator.run_until_detection ~params:fast_params ~build ~gt
+      ~expect:Dice.Fault.Operator_mistake ()
+  in
+  Alcotest.(check bool) "hijack detected" true (hit <> None)
+
+let detects_build_fresh () =
+  let params =
+    { Topology.Generate.default_params with n_tier1 = 1; n_transit = 2; n_stub = 3 }
+  in
+  let graph = Topology.Generate.generate ~params (Netsim.Rng.create 13) in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  (graph, build)
+
+let detects_crash_bug () =
+  let graph, build = detects_build_fresh () in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let poison = Bgp.Community.make 64111 1 in
+  Dice.Inject.apply build (Dice.Inject.Crash_bug { at = 1; community = poison });
+  let _, hit =
+    Dice.Orchestrator.run_until_detection ~params:fast_params ~build ~gt ~nodes:[ 1 ]
+      ~expect:Dice.Fault.Programming_error ()
+  in
+  match hit with
+  | Some round ->
+      Alcotest.(check bool) "crash property named" true
+        (List.exists
+           (fun (f : Dice.Fault.t) ->
+             String.equal f.Dice.Fault.f_property "handler-crash")
+           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+  | None -> Alcotest.fail "crash bug not detected"
+
+let detects_loop_bug () =
+  let graph, build = detects_build_fresh () in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  Dice.Inject.apply build (Dice.Inject.Loop_check_bug { at = 1 });
+  let _, hit =
+    Dice.Orchestrator.run_until_detection ~params:fast_params ~build ~gt ~nodes:[ 1 ]
+      ~expect:Dice.Fault.Programming_error ()
+  in
+  match hit with
+  | Some round ->
+      Alcotest.(check bool) "loop property named" true
+        (List.exists
+           (fun (f : Dice.Fault.t) ->
+             String.equal f.Dice.Fault.f_property "no-own-as-in-path")
+           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+  | None -> Alcotest.fail "loop bug not detected"
+
+let detects_dispute_wheel () =
+  let graph = Topology.Gadget.bad_gadget () in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  Dice.Inject.apply build
+    (Dice.Inject.Policy_dispute
+       { cycle = Topology.Gadget.wheel; victim = Topology.Gadget.victim });
+  Topology.Build.run_for build (Netsim.Time.span_sec 5.);
+  let _, hit =
+    Dice.Orchestrator.run_until_detection ~params:fast_params ~build ~gt
+      ~nodes:Topology.Gadget.wheel ~expect:Dice.Fault.Policy_conflict ()
+  in
+  Alcotest.(check bool) "oscillation detected" true (hit <> None)
+
+let no_false_positives_on_healthy_system () =
+  let graph, build = detects_build_fresh () in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let summary =
+    Dice.Orchestrator.run ~params:fast_params ~build ~gt ~rounds:3 ()
+  in
+  check (Alcotest.list Alcotest.string) "no faults reported" []
+    (List.map
+       (fun (f : Dice.Fault.t) -> Format.asprintf "%a" Dice.Fault.pp f)
+       summary.Dice.Orchestrator.faults)
+
+let exploration_metrics_consistent () =
+  let graph, build = detects_build_fresh () in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let cut = make_cut build in
+  let x = Dice.Explorer.explore_node ~params:fast_params ~build ~cut ~gt ~node:0 () in
+  Alcotest.(check bool) "ran inputs" true (x.Dice.Explorer.x_inputs > 0);
+  Alcotest.(check bool) "paths bounded by inputs" true
+    (x.Dice.Explorer.x_distinct_paths <= x.Dice.Explorer.x_inputs);
+  Alcotest.(check bool) "shadows cover concolic + fuzz" true
+    (x.Dice.Explorer.x_shadow_runs >= x.Dice.Explorer.x_inputs);
+  check Alcotest.int "snapshot covered all nodes" 6
+    (List.length x.Dice.Explorer.x_snapshot.Snapshot.Cut.checkpoints)
+
+let suite =
+  [ qtest sym_policy_matches_concrete;
+    qtest mirror_matches_reality;
+    ("sym-handler: benign concretization decodes", `Quick, concretize_wellformed);
+    ("sym-handler: malformed origin byte", `Quick, concretize_malformed_origin);
+    ("sym-handler: malformed attribute length", `Quick, concretize_malformed_length);
+    ("sym-handler: outcome paths", `Quick, handler_outcomes);
+    ("checks: ground truth subsumption", `Quick, ground_truth_subsumption);
+    ("checks: healthy system is clean", `Quick, checks_clean_on_healthy_system);
+    ("privacy: digest opacity and aggregation", `Quick, privacy_digest_opacity);
+    ("fault: dedupe", `Quick, fault_dedupe);
+    ("inject: validation and classes", `Quick, inject_validation);
+    ("e2e: detects prefix hijack", `Slow, detects_hijack);
+    ("e2e: detects crash bug", `Slow, detects_crash_bug);
+    ("e2e: detects loop-check bug", `Slow, detects_loop_bug);
+    ("e2e: detects dispute wheel", `Slow, detects_dispute_wheel);
+    ("e2e: no false positives when healthy", `Slow, no_false_positives_on_healthy_system);
+    ("explorer: metrics consistency", `Quick, exploration_metrics_consistent) ]

@@ -1,0 +1,151 @@
+(* Session FSM transition relation. *)
+
+let check = Alcotest.check
+
+let state_testable =
+  Alcotest.testable Bgp.Fsm.pp_state ( = )
+
+let cfg : Bgp.Fsm.config =
+  { my_as = 65001; bgp_id = Bgp.Ipv4.of_string_exn "10.0.0.1"; hold_time = 90;
+    peer_as = 65002 }
+
+let peer_open ?(asn = 65002) ?(hold = 30) () =
+  Bgp.Msg.Open
+    { version = 4; my_as = asn; hold_time = hold;
+      bgp_id = Bgp.Ipv4.of_string_exn "10.0.0.2" }
+
+let step st ev = Bgp.Fsm.handle cfg st ev
+
+let has_send_open actions =
+  List.exists (function Bgp.Fsm.Send (Bgp.Msg.Open _) -> true | _ -> false) actions
+
+let has_send_keepalive actions =
+  List.exists (function Bgp.Fsm.Send Bgp.Msg.Keepalive -> true | _ -> false) actions
+
+let has_notification ~code actions =
+  List.exists
+    (function
+      | Bgp.Fsm.Send (Bgp.Msg.Notification n) -> n.Bgp.Msg.code = code
+      | _ -> false)
+    actions
+
+let happy_path () =
+  let st = Bgp.Fsm.create () in
+  check state_testable "starts Idle" Bgp.Fsm.Idle st.Bgp.Fsm.state;
+  let st, acts = step st Bgp.Fsm.Manual_start in
+  check state_testable "Connect" Bgp.Fsm.Connect st.Bgp.Fsm.state;
+  Alcotest.(check bool) "starts transport" true (List.mem Bgp.Fsm.Start_connect acts);
+  let st, acts = step st Bgp.Fsm.Tcp_established in
+  check state_testable "OpenSent" Bgp.Fsm.OpenSent st.Bgp.Fsm.state;
+  Alcotest.(check bool) "sends OPEN" true (has_send_open acts);
+  let st, acts = step st (Bgp.Fsm.Msg_received (peer_open ())) in
+  check state_testable "OpenConfirm" Bgp.Fsm.OpenConfirm st.Bgp.Fsm.state;
+  Alcotest.(check bool) "acks with KEEPALIVE" true (has_send_keepalive acts);
+  check Alcotest.int "negotiated hold = min" 30 st.Bgp.Fsm.negotiated_hold;
+  let st, acts = step st (Bgp.Fsm.Msg_received Bgp.Msg.Keepalive) in
+  check state_testable "Established" Bgp.Fsm.Established st.Bgp.Fsm.state;
+  Alcotest.(check bool) "announces session up" true (List.mem Bgp.Fsm.Session_up acts)
+
+let wrong_peer_as () =
+  let st = Bgp.Fsm.create () in
+  let st, _ = step st Bgp.Fsm.Manual_start in
+  let st, _ = step st Bgp.Fsm.Tcp_established in
+  let st, acts = step st (Bgp.Fsm.Msg_received (peer_open ~asn:65099 ())) in
+  check state_testable "back to Idle" Bgp.Fsm.Idle st.Bgp.Fsm.state;
+  Alcotest.(check bool) "OPEN error notification" true
+    (has_notification ~code:Bgp.Msg.Error.open_message acts);
+  Alcotest.(check bool) "session down" true
+    (List.exists (function Bgp.Fsm.Session_down _ -> true | _ -> false) acts)
+
+let established_update_delivery () =
+  let st =
+    { Bgp.Fsm.state = Bgp.Fsm.Established; peer_bgp_id = None; negotiated_hold = 30 }
+  in
+  let u = { Bgp.Msg.withdrawn = []; attrs = None; nlri = [] } in
+  let st', acts = step st (Bgp.Fsm.Msg_received (Bgp.Msg.Update u)) in
+  check state_testable "stays Established" Bgp.Fsm.Established st'.Bgp.Fsm.state;
+  Alcotest.(check bool) "delivers update" true
+    (List.exists (function Bgp.Fsm.Deliver_update _ -> true | _ -> false) acts)
+
+let hold_timer_drops_session () =
+  let st =
+    { Bgp.Fsm.state = Bgp.Fsm.Established; peer_bgp_id = None; negotiated_hold = 30 }
+  in
+  let st', acts = step st Bgp.Fsm.Hold_timer_expired in
+  check state_testable "Idle" Bgp.Fsm.Idle st'.Bgp.Fsm.state;
+  Alcotest.(check bool) "hold-timer notification" true
+    (has_notification ~code:Bgp.Msg.Error.hold_timer_expired acts)
+
+let open_in_established_is_fsm_error () =
+  let st =
+    { Bgp.Fsm.state = Bgp.Fsm.Established; peer_bgp_id = None; negotiated_hold = 30 }
+  in
+  let st', acts = step st (Bgp.Fsm.Msg_received (peer_open ())) in
+  check state_testable "Idle" Bgp.Fsm.Idle st'.Bgp.Fsm.state;
+  Alcotest.(check bool) "FSM error" true
+    (has_notification ~code:Bgp.Msg.Error.fsm_error acts)
+
+let update_in_opensent_is_fsm_error () =
+  let st = Bgp.Fsm.create () in
+  let st, _ = step st Bgp.Fsm.Manual_start in
+  let st, _ = step st Bgp.Fsm.Tcp_established in
+  let st, acts =
+    step st (Bgp.Fsm.Msg_received (Bgp.Msg.update ()))
+  in
+  check state_testable "Idle" Bgp.Fsm.Idle st.Bgp.Fsm.state;
+  Alcotest.(check bool) "FSM error" true (has_notification ~code:Bgp.Msg.Error.fsm_error acts)
+
+let manual_stop_sends_cease () =
+  let st =
+    { Bgp.Fsm.state = Bgp.Fsm.Established; peer_bgp_id = None; negotiated_hold = 30 }
+  in
+  let st', acts = step st Bgp.Fsm.Manual_stop in
+  check state_testable "Idle" Bgp.Fsm.Idle st'.Bgp.Fsm.state;
+  Alcotest.(check bool) "cease" true (has_notification ~code:Bgp.Msg.Error.cease acts)
+
+let notification_tears_down () =
+  let st =
+    { Bgp.Fsm.state = Bgp.Fsm.Established; peer_bgp_id = None; negotiated_hold = 30 }
+  in
+  let st', acts =
+    step st (Bgp.Fsm.Msg_received (Bgp.Msg.Notification { code = 6; subcode = 0; data = "" }))
+  in
+  check state_testable "Idle" Bgp.Fsm.Idle st'.Bgp.Fsm.state;
+  Alcotest.(check bool) "session down, no notification echoed" true
+    (List.for_all (function Bgp.Fsm.Send _ -> false | _ -> true) acts)
+
+let connect_retry_cycle () =
+  let st = Bgp.Fsm.create () in
+  let st, _ = step st Bgp.Fsm.Manual_start in
+  let st, _ = step st Bgp.Fsm.Tcp_failed in
+  check state_testable "Active after failure" Bgp.Fsm.Active st.Bgp.Fsm.state;
+  let st, acts = step st Bgp.Fsm.Connect_retry_expired in
+  check state_testable "retries Connect" Bgp.Fsm.Connect st.Bgp.Fsm.state;
+  Alcotest.(check bool) "starts transport again" true (List.mem Bgp.Fsm.Start_connect acts)
+
+let keepalive_interval () =
+  let st =
+    { Bgp.Fsm.state = Bgp.Fsm.Established; peer_bgp_id = None; negotiated_hold = 90 }
+  in
+  check Alcotest.int "hold/3" 30 (Bgp.Fsm.keepalive_interval st);
+  let st0 = { st with Bgp.Fsm.negotiated_hold = 0 } in
+  check Alcotest.int "disabled" 0 (Bgp.Fsm.keepalive_interval st0)
+
+let idle_ignores_messages () =
+  let st = Bgp.Fsm.create () in
+  let st', acts = step st (Bgp.Fsm.Msg_received Bgp.Msg.Keepalive) in
+  check state_testable "still Idle" Bgp.Fsm.Idle st'.Bgp.Fsm.state;
+  check Alcotest.int "no actions" 0 (List.length acts)
+
+let suite =
+  [ ("fsm: happy path to Established", `Quick, happy_path);
+    ("fsm: wrong peer AS rejected", `Quick, wrong_peer_as);
+    ("fsm: update delivery", `Quick, established_update_delivery);
+    ("fsm: hold timer expiry", `Quick, hold_timer_drops_session);
+    ("fsm: OPEN in Established", `Quick, open_in_established_is_fsm_error);
+    ("fsm: UPDATE in OpenSent", `Quick, update_in_opensent_is_fsm_error);
+    ("fsm: manual stop sends cease", `Quick, manual_stop_sends_cease);
+    ("fsm: notification tears down", `Quick, notification_tears_down);
+    ("fsm: connect retry cycle", `Quick, connect_retry_cycle);
+    ("fsm: keepalive interval", `Quick, keepalive_interval);
+    ("fsm: Idle ignores messages", `Quick, idle_ignores_messages) ]

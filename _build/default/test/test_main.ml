@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "dice"
+    [ ("netsim", Test_netsim.suite);
+      ("prefix", Test_prefix.suite);
+      ("attrs", Test_attrs.suite);
+      ("wire", Test_wire.suite);
+      ("fsm", Test_fsm.suite);
+      ("policy", Test_policy.suite);
+      ("decision", Test_decision.suite);
+      ("config", Test_config.suite);
+      ("rib", Test_rib.suite);
+      ("router", Test_router.suite);
+      ("sparrow", Test_sparrow.suite);
+      ("topology", Test_topology.suite);
+      ("concolic", Test_concolic.suite);
+      ("snapshot", Test_snapshot.suite);
+      ("dice", Test_dice.suite);
+      ("misc", Test_misc.suite) ]

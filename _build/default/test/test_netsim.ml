@@ -1,0 +1,267 @@
+(* Unit and property tests for the discrete-event simulator. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Time                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let time_units () =
+  check Alcotest.int "ms" 5_000 (Netsim.Time.to_us (Netsim.Time.of_ms 5));
+  check Alcotest.int "sec" 1_500_000 (Netsim.Time.to_us (Netsim.Time.of_sec 1.5));
+  check (Alcotest.float 1e-9) "roundtrip" 2.25
+    (Netsim.Time.to_sec (Netsim.Time.of_sec 2.25))
+
+let time_add_clips () =
+  let t = Netsim.Time.of_us 100 in
+  check Alcotest.int "negative span clips at zero" 0
+    (Netsim.Time.to_us (Netsim.Time.add t (-500)));
+  check Alcotest.int "diff" 70 (Netsim.Time.diff t (Netsim.Time.of_us 30))
+
+let time_rejects_negative () =
+  Alcotest.check_raises "of_us" (Invalid_argument "Time.of_us: negative") (fun () ->
+      ignore (Netsim.Time.of_us (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Netsim.Rng.create 7 and b = Netsim.Rng.create 7 in
+  let xs = List.init 20 (fun _ -> Netsim.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Netsim.Rng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" xs ys
+
+let rng_split_independent () =
+  let root = Netsim.Rng.create 7 in
+  let child = Netsim.Rng.split root in
+  let xs = List.init 10 (fun _ -> Netsim.Rng.int child 1000) in
+  (* Splitting again from the advanced root gives a different child. *)
+  let child2 = Netsim.Rng.split root in
+  let ys = List.init 10 (fun _ -> Netsim.Rng.int child2 1000) in
+  Alcotest.(check bool) "children differ" true (xs <> ys)
+
+let rng_bounds =
+  QCheck.Test.make ~name:"rng: int_in stays in range" ~count:500
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Netsim.Rng.create seed in
+      let v = Netsim.Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pqueue_orders () =
+  let q = Netsim.Pqueue.create () in
+  List.iter (fun p -> Netsim.Pqueue.push q ~prio:p p) [ 5; 1; 4; 1; 3 ];
+  let rec drain acc =
+    match Netsim.Pqueue.pop q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 1; 3; 4; 5 ] (drain [])
+
+let pqueue_stable () =
+  let q = Netsim.Pqueue.create () in
+  List.iteri (fun i name -> ignore i; Netsim.Pqueue.push q ~prio:7 name)
+    [ "a"; "b"; "c"; "d" ];
+  let rec drain acc =
+    match Netsim.Pqueue.pop q with
+    | Some (_, v) -> drain (v :: acc)
+    | None -> List.rev acc
+  in
+  check (Alcotest.list Alcotest.string) "insertion order on ties" [ "a"; "b"; "c"; "d" ]
+    (drain [])
+
+let pqueue_model =
+  QCheck.Test.make ~name:"pqueue: pop sequence equals stable sort" ~count:200
+    QCheck.(list small_int)
+    (fun prios ->
+      let q = Netsim.Pqueue.create () in
+      List.iteri (fun i p -> Netsim.Pqueue.push q ~prio:p (p, i)) prios;
+      let rec drain acc =
+        match Netsim.Pqueue.pop q with
+        | Some (_, v) -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      let got = drain [] in
+      let expected =
+        List.stable_sort
+          (fun (p1, _) (p2, _) -> Int.compare p1 p2)
+          (List.mapi (fun i p -> (p, i)) prios)
+      in
+      got = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_ordering () =
+  let eng = Netsim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Netsim.Engine.schedule eng ~after:300 (note "c"));
+  ignore (Netsim.Engine.schedule eng ~after:100 (note "a"));
+  ignore (Netsim.Engine.schedule eng ~after:200 (note "b"));
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "time order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  check Alcotest.int "clock at last event" 300 (Netsim.Time.to_us (Netsim.Engine.now eng))
+
+let engine_cancel () =
+  let eng = Netsim.Engine.create () in
+  let fired = ref false in
+  let timer = Netsim.Engine.schedule eng ~after:100 (fun () -> fired := true) in
+  check Alcotest.int "pending before" 1 (Netsim.Engine.pending eng);
+  Netsim.Engine.cancel timer;
+  check Alcotest.int "pending after cancel" 0 (Netsim.Engine.pending eng);
+  Netsim.Engine.run eng;
+  Alcotest.(check bool) "did not fire" false !fired
+
+let engine_until () =
+  let eng = Netsim.Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Netsim.Engine.schedule eng ~after:1000 tick)
+  in
+  ignore (Netsim.Engine.schedule eng ~after:1000 tick);
+  Netsim.Engine.run ~until:(Netsim.Time.of_us 5500) eng;
+  check Alcotest.int "5 ticks within horizon" 5 !count;
+  check Alcotest.int "clock advanced to horizon" 5500
+    (Netsim.Time.to_us (Netsim.Engine.now eng))
+
+let engine_nested_schedule () =
+  let eng = Netsim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Netsim.Engine.schedule eng ~after:10 (fun () ->
+         log := "outer" :: !log;
+         ignore (Netsim.Engine.schedule eng ~after:0 (fun () -> log := "inner" :: !log))));
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "inner after outer" [ "outer"; "inner" ]
+    (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let link_delay_bounds () =
+  let rng = Netsim.Rng.create 3 in
+  let link = Netsim.Link.make ~jitter:500 ~loss:0.2 ~retransmit:1000 2000 in
+  for _ = 1 to 200 do
+    let d = Netsim.Link.delay link rng in
+    Alcotest.(check bool) "within [lat, lat+jit+8*rtx]" true (d >= 2000 && d <= 2000 + 500 + (8 * 1000))
+  done
+
+let link_rejects_bad_loss () =
+  Alcotest.check_raises "loss 1.0" (Invalid_argument "Link.make: loss must be in [0,1)")
+    (fun () -> ignore (Netsim.Link.make ~loss:1.0 100))
+
+(* ------------------------------------------------------------------ *)
+(* Trace / Stats                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let trace_ring () =
+  let tr = Netsim.Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Netsim.Trace.emit tr ~at:(Netsim.Time.of_us i) ~node:0 ~kind:"k" (string_of_int i)
+  done;
+  check Alcotest.int "total counts all" 6 (Netsim.Trace.total tr);
+  check Alcotest.int "retains capacity" 4 (Netsim.Trace.length tr);
+  let kept = List.map (fun (r : Netsim.Trace.record) -> r.Netsim.Trace.detail) (Netsim.Trace.to_list tr) in
+  check (Alcotest.list Alcotest.string) "oldest evicted" [ "3"; "4"; "5"; "6" ] kept
+
+let stats_basics () =
+  let s = Netsim.Stats.create () in
+  Netsim.Stats.incr s "x";
+  Netsim.Stats.add s "x" 4;
+  check Alcotest.int "counter" 5 (Netsim.Stats.get s "x");
+  check Alcotest.int "absent counter" 0 (Netsim.Stats.get s "y");
+  List.iter (Netsim.Stats.observe s "d") [ 1.; 2.; 3.; 4. ];
+  check (Alcotest.float 1e-9) "mean" 2.5 (Netsim.Stats.mean s "d");
+  check (Alcotest.float 1e-9) "p50" 2. (Netsim.Stats.percentile s "d" 0.5);
+  check (Alcotest.float 1e-9) "max" 4. (Netsim.Stats.max_value s "d")
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let network_fifo =
+  QCheck.Test.make ~name:"network: channels are FIFO under jitter" ~count:50
+    QCheck.(pair small_int (int_bound 30))
+    (fun (seed, n) ->
+      let n = max 2 n in
+      let eng = Netsim.Engine.create ~seed () in
+      let net = Netsim.Network.create eng in
+      let received = ref [] in
+      Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+      Netsim.Network.add_node net 1 (fun ~src:_ m -> received := m :: !received);
+      Netsim.Network.connect net 0 1
+        (Netsim.Link.make ~jitter:(Netsim.Time.span_ms 50) (Netsim.Time.span_ms 10));
+      for i = 1 to n do
+        Netsim.Network.send net ~src:0 ~dst:1 (string_of_int i)
+      done;
+      Netsim.Engine.run eng;
+      List.rev !received = List.init n (fun i -> string_of_int (i + 1)))
+
+let network_counts () =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+  Netsim.Network.add_node net 1 (fun ~src:_ _ -> ());
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.send net ~src:0 ~dst:1 "hello";
+  check Alcotest.int "in flight" 1 (Netsim.Network.in_flight net);
+  Netsim.Engine.run eng;
+  check Alcotest.int "delivered" 1 (Netsim.Network.messages_delivered net);
+  check Alcotest.int "in flight drained" 0 (Netsim.Network.in_flight net);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int)) "channels"
+    [ (0, 1); (1, 0) ] (Netsim.Network.channels net)
+
+let network_tap_and_control () =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+  Netsim.Network.add_node net 1 (fun ~src:_ _ -> ());
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  let tapped = ref [] and controls = ref [] in
+  Netsim.Network.set_delivery_tap net (Some (fun ~dst ~src msg -> tapped := (src, dst, msg) :: !tapped));
+  Netsim.Network.set_control_handler net (fun ~self ~src c ->
+      match c with
+      | Netsim.Network.Marker { snapshot; _ } -> controls := (src, self, snapshot) :: !controls);
+  Netsim.Network.send net ~src:0 ~dst:1 "data";
+  Netsim.Network.send_control net ~src:0 ~dst:1
+    (Netsim.Network.Marker { snapshot = 42; initiator = 0 });
+  Netsim.Engine.run eng;
+  check (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.string))
+    "tap saw the data message" [ (0, 1, "data") ] !tapped;
+  check (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int))
+    "control handler saw the marker" [ (0, 1, 42) ] !controls;
+  check Alcotest.int "marker not counted as data" 1 (Netsim.Network.messages_delivered net)
+
+let suite =
+  [ ("time: units", `Quick, time_units);
+    ("time: add clips, diff", `Quick, time_add_clips);
+    ("time: rejects negative", `Quick, time_rejects_negative);
+    ("rng: deterministic", `Quick, rng_deterministic);
+    ("rng: split independence", `Quick, rng_split_independent);
+    qtest rng_bounds;
+    ("pqueue: orders by priority", `Quick, pqueue_orders);
+    ("pqueue: stable on ties", `Quick, pqueue_stable);
+    qtest pqueue_model;
+    ("engine: time ordering", `Quick, engine_ordering);
+    ("engine: cancel", `Quick, engine_cancel);
+    ("engine: bounded run", `Quick, engine_until);
+    ("engine: nested scheduling", `Quick, engine_nested_schedule);
+    ("link: delay bounds", `Quick, link_delay_bounds);
+    ("link: rejects loss >= 1", `Quick, link_rejects_bad_loss);
+    ("trace: bounded ring", `Quick, trace_ring);
+    ("stats: counters and distributions", `Quick, stats_basics);
+    qtest network_fifo;
+    ("network: counters and channels", `Quick, network_counts);
+    ("network: tap and control plane", `Quick, network_tap_and_control) ]

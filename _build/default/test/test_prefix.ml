@@ -1,0 +1,164 @@
+(* IPv4 addresses, CIDR prefixes, and the radix trie. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let ipv4_parse () =
+  check Alcotest.string "roundtrip" "192.168.1.42"
+    (Bgp.Ipv4.to_string (Bgp.Ipv4.of_string_exn "192.168.1.42"));
+  Alcotest.(check bool) "rejects 256" true
+    (Result.is_error (Bgp.Ipv4.of_string "1.2.3.256"));
+  Alcotest.(check bool) "rejects short" true (Result.is_error (Bgp.Ipv4.of_string "1.2.3"));
+  Alcotest.(check bool) "rejects junk" true
+    (Result.is_error (Bgp.Ipv4.of_string "1.2.3.4x"))
+
+let ipv4_bits () =
+  let a = Bgp.Ipv4.of_string_exn "128.0.0.1" in
+  Alcotest.(check bool) "bit 0 set" true (Bgp.Ipv4.bit a 0);
+  Alcotest.(check bool) "bit 1 clear" false (Bgp.Ipv4.bit a 1);
+  Alcotest.(check bool) "bit 31 set" true (Bgp.Ipv4.bit a 31)
+
+let ipv4_martians () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool) s expect (Bgp.Ipv4.is_martian (Bgp.Ipv4.of_string_exn s)))
+    [ ("127.0.0.1", true); ("0.1.2.3", true); ("240.0.0.1", true);
+      ("255.255.255.255", true); ("8.8.8.8", false); ("192.0.2.1", false) ]
+
+let prefix_canonical () =
+  let p = Bgp.Prefix.make (Bgp.Ipv4.of_string_exn "10.1.2.3") 8 in
+  check Alcotest.string "host bits zeroed" "10.0.0.0/8" (Bgp.Prefix.to_string p);
+  Alcotest.(check bool) "parse rejects non-canonical" true
+    (Result.is_error (Bgp.Prefix.of_string "10.1.0.0/8"));
+  check Alcotest.string "parse canonical" "10.0.0.0/8"
+    (Bgp.Prefix.to_string (Bgp.Prefix.of_string_exn "10.0.0.0/8"))
+
+let prefix_mem_subsumes () =
+  let p8 = Bgp.Prefix.of_string_exn "10.0.0.0/8" in
+  let p16 = Bgp.Prefix.of_string_exn "10.5.0.0/16" in
+  let other = Bgp.Prefix.of_string_exn "11.0.0.0/16" in
+  Alcotest.(check bool) "mem inside" true (Bgp.Prefix.mem (Bgp.Ipv4.of_string_exn "10.9.9.9") p8);
+  Alcotest.(check bool) "mem outside" false (Bgp.Prefix.mem (Bgp.Ipv4.of_string_exn "11.0.0.1") p8);
+  Alcotest.(check bool) "subsumes more specific" true (Bgp.Prefix.subsumes p8 p16);
+  Alcotest.(check bool) "not reverse" false (Bgp.Prefix.subsumes p16 p8);
+  Alcotest.(check bool) "disjoint" false (Bgp.Prefix.subsumes p8 other);
+  Alcotest.(check bool) "self" true (Bgp.Prefix.subsumes p8 p8)
+
+let prefix_split () =
+  let p = Bgp.Prefix.of_string_exn "10.0.0.0/8" in
+  match Bgp.Prefix.split p with
+  | Some (lo, hi) ->
+      check Alcotest.string "low half" "10.0.0.0/9" (Bgp.Prefix.to_string lo);
+      check Alcotest.string "high half" "10.128.0.0/9" (Bgp.Prefix.to_string hi)
+  | None -> Alcotest.fail "split /8 must succeed"
+
+let prefix_gen =
+  QCheck.Gen.(
+    map2
+      (fun addr len -> Bgp.Prefix.make (Bgp.Ipv4.of_int32_exn addr) len)
+      (map (fun x -> abs x land 0xFFFF_FFFF) int)
+      (int_bound 32))
+
+let arb_prefix = QCheck.make ~print:Bgp.Prefix.to_string prefix_gen
+
+let prefix_subsume_mem =
+  QCheck.Test.make ~name:"prefix: subsumption agrees with membership" ~count:500
+    (QCheck.pair arb_prefix arb_prefix)
+    (fun (p, q) ->
+      (* p subsumes q iff q's base address is in p and q is at least as long *)
+      Bgp.Prefix.subsumes p q
+      = (Bgp.Prefix.len q >= Bgp.Prefix.len p && Bgp.Prefix.mem (Bgp.Prefix.addr q) p))
+
+(* --- trie vs a reference association list --- *)
+
+let trie_basics () =
+  let open Bgp.Prefix_trie in
+  let p s = Bgp.Prefix.of_string_exn s in
+  let t =
+    empty
+    |> add (p "10.0.0.0/8") "eight"
+    |> add (p "10.5.0.0/16") "sixteen"
+    |> add (p "0.0.0.0/0") "default"
+  in
+  check Alcotest.int "cardinal" 3 (cardinal t);
+  check (Alcotest.option Alcotest.string) "exact" (Some "sixteen") (find (p "10.5.0.0/16") t);
+  check (Alcotest.option Alcotest.string) "exact miss" None (find (p "10.5.0.0/24") t);
+  (match longest_match (Bgp.Ipv4.of_string_exn "10.5.1.1") t with
+  | Some (pre, v) ->
+      check Alcotest.string "lpm value" "sixteen" v;
+      check Alcotest.string "lpm prefix" "10.5.0.0/16" (Bgp.Prefix.to_string pre)
+  | None -> Alcotest.fail "lpm must hit");
+  (match longest_match (Bgp.Ipv4.of_string_exn "11.1.1.1") t with
+  | Some (_, v) -> check Alcotest.string "falls to default" "default" v
+  | None -> Alcotest.fail "default must match");
+  let t = remove (p "10.5.0.0/16") t in
+  (match longest_match (Bgp.Ipv4.of_string_exn "10.5.1.1") t with
+  | Some (_, v) -> check Alcotest.string "after removal" "eight" v
+  | None -> Alcotest.fail "must still match /8");
+  check Alcotest.int "covered count" 2
+    (List.length (covered (p "0.0.0.0/0") t))
+
+let trie_model =
+  QCheck.Test.make ~name:"trie: behaves like an association list" ~count:300
+    (QCheck.list (QCheck.pair arb_prefix QCheck.small_int))
+    (fun bindings ->
+      let t = Bgp.Prefix_trie.of_list bindings in
+      (* Reference: last binding per prefix wins. *)
+      let ref_find p =
+        List.fold_left
+          (fun acc (q, v) -> if Bgp.Prefix.equal p q then Some v else acc)
+          None bindings
+      in
+      List.for_all
+        (fun (p, _) -> Bgp.Prefix_trie.find p t = ref_find p)
+        bindings)
+
+let trie_lpm_model =
+  QCheck.Test.make ~name:"trie: longest match equals naive scan" ~count:300
+    (QCheck.pair
+       (QCheck.list (QCheck.pair arb_prefix QCheck.small_int))
+       (QCheck.map (fun x -> Bgp.Ipv4.of_int32_exn (abs x land 0xFFFF_FFFF)) QCheck.int))
+    (fun (bindings, addr) ->
+      (* Dedup so "last wins" cannot differ between trie and scan. *)
+      let bindings =
+        List.fold_left
+          (fun acc (p, v) ->
+            if List.exists (fun (q, _) -> Bgp.Prefix.equal p q) acc then acc
+            else (p, v) :: acc)
+          [] bindings
+      in
+      let t = Bgp.Prefix_trie.of_list bindings in
+      let naive =
+        List.fold_left
+          (fun acc (p, v) ->
+            if Bgp.Prefix.mem addr p then
+              match acc with
+              | Some (q, _) when Bgp.Prefix.len q >= Bgp.Prefix.len p -> acc
+              | _ -> Some (p, v)
+            else acc)
+          None bindings
+      in
+      match (Bgp.Prefix_trie.longest_match addr t, naive) with
+      | None, None -> true
+      | Some (p, v), Some (q, w) -> Bgp.Prefix.equal p q && v = w
+      | Some _, None | None, Some _ -> false)
+
+let trie_persistent () =
+  let p s = Bgp.Prefix.of_string_exn s in
+  let t1 = Bgp.Prefix_trie.(empty |> add (p "10.0.0.0/8") 1) in
+  let t2 = Bgp.Prefix_trie.add (p "11.0.0.0/8") 2 t1 in
+  check Alcotest.int "original untouched" 1 (Bgp.Prefix_trie.cardinal t1);
+  check Alcotest.int "new has both" 2 (Bgp.Prefix_trie.cardinal t2)
+
+let suite =
+  [ ("ipv4: parse/print", `Quick, ipv4_parse);
+    ("ipv4: bit indexing", `Quick, ipv4_bits);
+    ("ipv4: martians", `Quick, ipv4_martians);
+    ("prefix: canonicalization", `Quick, prefix_canonical);
+    ("prefix: mem and subsumes", `Quick, prefix_mem_subsumes);
+    ("prefix: split", `Quick, prefix_split);
+    qtest prefix_subsume_mem;
+    ("trie: basics", `Quick, trie_basics);
+    qtest trie_model;
+    qtest trie_lpm_model;
+    ("trie: persistence", `Quick, trie_persistent) ]

@@ -1,0 +1,148 @@
+(* Routing information bases: per-peer tables, candidates, persistence. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let addr s = Bgp.Ipv4.of_string_exn s
+let p = Bgp.Prefix.of_string_exn
+
+let route peer path =
+  { Bgp.Rib.attrs =
+      Bgp.Attr.make ~origin:Bgp.Attr.Igp
+        ~as_path:[ Bgp.As_path.Seq path ]
+        ~next_hop:(addr peer) ();
+    source =
+      { Bgp.Rib.peer_addr = addr peer; peer_as = List.hd path;
+        peer_bgp_id = addr peer; ebgp = true; igp_metric = 0 } }
+
+let adj_in_roundtrip () =
+  let rib = Bgp.Rib.empty in
+  let r1 = route "10.0.0.2" [ 65002 ] in
+  let rib = Bgp.Rib.adj_in_set (addr "10.0.0.2") (p "192.0.2.0/24") r1 rib in
+  check (Alcotest.option Alcotest.reject) "absent for other peer" None
+    (Option.map ignore (Bgp.Rib.adj_in_get (addr "10.0.0.3") (p "192.0.2.0/24") rib));
+  Alcotest.(check bool) "present for the right peer" true
+    (Bgp.Rib.adj_in_get (addr "10.0.0.2") (p "192.0.2.0/24") rib = Some r1);
+  let rib = Bgp.Rib.adj_in_del (addr "10.0.0.2") (p "192.0.2.0/24") rib in
+  check (Alcotest.option Alcotest.reject) "deleted" None
+    (Option.map ignore (Bgp.Rib.adj_in_get (addr "10.0.0.2") (p "192.0.2.0/24") rib));
+  check Alcotest.int "empty after delete" 0 (Bgp.Rib.total_adj_in rib)
+
+let candidates_across_peers () =
+  let rib =
+    Bgp.Rib.empty
+    |> Bgp.Rib.adj_in_set (addr "10.0.0.2") (p "192.0.2.0/24") (route "10.0.0.2" [ 65002 ])
+    |> Bgp.Rib.adj_in_set (addr "10.0.0.3") (p "192.0.2.0/24") (route "10.0.0.3" [ 65003 ])
+    |> Bgp.Rib.adj_in_set (addr "10.0.0.3") (p "198.51.100.0/24") (route "10.0.0.3" [ 65003 ])
+  in
+  check Alcotest.int "two candidates" 2
+    (List.length (Bgp.Rib.candidates (p "192.0.2.0/24") rib));
+  check Alcotest.int "one candidate" 1
+    (List.length (Bgp.Rib.candidates (p "198.51.100.0/24") rib));
+  check Alcotest.int "total adj-in" 3 (Bgp.Rib.total_adj_in rib)
+
+let drop_peer_flushes_both_directions () =
+  let rib =
+    Bgp.Rib.empty
+    |> Bgp.Rib.adj_in_set (addr "10.0.0.2") (p "192.0.2.0/24") (route "10.0.0.2" [ 65002 ])
+    |> Bgp.Rib.adj_out_set (addr "10.0.0.2") (p "198.51.100.0/24")
+         (Bgp.Attr.make ~next_hop:(addr "10.0.0.1") ())
+    |> Bgp.Rib.adj_out_set (addr "10.0.0.3") (p "198.51.100.0/24")
+         (Bgp.Attr.make ~next_hop:(addr "10.0.0.1") ())
+  in
+  let rib = Bgp.Rib.drop_peer (addr "10.0.0.2") rib in
+  check Alcotest.int "adj-in gone" 0 (Bgp.Rib.total_adj_in rib);
+  check (Alcotest.option Alcotest.reject) "adj-out gone for that peer" None
+    (Option.map ignore (Bgp.Rib.adj_out_get (addr "10.0.0.2") (p "198.51.100.0/24") rib));
+  Alcotest.(check bool) "other peer's adj-out kept" true
+    (Bgp.Rib.adj_out_get (addr "10.0.0.3") (p "198.51.100.0/24") rib <> None)
+
+let loc_rib_ops () =
+  let r = route "10.0.0.2" [ 65002 ] in
+  let rib = Bgp.Rib.loc_set (p "192.0.2.0/24") r Bgp.Rib.empty in
+  check Alcotest.int "cardinal" 1 (Bgp.Rib.loc_cardinal rib);
+  check (Alcotest.list (Alcotest.testable Bgp.Prefix.pp Bgp.Prefix.equal)) "prefixes"
+    [ p "192.0.2.0/24" ] (Bgp.Rib.loc_prefixes rib);
+  let rib = Bgp.Rib.loc_del (p "192.0.2.0/24") rib in
+  check Alcotest.int "deleted" 0 (Bgp.Rib.loc_cardinal rib)
+
+let prefixes_from_peer_sorted () =
+  let rib =
+    Bgp.Rib.empty
+    |> Bgp.Rib.adj_in_set (addr "10.0.0.2") (p "198.51.100.0/24") (route "10.0.0.2" [ 1 ])
+    |> Bgp.Rib.adj_in_set (addr "10.0.0.2") (p "192.0.2.0/24") (route "10.0.0.2" [ 1 ])
+  in
+  check (Alcotest.list Alcotest.string) "in prefix order"
+    [ "192.0.2.0/24"; "198.51.100.0/24" ]
+    (List.map Bgp.Prefix.to_string (Bgp.Rib.prefixes_from_peer (addr "10.0.0.2") rib))
+
+let persistence () =
+  let rib1 =
+    Bgp.Rib.adj_in_set (addr "10.0.0.2") (p "192.0.2.0/24") (route "10.0.0.2" [ 1 ])
+      Bgp.Rib.empty
+  in
+  let rib2 = Bgp.Rib.drop_peer (addr "10.0.0.2") rib1 in
+  check Alcotest.int "old value untouched" 1 (Bgp.Rib.total_adj_in rib1);
+  check Alcotest.int "new value empty" 0 (Bgp.Rib.total_adj_in rib2)
+
+let local_route_detection () =
+  let local =
+    { Bgp.Rib.attrs = Bgp.Attr.make ~next_hop:(addr "10.0.0.1") ();
+      source = Bgp.Rib.local_source }
+  in
+  Alcotest.(check bool) "local" true (Bgp.Rib.is_local local);
+  Alcotest.(check bool) "learned is not local" false
+    (Bgp.Rib.is_local (route "10.0.0.2" [ 1 ]))
+
+(* Model-based: a random sequence of adj-in set/del operations behaves
+   like an association list keyed by (peer, prefix). *)
+let arb_ops =
+  let open QCheck.Gen in
+  let peer = oneofl [ "10.0.0.2"; "10.0.0.3"; "10.0.0.4" ] in
+  let prefix = oneofl [ "192.0.2.0/24"; "198.51.100.0/24"; "203.0.113.0/24" ] in
+  let op =
+    let* pe = peer in
+    let* pr = prefix in
+    let* set = bool in
+    return (pe, pr, set)
+  in
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (fun (pe, pr, s) -> Printf.sprintf "%s %s %s" (if s then "set" else "del") pe pr) ops))
+    (list_size (int_bound 40) op)
+
+let adj_in_model =
+  QCheck.Test.make ~name:"rib: adj-in behaves like an association list" ~count:300
+    arb_ops
+    (fun ops ->
+      let rib, model =
+        List.fold_left
+          (fun (rib, model) (pe, pr, set) ->
+            let peer = addr pe and prefix = p pr in
+            if set then
+              let r = route pe [ 65000 ] in
+              ( Bgp.Rib.adj_in_set peer prefix r rib,
+                ((pe, pr), r) :: List.remove_assoc (pe, pr) model )
+            else
+              (Bgp.Rib.adj_in_del peer prefix rib, List.remove_assoc (pe, pr) model))
+          (Bgp.Rib.empty, []) ops
+      in
+      List.for_all
+        (fun pe ->
+          List.for_all
+            (fun pr ->
+              Bgp.Rib.adj_in_get (addr pe) (p pr) rib = List.assoc_opt (pe, pr) model)
+            [ "192.0.2.0/24"; "198.51.100.0/24"; "203.0.113.0/24" ])
+        [ "10.0.0.2"; "10.0.0.3"; "10.0.0.4" ]
+      && Bgp.Rib.total_adj_in rib = List.length model)
+
+let suite =
+  [ ("rib: adj-in roundtrip", `Quick, adj_in_roundtrip);
+    ("rib: candidates across peers", `Quick, candidates_across_peers);
+    ("rib: drop peer flushes", `Quick, drop_peer_flushes_both_directions);
+    ("rib: loc-rib operations", `Quick, loc_rib_ops);
+    ("rib: per-peer prefixes sorted", `Quick, prefixes_from_peer_sorted);
+    ("rib: persistence", `Quick, persistence);
+    ("rib: local route detection", `Quick, local_route_detection);
+    qtest adj_in_model ]

@@ -1,0 +1,187 @@
+(* Router integration: multi-router convergence over the simulator. *)
+
+let check = Alcotest.check
+
+let p = Bgp.Prefix.of_string_exn
+
+(* A linear chain of [n] eBGP routers, each originating one prefix. *)
+let chain n =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  for i = 0 to n - 1 do
+    Netsim.Network.add_node net i (fun ~src:_ _ -> ())
+  done;
+  for i = 0 to n - 2 do
+    Netsim.Network.connect_sym net i (i + 1) Netsim.Link.ideal
+  done;
+  let routers =
+    List.init n (fun i ->
+        let neighbors =
+          (if i > 0 then
+             [ Bgp.Config.neighbor (Bgp.Router.addr_of_node (i - 1)) ~remote_as:(1000 + i - 1) ]
+           else [])
+          @
+          if i < n - 1 then
+            [ Bgp.Config.neighbor (Bgp.Router.addr_of_node (i + 1)) ~remote_as:(1000 + i + 1) ]
+          else []
+        in
+        let cfg =
+          Bgp.Config.make ~asn:(1000 + i)
+            ~router_id:(Bgp.Router.addr_of_node i)
+            ~networks:[ p (Printf.sprintf "192.0.%d.0/24" i) ]
+            ~neighbors ()
+        in
+        Bgp.Router.create ~net ~node:i cfg)
+  in
+  List.iter Bgp.Router.start routers;
+  Netsim.Engine.run ~until:(Netsim.Time.of_sec 30.) eng;
+  (eng, net, routers)
+
+let chain_converges () =
+  let _, _, routers = chain 4 in
+  List.iteri
+    (fun i r ->
+      check Alcotest.int
+        (Printf.sprintf "router %d sees all prefixes" i)
+        4
+        (Bgp.Prefix.Map.cardinal (Bgp.Router.loc_rib r)))
+    routers;
+  (* path lengths grow with distance *)
+  let r0 = List.hd routers in
+  match Bgp.Prefix.Map.find_opt (p "192.0.3.0/24") (Bgp.Router.loc_rib r0) with
+  | Some route ->
+      check Alcotest.int "3 hops away" 3
+        (Bgp.As_path.length route.Bgp.Rib.attrs.Bgp.Attr.as_path)
+  | None -> Alcotest.fail "distant prefix must be known"
+
+let withdrawal_propagates () =
+  let eng, _, routers = chain 3 in
+  let r2 = List.nth routers 2 in
+  (* Remove router 2's network statement: it withdraws its prefix. *)
+  let cfg = Bgp.Router.config r2 in
+  Bgp.Router.set_config r2 { cfg with Bgp.Config.networks = [] };
+  Netsim.Engine.run ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 10.)) eng;
+  let r0 = List.hd routers in
+  check (Alcotest.option Alcotest.reject) "r0 lost the prefix" None
+    (Option.map ignore (Bgp.Prefix.Map.find_opt (p "192.0.2.0/24") (Bgp.Router.loc_rib r0)))
+
+let session_down_flushes_routes () =
+  let eng, _, routers = chain 3 in
+  let r1 = List.nth routers 1 in
+  Bgp.Router.stop_session r1 (Bgp.Router.addr_of_node 2);
+  Netsim.Engine.run ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 5.)) eng;
+  let r0 = List.hd routers in
+  check (Alcotest.option Alcotest.reject) "r0 lost routes behind the dead session" None
+    (Option.map ignore (Bgp.Prefix.Map.find_opt (p "192.0.2.0/24") (Bgp.Router.loc_rib r0)))
+
+let session_restarts_automatically () =
+  let eng, _, routers = chain 2 in
+  let r0 = List.hd routers and r1 = List.nth routers 1 in
+  Bgp.Router.stop_session r0 (Bgp.Router.addr_of_node 1);
+  (* auto_restart kicks in after its idle delay *)
+  Netsim.Engine.run ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 60.)) eng;
+  check (Alcotest.list Alcotest.int) "session back up" [ 0 ]
+    (List.map Bgp.Router.node_of_addr (Bgp.Router.established_peers r1));
+  check Alcotest.int "routes relearned" 2 (Bgp.Prefix.Map.cardinal (Bgp.Router.loc_rib r0))
+
+let no_export_respected () =
+  let eng, _, routers = chain 3 in
+  let r2 = List.nth routers 2 in
+  (* r2 re-announces its prefix tagged no-export; r1 must keep it local. *)
+  let cfg = Bgp.Router.config r2 in
+  let tag_map =
+    [ ("TAG-NE",
+       [ Bgp.Policy.entry 10 Bgp.Policy.Permit
+           ~sets:[ Bgp.Policy.Add_community Bgp.Community.no_export ] ]) ]
+  in
+  let neighbors =
+    List.map
+      (fun (n : Bgp.Config.neighbor) -> { n with Bgp.Config.export_map = Some "TAG-NE" })
+      cfg.Bgp.Config.neighbors
+  in
+  Bgp.Router.set_config r2 { cfg with Bgp.Config.route_maps = tag_map; neighbors };
+  Netsim.Engine.run ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 10.)) eng;
+  let r1 = List.nth routers 1 and r0 = List.hd routers in
+  Alcotest.(check bool) "r1 still has it" true
+    (Bgp.Prefix.Map.mem (p "192.0.2.0/24") (Bgp.Router.loc_rib r1));
+  Alcotest.(check bool) "r0 does not (no-export stopped it)" false
+    (Bgp.Prefix.Map.mem (p "192.0.2.0/24") (Bgp.Router.loc_rib r0))
+
+let loop_prevention () =
+  (* A triangle: routes must never be accepted back by their origin. *)
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  for i = 0 to 2 do Netsim.Network.add_node net i (fun ~src:_ _ -> ()) done;
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 1 2 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 0 2 Netsim.Link.ideal;
+  let mk i others =
+    Bgp.Config.make ~asn:(1000 + i) ~router_id:(Bgp.Router.addr_of_node i)
+      ~networks:[ p (Printf.sprintf "192.0.%d.0/24" i) ]
+      ~neighbors:
+        (List.map (fun j -> Bgp.Config.neighbor (Bgp.Router.addr_of_node j) ~remote_as:(1000 + j)) others)
+      ()
+  in
+  let routers = [ Bgp.Router.create ~net ~node:0 (mk 0 [ 1; 2 ]);
+                  Bgp.Router.create ~net ~node:1 (mk 1 [ 0; 2 ]);
+                  Bgp.Router.create ~net ~node:2 (mk 2 [ 0; 1 ]) ] in
+  List.iter Bgp.Router.start routers;
+  Netsim.Engine.run ~until:(Netsim.Time.of_sec 30.) eng;
+  List.iteri
+    (fun i r ->
+      Bgp.Prefix.Map.iter
+        (fun _ (route : Bgp.Rib.route) ->
+          if Bgp.As_path.contains (1000 + i) route.Bgp.Rib.attrs.Bgp.Attr.as_path then
+            Alcotest.failf "router %d accepted a looped path" i)
+        (Bgp.Router.loc_rib r))
+    routers
+
+let malformed_input_resets_session () =
+  let eng, net, routers = chain 2 in
+  ignore net;
+  let r1 = List.nth routers 1 in
+  (* Corrupt UPDATE delivered to r1 from node 0: NOTIFICATION + reset. *)
+  let attrs =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq [ 1000 ] ]
+      ~next_hop:(Bgp.Router.addr_of_node 0) ()
+  in
+  let raw =
+    Bgp.Wire.encode
+      (Bgp.Msg.Update { withdrawn = []; attrs = Some attrs; nlri = [ p "203.0.113.0/24" ] })
+  in
+  let b = Bytes.of_string raw in
+  Bytes.set b 26 '\xee' (* invalid ORIGIN *);
+  Bgp.Router.process_raw r1 ~from_node:0 (Bytes.to_string b);
+  check (Alcotest.option (Alcotest.testable Bgp.Fsm.pp_state ( = )))
+    "session reset to Idle" (Some Bgp.Fsm.Idle)
+    (Bgp.Router.session_state r1 (Bgp.Router.addr_of_node 0));
+  check Alcotest.int "malformed counted" 1
+    (Netsim.Stats.get (Bgp.Router.stats r1) "rx_malformed");
+  ignore eng
+
+let state_is_persistent () =
+  let _, _, routers = chain 3 in
+  let r0 = List.hd routers in
+  let before = Bgp.Router.state r0 in
+  let loc_before = Bgp.Prefix.Map.cardinal before.Bgp.Router.rib.Bgp.Rib.loc in
+  (* Mutate the router; the captured state must not change. *)
+  Bgp.Router.inject_update r0 ~from:(Bgp.Router.addr_of_node 1)
+    { Bgp.Msg.withdrawn = [ p "192.0.1.0/24"; p "192.0.2.0/24" ]; attrs = None; nlri = [] };
+  Alcotest.(check bool) "live state changed" true
+    (Bgp.Prefix.Map.cardinal (Bgp.Router.rib r0).Bgp.Rib.loc < loc_before);
+  check Alcotest.int "captured state unchanged" loc_before
+    (Bgp.Prefix.Map.cardinal before.Bgp.Router.rib.Bgp.Rib.loc);
+  Bgp.Router.restore r0 before;
+  check Alcotest.int "restore brings it back" loc_before
+    (Bgp.Prefix.Map.cardinal (Bgp.Router.rib r0).Bgp.Rib.loc)
+
+let suite =
+  [ ("router: chain convergence", `Quick, chain_converges);
+    ("router: withdrawal propagates", `Quick, withdrawal_propagates);
+    ("router: session down flushes", `Quick, session_down_flushes_routes);
+    ("router: auto restart", `Quick, session_restarts_automatically);
+    ("router: no-export respected", `Quick, no_export_respected);
+    ("router: loop prevention", `Quick, loop_prevention);
+    ("router: malformed input resets session", `Quick, malformed_input_resets_session);
+    ("router: state is persistent", `Quick, state_is_persistent) ]

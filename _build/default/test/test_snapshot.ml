@@ -1,0 +1,259 @@
+(* Checkpoints, Chandy-Lamport cuts, and shadow isolation. *)
+
+let check = Alcotest.check
+
+let deploy_line n =
+  (* A line of n ASes under Gao-Rexford configs. *)
+  let nodes =
+    List.init n (fun i ->
+        (i, if i = 0 then Topology.Graph.Tier1 else Topology.Graph.Transit))
+  in
+  let edges =
+    List.init (n - 1) (fun i ->
+        { Topology.Graph.a = i + 1; b = i; rel = Topology.Graph.Customer_provider })
+  in
+  let g = Topology.Graph.make ~nodes ~edges in
+  let build = Topology.Build.deploy g in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  build
+
+let make_cut build =
+  Snapshot.Cut.create
+    ~speakers:(fun id -> Topology.Build.speaker build id)
+    build.Topology.Build.net
+
+let take build cut node =
+  let result = ref None in
+  ignore (Snapshot.Cut.initiate cut ~initiator:node ~on_complete:(fun s -> result := Some s));
+  let eng = build.Topology.Build.engine in
+  let rec wait n =
+    match !result with
+    | Some s -> s
+    | None ->
+        if n = 0 then Alcotest.fail "cut did not complete"
+        else begin
+          ignore (Netsim.Engine.step eng);
+          wait (n - 1)
+        end
+  in
+  wait 1_000_000
+
+let checkpoint_captures_state () =
+  let build = deploy_line 3 in
+  let sp = Topology.Build.speaker build 1 in
+  let cp = Snapshot.Checkpoint.take ~at:Netsim.Time.zero sp in
+  let rib = sp.Bgp.Speaker.sp_rib () in
+  check Alcotest.int "route count counts loc + adj-in"
+    (Bgp.Rib.loc_cardinal rib + Bgp.Rib.total_adj_in rib)
+    (Snapshot.Checkpoint.route_count cp);
+  (* Mutating the speaker does not change the checkpoint. *)
+  sp.Bgp.Speaker.sp_inject_update ~from:(Bgp.Router.addr_of_node 0)
+    { Bgp.Msg.withdrawn = [ Topology.Gao_rexford.prefix_of_node 0 ]; attrs = None; nlri = [] };
+  let cp2 = Snapshot.Checkpoint.take ~at:Netsim.Time.zero sp in
+  Alcotest.(check bool) "checkpoint immutable" true
+    (Snapshot.Checkpoint.route_count cp > Snapshot.Checkpoint.route_count cp2)
+
+let cut_completes_with_all_nodes () =
+  let build = deploy_line 4 in
+  let cut = make_cut build in
+  let snap = take build cut 0 in
+  check Alcotest.int "all nodes checkpointed" 4 (List.length snap.Snapshot.Cut.checkpoints);
+  check Alcotest.int "all directed channels closed" 6 (List.length snap.Snapshot.Cut.channels);
+  Alcotest.(check bool) "markers bounded by channels" true
+    (snap.Snapshot.Cut.control_messages <= 6);
+  check Alcotest.int "controller idle" 0 (Snapshot.Cut.active cut)
+
+let concurrent_cuts () =
+  let build = deploy_line 3 in
+  let cut = make_cut build in
+  let done1 = ref false and done2 = ref false in
+  ignore (Snapshot.Cut.initiate cut ~initiator:0 ~on_complete:(fun _ -> done1 := true));
+  ignore (Snapshot.Cut.initiate cut ~initiator:2 ~on_complete:(fun _ -> done2 := true));
+  Topology.Build.run_for build (Netsim.Time.span_sec 10.);
+  Alcotest.(check bool) "both complete" true (!done1 && !done2);
+  check Alcotest.int "two snapshots recorded" 2 (List.length (Snapshot.Cut.completed cut))
+
+let cut_captures_in_flight () =
+  (* Stimulate traffic, then snapshot while UPDATEs are mid-flight: the
+     union of node states and channel states must contain the change. *)
+  let build = deploy_line 4 in
+  let cut = make_cut build in
+  let sp3 = Topology.Build.speaker build 3 in
+  (* Withdraw node 3's prefix: UPDATEs start propagating up the line. *)
+  let cfg = sp3.Bgp.Speaker.sp_config () in
+  sp3.Bgp.Speaker.sp_set_config { cfg with Bgp.Config.networks = [] };
+  (* Snapshot immediately, while withdrawals are in flight. *)
+  let snap = take build cut 0 in
+  let in_flight = Snapshot.Cut.in_flight_total snap in
+  (* Spawn the clone and let it quiesce: it must reach the same
+     conclusion as the live system eventually does. *)
+  let shadow = Snapshot.Store.spawn snap in
+  Alcotest.(check bool) "shadow quiesces" true (Snapshot.Store.run_to_quiescence shadow);
+  assert (Topology.Build.converge build);
+  let withdrawn_prefix = Topology.Gao_rexford.prefix_of_node 3 in
+  List.iter
+    (fun (id, shadow_speaker) ->
+      let live_speaker = Topology.Build.speaker build id in
+      let live_has = Bgp.Prefix.Map.mem withdrawn_prefix (Bgp.Speaker.loc_rib live_speaker) in
+      let shadow_has = Bgp.Prefix.Map.mem withdrawn_prefix (Bgp.Speaker.loc_rib shadow_speaker) in
+      check Alcotest.bool
+        (Printf.sprintf "node %d: shadow agrees with eventual live state (in_flight=%d)" id in_flight)
+        live_has shadow_has)
+    shadow.Snapshot.Store.sh_speakers
+
+let shadow_isolation () =
+  let build = deploy_line 3 in
+  let cut = make_cut build in
+  let snap = take build cut 0 in
+  let live_before = Topology.Build.loc_rib_snapshot build in
+  let live_msgs = Netsim.Network.messages_sent build.Topology.Build.net in
+  let shadow = Snapshot.Store.spawn snap in
+  (* Hammer the clone. *)
+  let sp0 = Snapshot.Store.speaker shadow 0 in
+  sp0.Bgp.Speaker.sp_inject_update ~from:(Bgp.Router.addr_of_node 1)
+    { Bgp.Msg.withdrawn = [];
+      attrs =
+        Some
+          (Bgp.Attr.make ~origin:Bgp.Attr.Igp
+             ~as_path:[ Bgp.As_path.Seq [ Topology.Gao_rexford.asn_of_node 1 ] ]
+             ~next_hop:(Bgp.Router.addr_of_node 1) ());
+      nlri = [ Bgp.Prefix.of_string_exn "203.0.113.0/24" ] };
+  ignore (Snapshot.Store.run_to_quiescence shadow);
+  (* The live system is untouched: same RIBs, no extra messages. *)
+  Alcotest.(check bool) "live RIBs unchanged" true
+    (Topology.Build.loc_rib_snapshot build = live_before);
+  check Alcotest.int "no live messages sent" live_msgs
+    (Netsim.Network.messages_sent build.Topology.Build.net);
+  (* And the clone did change. *)
+  Alcotest.(check bool) "clone accepted the route" true
+    (Bgp.Prefix.Map.mem (Bgp.Prefix.of_string_exn "203.0.113.0/24") (Bgp.Speaker.loc_rib sp0))
+
+let clones_are_independent () =
+  let build = deploy_line 3 in
+  let cut = make_cut build in
+  let snap = take build cut 0 in
+  let s1 = Snapshot.Store.spawn snap in
+  let s2 = Snapshot.Store.spawn snap in
+  let inject shadow prefix =
+    (Snapshot.Store.speaker shadow 0).Bgp.Speaker.sp_inject_update
+      ~from:(Bgp.Router.addr_of_node 1)
+      { Bgp.Msg.withdrawn = [];
+        attrs =
+          Some
+            (Bgp.Attr.make ~origin:Bgp.Attr.Igp
+               ~as_path:[ Bgp.As_path.Seq [ Topology.Gao_rexford.asn_of_node 1 ] ]
+               ~next_hop:(Bgp.Router.addr_of_node 1) ());
+        nlri = [ Bgp.Prefix.of_string_exn prefix ] }
+  in
+  inject s1 "203.0.113.0/24";
+  inject s2 "198.51.100.0/24";
+  ignore (Snapshot.Store.run_to_quiescence s1);
+  ignore (Snapshot.Store.run_to_quiescence s2);
+  let has shadow prefix =
+    Bgp.Prefix.Map.mem (Bgp.Prefix.of_string_exn prefix)
+      (Bgp.Speaker.loc_rib (Snapshot.Store.speaker shadow 0))
+  in
+  Alcotest.(check bool) "s1 sees its input only" true
+    (has s1 "203.0.113.0/24" && not (has s1 "198.51.100.0/24"));
+  Alcotest.(check bool) "s2 sees its input only" true
+    (has s2 "198.51.100.0/24" && not (has s2 "203.0.113.0/24"))
+
+let checkpoint_cost_constant () =
+  (* O(1) checkpointing: time to checkpoint must not scale with RIB
+     size.  We assert a generous bound rather than measuring ratios. *)
+  let build = deploy_line 3 in
+  let sp = Topology.Build.speaker build 1 in
+  (* Grow the RIB substantially. *)
+  for i = 0 to 499 do
+    sp.Bgp.Speaker.sp_inject_update ~from:(Bgp.Router.addr_of_node 0)
+      { Bgp.Msg.withdrawn = [];
+        attrs =
+          Some
+            (Bgp.Attr.make ~origin:Bgp.Attr.Igp
+               ~as_path:[ Bgp.As_path.Seq [ Topology.Gao_rexford.asn_of_node 0 ] ]
+               ~next_hop:(Bgp.Router.addr_of_node 0) ());
+        nlri = [ Bgp.Prefix.make (Bgp.Ipv4.of_octets 203 (i lsr 8) (i land 255) 0) 24 ] }
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 1000 do
+    ignore (Snapshot.Checkpoint.take ~at:Netsim.Time.zero sp)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1000 checkpoints of a 500-route RIB in <0.1s (took %.4fs)" dt)
+    true (dt < 0.1)
+
+(* --- checkpoint serialization --- *)
+
+let codec_roundtrip () =
+  let build = deploy_line 3 in
+  let sp = Topology.Build.speaker build 1 in
+  let text = Snapshot.Codec.export sp in
+  Alcotest.(check bool) "has route entries" true (Snapshot.Codec.route_entries text > 0);
+  (* Import onto a fresh isolated network with the same node ids. *)
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  List.iter (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 1 2 Netsim.Link.ideal;
+  match Snapshot.Codec.import ~net text with
+  | Error msg -> Alcotest.fail msg
+  | Ok clone ->
+      (* Compare canonical bindings: Map structural equality depends on
+         insertion order. *)
+      let canon (rib : Bgp.Rib.t) =
+        ( Bgp.Prefix.Map.bindings rib.Bgp.Rib.loc,
+          List.map
+            (fun (peer, pm) -> (peer, Bgp.Prefix.Map.bindings pm))
+            (Bgp.Ipv4.Map.bindings rib.Bgp.Rib.adj_in),
+          List.map
+            (fun (peer, pm) -> (peer, Bgp.Prefix.Map.bindings pm))
+            (Bgp.Ipv4.Map.bindings rib.Bgp.Rib.adj_out) )
+      in
+      Alcotest.(check bool) "identical rib view" true
+        (canon (clone.Bgp.Speaker.sp_rib ()) = canon (sp.Bgp.Speaker.sp_rib ()));
+      check (Alcotest.list (Alcotest.testable Bgp.Ipv4.pp Bgp.Ipv4.equal))
+        "sessions restored"
+        (sp.Bgp.Speaker.sp_established ())
+        (clone.Bgp.Speaker.sp_established ())
+
+let codec_cross_implementation () =
+  (* Export a bird-like node, import it as a Sparrow: the selected
+     routes survive the implementation change. *)
+  let build = deploy_line 3 in
+  let sp = Topology.Build.speaker build 1 in
+  let text = Snapshot.Codec.export sp in
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  List.iter (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 1 2 Netsim.Link.ideal;
+  match Snapshot.Codec.import ~impl:`Sparrow ~net text with
+  | Error msg -> Alcotest.fail msg
+  | Ok clone ->
+      check Alcotest.string "implementation switched" "sparrow" clone.Bgp.Speaker.sp_impl;
+      Alcotest.(check bool) "same Loc-RIB prefixes" true
+        (List.map fst (Bgp.Prefix.Map.bindings (Bgp.Speaker.loc_rib clone))
+        = List.map fst (Bgp.Prefix.Map.bindings (Bgp.Speaker.loc_rib sp)))
+
+let codec_rejects_garbage () =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+  Alcotest.(check bool) "bad header" true
+    (Result.is_error (Snapshot.Codec.import ~net "not a checkpoint"));
+  Alcotest.(check bool) "truncated" true
+    (Result.is_error (Snapshot.Codec.import ~net "dice-checkpoint v1\nnode 0\n"))
+
+let suite =
+  [ ("checkpoint: captures state immutably", `Quick, checkpoint_captures_state);
+    ("codec: export/import roundtrip", `Quick, codec_roundtrip);
+    ("codec: cross-implementation import", `Quick, codec_cross_implementation);
+    ("codec: rejects garbage", `Quick, codec_rejects_garbage);
+    ("cut: completes over all nodes", `Quick, cut_completes_with_all_nodes);
+    ("cut: concurrent snapshots", `Quick, concurrent_cuts);
+    ("cut: consistency with in-flight messages", `Quick, cut_captures_in_flight);
+    ("store: shadow isolation", `Quick, shadow_isolation);
+    ("store: clones are independent", `Quick, clones_are_independent);
+    ("checkpoint: O(1) cost", `Quick, checkpoint_cost_constant) ]

@@ -1,0 +1,250 @@
+(* Heterogeneity: the Sparrow implementation, alone and in mixed
+   deployments with the bird-like reference implementation. *)
+
+let check = Alcotest.check
+
+let p = Bgp.Prefix.of_string_exn
+
+(* A line of n ASes; [sparrow_nodes] run the second implementation. *)
+let deploy_line ?(sparrow_nodes = []) n =
+  let nodes =
+    List.init n (fun i ->
+        (i, if i = 0 then Topology.Graph.Tier1 else Topology.Graph.Transit))
+  in
+  let edges =
+    List.init (n - 1) (fun i ->
+        { Topology.Graph.a = i + 1; b = i; rel = Topology.Graph.Customer_provider })
+  in
+  let g = Topology.Graph.make ~nodes ~edges in
+  let build = Topology.Build.deploy ~sparrow_nodes g in
+  Topology.Build.start_all build;
+  (g, build)
+
+let sparrow_pair_converges () =
+  let _, build = deploy_line ~sparrow_nodes:[ 0; 1 ] 2 in
+  Alcotest.(check bool) "converges" true (Topology.Build.converge build);
+  check Alcotest.int "both learn both prefixes" 4 (Topology.Build.total_loc_routes build);
+  check Alcotest.int "sessions up" 2 (Topology.Build.established_sessions build)
+
+let mixed_chain_converges () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1; 3 ] 5 in
+  Alcotest.(check bool) "converges" true (Topology.Build.converge build);
+  check Alcotest.int "full reachability" 25 (Topology.Build.total_loc_routes build);
+  List.iter
+    (fun (id, sp) ->
+      check Alcotest.string
+        (Printf.sprintf "node %d implementation" id)
+        (if List.mem id [ 1; 3 ] then "sparrow" else "bird-like")
+        sp.Bgp.Speaker.sp_impl)
+    build.Topology.Build.speakers
+
+let mixed_withdrawal_propagates () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1; 3 ] 5 in
+  assert (Topology.Build.converge build);
+  (* Withdraw the far end's prefix; it crosses both implementations. *)
+  let sp4 = Topology.Build.speaker build 4 in
+  let cfg = sp4.Bgp.Speaker.sp_config () in
+  sp4.Bgp.Speaker.sp_set_config { cfg with Bgp.Config.networks = [] };
+  assert (Topology.Build.converge build);
+  let sp0 = Topology.Build.speaker build 0 in
+  Alcotest.(check bool) "withdrawal crossed a sparrow hop" false
+    (Bgp.Prefix.Map.mem (Topology.Gao_rexford.prefix_of_node 4) (Bgp.Speaker.loc_rib sp0))
+
+let mixed_demo27_converges () =
+  let graph = Topology.Demo27.graph in
+  (* Run every third AS on Sparrow. *)
+  let sparrow_nodes = List.filter (fun i -> i mod 3 = 1) (Topology.Graph.node_ids graph) in
+  let build = Topology.Build.deploy ~sparrow_nodes graph in
+  Topology.Build.start_all build;
+  Alcotest.(check bool) "mixed 27-AS deployment converges" true
+    (Topology.Build.converge build);
+  check Alcotest.int "full reachability" (27 * 27) (Topology.Build.total_loc_routes build)
+
+let sparrow_rejects_malformed () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 2 in
+  assert (Topology.Build.converge build);
+  let sp1 = Topology.Build.speaker build 1 in
+  (* Corrupted UPDATE: Sparrow must answer with a NOTIFICATION and drop
+     the session, like the reference implementation. *)
+  let attrs =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq [ Topology.Gao_rexford.asn_of_node 0 ] ]
+      ~next_hop:(Bgp.Router.addr_of_node 0) ()
+  in
+  let raw =
+    Bgp.Wire.encode
+      (Bgp.Msg.Update { withdrawn = []; attrs = Some attrs; nlri = [ p "203.0.113.0/24" ] })
+  in
+  let b = Bytes.of_string raw in
+  Bytes.set b 26 '\xee';
+  sp1.Bgp.Speaker.sp_process_raw ~from_node:0 (Bytes.to_string b);
+  check Alcotest.int "malformed counted" 1
+    (Netsim.Stats.get (sp1.Bgp.Speaker.sp_stats ()) "rx_malformed");
+  check (Alcotest.list Alcotest.int) "session dropped" []
+    (List.map Bgp.Router.node_of_addr (sp1.Bgp.Speaker.sp_established ()))
+
+let sparrow_capture_respawn () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 3 in
+  assert (Topology.Build.converge build);
+  let sp1 = Topology.Build.speaker build 1 in
+  let capture = Bgp.Speaker.capture sp1 in
+  check Alcotest.string "impl recorded" "sparrow" capture.Bgp.Speaker.cap_impl;
+  Alcotest.(check bool) "route count positive" true
+    (Lazy.force capture.Bgp.Speaker.cap_route_count > 0);
+  (* Respawn on an isolated net and compare Loc-RIBs. *)
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  List.iter (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 1 2 Netsim.Link.ideal;
+  let clone = capture.Bgp.Speaker.cap_respawn ~net ~bugs:Bgp.Router.no_bugs in
+  Alcotest.(check bool) "same Loc-RIB" true
+    (Bgp.Prefix.Map.bindings (Bgp.Speaker.loc_rib clone)
+    = Bgp.Prefix.Map.bindings (Bgp.Speaker.loc_rib sp1))
+
+let sparrow_decision_matches_spec () =
+  (* The independently written decision logic agrees with the reference
+     decision process on a converged mixed deployment. *)
+  let graph = Topology.Gadget.embedded () in
+  let sparrow_nodes = [ 0; 2; 5; 8 ] in
+  let build = Topology.Build.deploy ~sparrow_nodes graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  let cut =
+    Snapshot.Cut.create
+      ~speakers:(fun id -> Topology.Build.speaker build id)
+      build.Topology.Build.net
+  in
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+  let shadow = Snapshot.Store.spawn snap in
+  ignore (Snapshot.Store.run_to_quiescence shadow);
+  List.iter
+    (fun (c : Dice.Checks.checker) ->
+      List.iter
+        (fun (v : Dice.Checks.verdict) ->
+          if not v.Dice.Checks.v_ok then
+            Alcotest.failf "mixed healthy system violates %s at node %d: %s"
+              v.Dice.Checks.v_property v.Dice.Checks.v_node v.Dice.Checks.v_evidence)
+        (c.Dice.Checks.run shadow))
+    (Dice.Checks.standard_suite gt);
+  ignore gt
+
+let heterogeneous_shadow_preserves_impls () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 3 in
+  assert (Topology.Build.converge build);
+  let cut =
+    Snapshot.Cut.create
+      ~speakers:(fun id -> Topology.Build.speaker build id)
+      build.Topology.Build.net
+  in
+  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+  let shadow = Snapshot.Store.spawn snap in
+  List.iter
+    (fun (id, sp) ->
+      check Alcotest.string
+        (Printf.sprintf "clone %d keeps its implementation" id)
+        (if id = 1 then "sparrow" else "bird-like")
+        sp.Bgp.Speaker.sp_impl)
+    shadow.Snapshot.Store.sh_speakers
+
+let dice_detects_sparrow_crash () =
+  let params =
+    { Topology.Generate.default_params with n_tier1 = 1; n_transit = 2; n_stub = 3 }
+  in
+  let graph = Topology.Generate.generate ~params (Netsim.Rng.create 31) in
+  let build = Topology.Build.deploy ~sparrow_nodes:[ 1 ] graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  Dice.Inject.apply build
+    (Dice.Inject.Crash_bug { at = 1; community = Bgp.Community.make 64998 7 });
+  let _, hit =
+    Dice.Orchestrator.run_until_detection ~build ~gt ~nodes:[ 1 ]
+      ~expect:Dice.Fault.Programming_error ()
+  in
+  match hit with
+  | Some round ->
+      Alcotest.(check bool) "sparrow crash found by exploration" true
+        (List.exists
+           (fun (f : Dice.Fault.t) ->
+             String.equal f.Dice.Fault.f_property "handler-crash")
+           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+  | None -> Alcotest.fail "sparrow crash bug not detected"
+
+(* Differential property: Sparrow's independently written selection
+   logic agrees with the reference decision process on random
+   candidate sets. *)
+let arb_announcements =
+  let open QCheck.Gen in
+  let attrs =
+    let* lp = opt (int_range 50 300) in
+    let* path = list_size (int_range 1 4) (int_range 64000 64010) in
+    let* origin = oneofl [ Bgp.Attr.Igp; Bgp.Attr.Egp; Bgp.Attr.Incomplete ] in
+    let* med = opt (int_bound 500) in
+    return (lp, path, origin, med)
+  in
+  let event =
+    let* peer = int_bound 2 in
+    let* withdraw = frequency [ (4, return false); (1, return true) ] in
+    let* a = attrs in
+    return (peer, withdraw, a)
+  in
+  QCheck.make
+    ~print:(fun evs -> Printf.sprintf "%d events" (List.length evs))
+    (list_size (int_range 1 12) event)
+
+let sparrow_selection_spec =
+  QCheck.Test.make ~name:"sparrow: selection agrees with the reference decision process"
+    ~count:200 arb_announcements
+    (fun events ->
+      let eng = Netsim.Engine.create () in
+      let net = Netsim.Network.create eng in
+      List.iter (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ())) [ 0; 1; 2; 3 ];
+      List.iter (fun i -> Netsim.Network.connect_sym net 0 i Netsim.Link.ideal) [ 1; 2; 3 ];
+      let cfg =
+        Bgp.Config.make ~asn:65100 ~router_id:(Bgp.Router.addr_of_node 0)
+          ~neighbors:
+            (List.map
+               (fun i ->
+                 Bgp.Config.neighbor (Bgp.Router.addr_of_node i) ~remote_as:(64000 + i))
+               [ 1; 2; 3 ])
+          ()
+      in
+      let s = Bgp.Sparrow.create ~net ~node:0 cfg in
+      let prefix = p "203.0.113.0/24" in
+      List.iter
+        (fun (peer, withdraw, (lp, path, origin, med)) ->
+          let from = Bgp.Router.addr_of_node (peer + 1) in
+          if withdraw then
+            Bgp.Sparrow.inject_update s ~from
+              { Bgp.Msg.withdrawn = [ prefix ]; attrs = None; nlri = [] }
+          else
+            Bgp.Sparrow.inject_update s ~from
+              { Bgp.Msg.withdrawn = [];
+                attrs =
+                  Some
+                    (Bgp.Attr.make ~origin ~as_path:[ Bgp.As_path.Seq path ] ~med
+                       ~local_pref:lp ~next_hop:from ());
+                nlri = [ prefix ] })
+        events;
+      let rib = Bgp.Sparrow.rib_view s in
+      let candidates =
+        Bgp.Rib.candidates prefix rib
+        |> List.filter (Bgp.Decision.acceptable ~local_as:65100)
+      in
+      let reference = Bgp.Decision.best Bgp.Decision.default_config candidates in
+      let actual = Bgp.Rib.loc_get prefix rib in
+      reference = actual)
+
+let suite =
+  [ ("sparrow: pair converges", `Quick, sparrow_pair_converges);
+    ("mixed: chain converges", `Quick, mixed_chain_converges);
+    ("mixed: withdrawal crosses implementations", `Quick, mixed_withdrawal_propagates);
+    ("mixed: 27-AS demo converges", `Slow, mixed_demo27_converges);
+    ("sparrow: rejects malformed input", `Quick, sparrow_rejects_malformed);
+    ("sparrow: capture/respawn", `Quick, sparrow_capture_respawn);
+    ("mixed: checks clean when healthy", `Slow, sparrow_decision_matches_spec);
+    ("mixed: shadows preserve implementations", `Quick, heterogeneous_shadow_preserves_impls);
+    ("mixed: DiCE finds a sparrow crash bug", `Slow, dice_detects_sparrow_crash);
+    QCheck_alcotest.to_alcotest sparrow_selection_spec ]

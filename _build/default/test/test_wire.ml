@@ -1,0 +1,282 @@
+(* RFC 4271 wire codec: golden bytes, round-trips, and the
+   notification codes produced for malformed input. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let hex s =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c)) (List.init (String.length s) (String.get s)))
+
+let msg_testable =
+  Alcotest.testable (fun ppf m -> Bgp.Msg.pp ppf m) ( = )
+
+let decode_ok raw =
+  match Bgp.Wire.decode raw with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "decode failed: %a" Bgp.Wire.pp_error e
+
+let decode_err raw =
+  match Bgp.Wire.decode raw with
+  | Ok m -> Alcotest.failf "expected decode error, got %a" Bgp.Msg.pp m
+  | Error e -> e
+
+(* --- golden bytes --- *)
+
+let golden_keepalive () =
+  let raw = Bgp.Wire.encode Bgp.Msg.Keepalive in
+  check Alcotest.string "19 bytes: marker + len 19 + type 4"
+    ("ffffffffffffffffffffffffffffffff" ^ "0013" ^ "04")
+    (hex raw);
+  check msg_testable "roundtrip" Bgp.Msg.Keepalive (decode_ok raw)
+
+let golden_open () =
+  let m =
+    Bgp.Msg.Open
+      { version = 4; my_as = 65001; hold_time = 90;
+        bgp_id = Bgp.Ipv4.of_string_exn "10.0.0.1" }
+  in
+  let raw = Bgp.Wire.encode m in
+  (* body: 04 | fde9 | 005a | 0a000001 | 00 *)
+  check Alcotest.string "golden OPEN"
+    ("ffffffffffffffffffffffffffffffff" ^ "001d" ^ "01" ^ "04" ^ "fde9" ^ "005a"
+   ^ "0a000001" ^ "00")
+    (hex raw);
+  check msg_testable "roundtrip" m (decode_ok raw)
+
+let golden_update () =
+  let attrs =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq [ 65001; 65002 ] ]
+      ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.1")
+      ()
+  in
+  let m =
+    Bgp.Msg.Update
+      { withdrawn = []; attrs = Some attrs;
+        nlri = [ Bgp.Prefix.of_string_exn "192.0.2.0/24" ] }
+  in
+  let raw = Bgp.Wire.encode m in
+  (* attrs: origin 40 01 01 00 | as_path 40 02 06 02 02 fde9 fdea
+            | next_hop 40 03 04 0a000001 *)
+  check Alcotest.string "golden UPDATE"
+    ("ffffffffffffffffffffffffffffffff" ^ "002f" ^ "02" ^ "0000" ^ "0014"
+   ^ "400101" ^ "00" ^ "400206" ^ "0202fde9fdea" ^ "400304" ^ "0a000001"
+   ^ "18c00002")
+    (hex raw);
+  check msg_testable "roundtrip" m (decode_ok raw)
+
+let golden_notification () =
+  let m = Bgp.Msg.Notification { code = 6; subcode = 0; data = "" } in
+  let raw = Bgp.Wire.encode m in
+  check Alcotest.string "golden NOTIFICATION"
+    ("ffffffffffffffffffffffffffffffff" ^ "0015" ^ "03" ^ "06" ^ "00")
+    (hex raw);
+  check msg_testable "roundtrip" m (decode_ok raw)
+
+(* --- error paths --- *)
+
+let patch raw pos byte =
+  let b = Bytes.of_string raw in
+  Bytes.set b pos (Char.chr byte);
+  Bytes.to_string b
+
+let bad_marker () =
+  let raw = patch (Bgp.Wire.encode Bgp.Msg.Keepalive) 3 0x00 in
+  let e = decode_err raw in
+  check Alcotest.int "code" Bgp.Msg.Error.message_header e.Bgp.Wire.code;
+  check Alcotest.int "subcode" Bgp.Msg.Error.bad_marker e.Bgp.Wire.subcode
+
+let bad_length_field () =
+  let raw = patch (Bgp.Wire.encode Bgp.Msg.Keepalive) 17 0x20 in
+  let e = decode_err raw in
+  check Alcotest.int "subcode" Bgp.Msg.Error.bad_length e.Bgp.Wire.subcode
+
+let bad_type () =
+  let raw = patch (Bgp.Wire.encode Bgp.Msg.Keepalive) 18 9 in
+  let e = decode_err raw in
+  check Alcotest.int "subcode" Bgp.Msg.Error.bad_type e.Bgp.Wire.subcode
+
+let update_raw () =
+  let attrs =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq [ 65001 ] ]
+      ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.1")
+      ()
+  in
+  Bgp.Wire.encode
+    (Bgp.Msg.Update
+       { withdrawn = []; attrs = Some attrs;
+         nlri = [ Bgp.Prefix.of_string_exn "192.0.2.0/24" ] })
+
+let invalid_origin_value () =
+  (* origin attribute value sits at offset 19+2+2+3 *)
+  let e = decode_err (patch (update_raw ()) 26 0xEE) in
+  check Alcotest.int "code" Bgp.Msg.Error.update_message e.Bgp.Wire.code;
+  check Alcotest.int "subcode" Bgp.Msg.Error.invalid_origin e.Bgp.Wire.subcode
+
+let bad_attr_flags () =
+  (* origin flags at offset 23: well-known must be transitive, 0x80 is
+     optional -> attribute-flags error *)
+  let e = decode_err (patch (update_raw ()) 23 0x80) in
+  check Alcotest.int "subcode" Bgp.Msg.Error.attribute_flags e.Bgp.Wire.subcode
+
+let missing_wellknown () =
+  (* Craft an UPDATE with NLRI but an empty attribute section. *)
+  let b = Buffer.create 32 in
+  for _ = 1 to 16 do Buffer.add_char b '\xff' done;
+  let body = "\x00\x00" ^ "\x00\x00" ^ "\x18\xc0\x00\x02" in
+  let len = 19 + String.length body in
+  Buffer.add_char b (Char.chr (len lsr 8));
+  Buffer.add_char b (Char.chr (len land 0xFF));
+  Buffer.add_char b '\x02';
+  Buffer.add_string b body;
+  let e = decode_err (Buffer.contents b) in
+  check Alcotest.int "subcode" Bgp.Msg.Error.missing_wellknown e.Bgp.Wire.subcode
+
+let open_version_check () =
+  let raw =
+    Bgp.Wire.encode
+      (Bgp.Msg.Open
+         { version = 4; my_as = 1; hold_time = 90;
+           bgp_id = Bgp.Ipv4.of_string_exn "1.1.1.1" })
+  in
+  (* version byte at 19 *)
+  let e = decode_err (patch raw 19 5) in
+  check Alcotest.int "code" Bgp.Msg.Error.open_message e.Bgp.Wire.code;
+  check Alcotest.int "subcode" Bgp.Msg.Error.unsupported_version e.Bgp.Wire.subcode
+
+let hold_time_check () =
+  let raw =
+    Bgp.Wire.encode
+      (Bgp.Msg.Open
+         { version = 4; my_as = 1; hold_time = 2;
+           bgp_id = Bgp.Ipv4.of_string_exn "1.1.1.1" })
+  in
+  let e = decode_err raw in
+  check Alcotest.int "subcode" Bgp.Msg.Error.unacceptable_hold_time e.Bgp.Wire.subcode
+
+let truncated () =
+  let raw = Bgp.Wire.encode Bgp.Msg.Keepalive in
+  let e = decode_err (String.sub raw 0 10) in
+  check Alcotest.int "code" Bgp.Msg.Error.message_header e.Bgp.Wire.code
+
+let pure_withdrawal () =
+  let m =
+    Bgp.Msg.Update
+      { withdrawn = [ Bgp.Prefix.of_string_exn "192.0.2.0/24" ]; attrs = None; nlri = [] }
+  in
+  check msg_testable "withdrawal roundtrip" m (decode_ok (Bgp.Wire.encode m))
+
+let unknown_transitive_attr () =
+  (* An optional transitive attribute the decoder does not know: kept,
+     with the Partial bit set. *)
+  let attrs =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq [ 65001 ] ]
+      ~unknown:[ { Bgp.Attr.u_type = 99; u_flags = 0xC0; u_value = "\x01\x02" } ]
+      ~next_hop:(Bgp.Ipv4.of_string_exn "10.0.0.1")
+      ()
+  in
+  let m =
+    Bgp.Msg.Update
+      { withdrawn = []; attrs = Some attrs; nlri = [ Bgp.Prefix.of_string_exn "192.0.2.0/24" ] }
+  in
+  match decode_ok (Bgp.Wire.encode m) with
+  | Bgp.Msg.Update { attrs = Some a; _ } -> (
+      match a.Bgp.Attr.unknown with
+      | [ u ] ->
+          check Alcotest.int "type kept" 99 u.Bgp.Attr.u_type;
+          Alcotest.(check bool) "partial bit set" true
+            (u.Bgp.Attr.u_flags land Bgp.Attr.flag_partial <> 0);
+          check Alcotest.string "value kept" "\x01\x02" u.Bgp.Attr.u_value
+      | _ -> Alcotest.fail "expected one unknown attribute")
+  | _ -> Alcotest.fail "expected UPDATE"
+
+(* --- property: roundtrip over random well-formed updates --- *)
+
+let arb_attrs =
+  let open QCheck.Gen in
+  let gen =
+    let* origin = oneofl [ Bgp.Attr.Igp; Bgp.Attr.Egp; Bgp.Attr.Incomplete ] in
+    let* path = list_size (int_bound 4) (int_range 1 65535) in
+    let* med = opt (int_bound 0xFFFF) in
+    let* lp = opt (int_bound 1000) in
+    let* atomic = bool in
+    let* coms = list_size (int_bound 3) (map2 Bgp.Community.make (int_bound 0xFFFF) (int_bound 0xFFFF)) in
+    let* nh = map (fun x -> Bgp.Ipv4.of_int32_exn (abs x land 0xFFFF_FFFF)) int in
+    let coms = List.sort_uniq Bgp.Community.compare coms in
+    let as_path = if path = [] then [] else [ Bgp.As_path.Seq path ] in
+    return
+      (Bgp.Attr.make ~origin ~as_path ~med ~local_pref:lp ~atomic_aggregate:atomic
+         ~communities:coms ~next_hop:nh ())
+  in
+  gen
+
+let arb_update =
+  let open QCheck.Gen in
+  let prefix =
+    map2
+      (fun addr len -> Bgp.Prefix.make (Bgp.Ipv4.of_int32_exn (abs addr land 0xFFFF_FFFF)) len)
+      int (int_bound 32)
+  in
+  let gen =
+    let* withdrawn = list_size (int_bound 3) prefix in
+    let* nlri = list_size (int_range 1 4) prefix in
+    let* attrs = arb_attrs in
+    return { Bgp.Msg.withdrawn; attrs = Some attrs; nlri }
+  in
+  QCheck.make
+    ~print:(fun u -> Format.asprintf "%a" Bgp.Msg.pp (Bgp.Msg.Update u))
+    gen
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"wire: encode/decode roundtrip on random updates" ~count:300
+    arb_update
+    (fun u ->
+      (* Communities are kept sorted by the codec's producer side. *)
+      let m = Bgp.Msg.Update u in
+      match Bgp.Wire.decode (Bgp.Wire.encode m) with
+      | Ok m' -> m = m'
+      | Error _ -> false)
+
+let decode_never_crashes =
+  QCheck.Test.make ~name:"wire: decode never raises on fuzz bytes" ~count:1000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+    (fun s ->
+      match Bgp.Wire.decode s with Ok _ | Error _ -> true)
+
+(* Single-byte mutations of valid messages either decode to *some*
+   message or fail with a well-formed notification code — never an
+   exception, and never a code outside RFC 4271's range. *)
+let mutation_robustness =
+  QCheck.Test.make ~name:"wire: single-byte mutations are handled gracefully" ~count:500
+    QCheck.(pair (int_bound 1000) (int_bound 255))
+    (fun (pos_seed, byte) ->
+      let raw = update_raw () in
+      let pos = pos_seed mod String.length raw in
+      let b = Bytes.of_string raw in
+      Bytes.set b pos (Char.chr byte);
+      match Bgp.Wire.decode (Bytes.to_string b) with
+      | Ok _ -> true
+      | Error e -> e.Bgp.Wire.code >= 1 && e.Bgp.Wire.code <= 6)
+
+let suite =
+  [ ("golden: KEEPALIVE", `Quick, golden_keepalive);
+    qtest mutation_robustness;
+    ("golden: OPEN", `Quick, golden_open);
+    ("golden: UPDATE", `Quick, golden_update);
+    ("golden: NOTIFICATION", `Quick, golden_notification);
+    ("error: bad marker", `Quick, bad_marker);
+    ("error: bad length", `Quick, bad_length_field);
+    ("error: bad type", `Quick, bad_type);
+    ("error: invalid ORIGIN value", `Quick, invalid_origin_value);
+    ("error: bad attribute flags", `Quick, bad_attr_flags);
+    ("error: missing well-known attribute", `Quick, missing_wellknown);
+    ("error: unsupported version", `Quick, open_version_check);
+    ("error: unacceptable hold time", `Quick, hold_time_check);
+    ("error: truncated buffer", `Quick, truncated);
+    ("update: pure withdrawal", `Quick, pure_withdrawal);
+    ("update: unknown transitive attribute", `Quick, unknown_transitive_attr);
+    qtest roundtrip_prop;
+    qtest decode_never_crashes ]
