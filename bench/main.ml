@@ -3,13 +3,14 @@
    Usage:
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- f1 t3     # selected sections
-     dune exec bench/main.exe -- micro     # micro-benchmarks only *)
+     dune exec bench/main.exe -- micro     # micro-benchmarks only
+     dune exec bench/main.exe -- par       # parallel exploration + BENCH.json *)
 
 let sections =
   [ ("f1", Experiments.f1); ("f2", Experiments.f2); ("t1", Experiments.t1);
     ("t2", Experiments.t2); ("t3", Experiments.t3); ("t4", Experiments.t4);
     ("t5", Experiments.t5); ("t6", Experiments.t6);
-    ("micro", Micro.run) ]
+    ("micro", Micro.run); ("par", Par.run) ]
 
 let () =
   let requested =

@@ -100,8 +100,18 @@ let solver_constraints =
       Lt (Var x, Const 1000);
       Not (Eq (Var x, Const 0)) ]
 
+(* Disable memoization while timing the search itself: with the cache
+   on, every iteration after the first would measure a table lookup. *)
 let bench_solver =
   Test.make ~name:"solver/small-path-condition"
+    (Staged.stage (fun () ->
+         Concolic.Solver.set_cache_enabled false;
+         let r = Concolic.Solver.solve solver_constraints in
+         Concolic.Solver.set_cache_enabled true;
+         r))
+
+let bench_solver_memo =
+  Test.make ~name:"solver/memo-hit"
     (Staged.stage (fun () -> Concolic.Solver.solve solver_constraints))
 
 let bench_engine_events =
@@ -116,26 +126,40 @@ let bench_engine_events =
 let tests =
   Test.make_grouped ~name:"dice"
     [ bench_wire_encode; bench_wire_decode; bench_trie_lpm; bench_decision;
-      bench_policy; bench_checkpoint; bench_solver; bench_engine_events ]
+      bench_policy; bench_checkpoint; bench_solver; bench_solver_memo;
+      bench_engine_events ]
 
-let run () =
+(* ns/op per benchmark, sorted by name; shared with the [par] section
+   so BENCH.json carries the same numbers that get printed. *)
+let results () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols (Instance.monotonic_clock) raw in
-  Tables.section "Bechamel micro-benchmarks (per-operation costs behind T2)";
+  let analyzed = Analyze.all ols (Instance.monotonic_clock) raw in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
       let ns =
         match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> Printf.sprintf "%.1f" x
-        | Some [] | None -> "n/a"
+        | Some (x :: _) -> Some x
+        | Some [] | None -> None
       in
-      rows := [ name; ns ] :: !rows)
-    results;
-  let rows = List.sort compare !rows in
+      rows := (name, ns) :: !rows)
+    analyzed;
+  List.sort compare !rows
+
+let print results =
+  Tables.section "Bechamel micro-benchmarks (per-operation costs behind T2)";
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        [ name;
+          (match ns with Some x -> Printf.sprintf "%.1f" x | None -> "n/a") ])
+      results
+  in
   Tables.print ~title:"time per operation" ~header:[ "benchmark"; "ns/run" ] rows
+
+let run () = print (results ())

@@ -1,0 +1,152 @@
+(* The [par] section: sequential vs multi-domain exploration on the
+   27-node demo topology, plus a machine-readable BENCH.json that
+   seeds the perf trajectory (micro ns/op, exploration throughput,
+   parallel speedup, solver-cache effectiveness).
+
+   Determinism is asserted, not assumed: every domain count must
+   report the same faults, inputs and distinct paths. *)
+
+type xrun = {
+  xr_domains : int;
+  xr_wall : float;
+  xr_work : float;
+  xr_inputs : int;
+  xr_shadow_runs : int;
+  xr_paths : int;
+  xr_faults : int;
+}
+
+let explore_with ~domains ~build ~gt ~node =
+  let cut =
+    Snapshot.Cut.create
+      ~speakers:(fun id -> Topology.Build.speaker build id)
+      build.Topology.Build.net
+  in
+  let params = { Dice.Explorer.default_params with Dice.Explorer.domains } in
+  let t0 = Unix.gettimeofday () in
+  let x = Dice.Explorer.explore_node ~params ~build ~cut ~gt ~node () in
+  let wall = Unix.gettimeofday () -. t0 in
+  { xr_domains = domains;
+    xr_wall = wall;
+    xr_work = x.Dice.Explorer.x_work_seconds;
+    xr_inputs = x.Dice.Explorer.x_inputs;
+    xr_shadow_runs = x.Dice.Explorer.x_shadow_runs;
+    xr_paths = x.Dice.Explorer.x_distinct_paths;
+    xr_faults = List.length x.Dice.Explorer.x_faults }
+
+(* Minimal JSON emission: the structure is flat and the strings are
+   benchmark names, so hand-rolling beats growing a dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"dice-bench/1\",\n";
+  (* Interpreting speedup needs the hardware context: on a 1-core host
+     the fan-out cannot beat sequential no matter how parallel it is. *)
+  add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  add "  \"topology\": {\"name\": \"demo27\", \"nodes\": 27},\n";
+  add "  \"micro_ns_per_op\": {\n";
+  let named = List.filter_map (fun (n, v) -> Option.map (fun v -> (n, v)) v) micro in
+  List.iteri
+    (fun i (name, ns) ->
+      add "    \"%s\": %.2f%s\n" (json_escape name) ns
+        (if i = List.length named - 1 then "" else ","))
+    named;
+  add "  },\n";
+  add "  \"exploration\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"domains\": %d, \"wall_s\": %.4f, \"work_s\": %.4f, \"inputs\": %d, \
+         \"shadow_runs\": %d, \"distinct_paths\": %d, \"faults\": %d, \
+         \"shadows_per_s\": %.1f, \"speedup_vs_seq\": %.3f}%s\n"
+        r.xr_domains r.xr_wall r.xr_work r.xr_inputs r.xr_shadow_runs r.xr_paths
+        r.xr_faults
+        (float_of_int r.xr_shadow_runs /. r.xr_wall)
+        (seq_wall /. r.xr_wall)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  add "  ],\n";
+  add "  \"solver_cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f}\n"
+    cache_hits cache_misses
+    (let total = cache_hits + cache_misses in
+     if total = 0 then 0. else float_of_int cache_hits /. float_of_int total);
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let run () =
+  Tables.section "PAR: parallel exploration on the 27-node demo topology";
+  let graph = Topology.Demo27.graph in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let node = 3 in
+  Concolic.Solver.clear_cache ();
+  Concolic.Solver.reset_stats ();
+  (* Warm-up exploration: fills code caches and the solver memo table
+     the way a long-running online tester would be running. *)
+  ignore (explore_with ~domains:1 ~build ~gt ~node);
+  let runs = List.map (fun d -> explore_with ~domains:d ~build ~gt ~node) [ 1; 2; 4 ] in
+  let seq = List.hd runs in
+  let rows =
+    List.map
+      (fun r ->
+        [ string_of_int r.xr_domains;
+          Printf.sprintf "%.3f" r.xr_wall;
+          Printf.sprintf "%.3f" r.xr_work;
+          string_of_int r.xr_shadow_runs;
+          Printf.sprintf "%.1f" (float_of_int r.xr_shadow_runs /. r.xr_wall);
+          Printf.sprintf "%.2fx" (seq.xr_wall /. r.xr_wall) ])
+      runs
+  in
+  Tables.print
+    ~title:"shadow-replay fan-out (same node, same snapshot state, one explore_node each)"
+    ~header:[ "domains"; "wall s"; "work s"; "shadows"; "shadows/s"; "speedup" ]
+    rows;
+  let cores = Domain.recommended_domain_count () in
+  if cores < 2 then
+    Tables.note
+      "NOTE: only %d core(s) available — wall-clock speedup is bounded by 1.0x here;\n\
+       the work/wall ratio on a multicore host is the number to watch.\n"
+      cores;
+  (* Determinism across domain counts is part of the contract. *)
+  List.iter
+    (fun r ->
+      if
+        r.xr_inputs <> seq.xr_inputs || r.xr_paths <> seq.xr_paths
+        || r.xr_faults <> seq.xr_faults
+      then
+        failwith
+          (Printf.sprintf
+             "par: domains=%d diverged from sequential (inputs %d/%d, paths %d/%d, faults %d/%d)"
+             r.xr_domains r.xr_inputs seq.xr_inputs r.xr_paths seq.xr_paths
+             r.xr_faults seq.xr_faults))
+    runs;
+  Tables.note "determinism: all domain counts agree on inputs/paths/faults\n";
+  let hits = Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_hits in
+  let misses = Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_misses in
+  Tables.note "solver cache: %d hits / %d misses (%.1f%% hit rate)\n" hits misses
+    (let t = hits + misses in
+     if t = 0 then 0. else 100. *. float_of_int hits /. float_of_int t);
+  Tables.note "collecting micro-benchmark baselines for BENCH.json...\n";
+  let micro = Micro.results () in
+  write_bench_json ~path:"BENCH.json" ~micro ~runs ~seq_wall:seq.xr_wall
+    ~cache_hits:hits ~cache_misses:misses;
+  Tables.note "wrote BENCH.json\n"

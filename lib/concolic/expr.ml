@@ -1,18 +1,26 @@
 type var = { v_id : int; v_name : string; v_lo : int; v_hi : int }
 
 let intern_table : (string * int * int, var) Hashtbl.t = Hashtbl.create 64
+let intern_lock = Mutex.create ()
 let next_id = ref 0
 
+(* The intern table is global; instrumented handlers may run on pool
+   worker domains, so interning must be serialized. *)
 let var name ~lo ~hi =
   if lo > hi then invalid_arg "Expr.var: empty domain";
   let key = (name, lo, hi) in
-  match Hashtbl.find_opt intern_table key with
-  | Some v -> v
-  | None ->
-      let v = { v_id = !next_id; v_name = name; v_lo = lo; v_hi = hi } in
-      incr next_id;
-      Hashtbl.add intern_table key v;
-      v
+  Mutex.lock intern_lock;
+  let v =
+    match Hashtbl.find_opt intern_table key with
+    | Some v -> v
+    | None ->
+        let v = { v_id = !next_id; v_name = name; v_lo = lo; v_hi = hi } in
+        incr next_id;
+        Hashtbl.add intern_table key v;
+        v
+  in
+  Mutex.unlock intern_lock;
+  v
 
 type t =
   | Const of int

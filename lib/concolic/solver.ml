@@ -2,20 +2,32 @@ type model = (Expr.var * int) list
 
 type outcome = Sat of model | Unsat | Unknown
 
+(* Counters are atomics: solves run concurrently on pool worker
+   domains and plain mutable fields would tear / lose increments. *)
 type stats = {
-  mutable solved_sat : int;
-  mutable solved_unsat : int;
-  mutable solved_unknown : int;
-  mutable search_nodes : int;
+  solved_sat : int Atomic.t;
+  solved_unsat : int Atomic.t;
+  solved_unknown : int Atomic.t;
+  search_nodes : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
 }
 
-let stats = { solved_sat = 0; solved_unsat = 0; solved_unknown = 0; search_nodes = 0 }
+let stats =
+  { solved_sat = Atomic.make 0;
+    solved_unsat = Atomic.make 0;
+    solved_unknown = Atomic.make 0;
+    search_nodes = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0 }
 
 let reset_stats () =
-  stats.solved_sat <- 0;
-  stats.solved_unsat <- 0;
-  stats.solved_unknown <- 0;
-  stats.search_nodes <- 0
+  Atomic.set stats.solved_sat 0;
+  Atomic.set stats.solved_unsat 0;
+  Atomic.set stats.solved_unknown 0;
+  Atomic.set stats.search_nodes 0;
+  Atomic.set stats.cache_hits 0;
+  Atomic.set stats.cache_misses 0
 
 (* Wide sentinels that survive interval arithmetic without overflow. *)
 let neg_big = -(1 lsl 40)
@@ -257,15 +269,108 @@ let interesting_values constraints (v : Expr.var) (d : Interval.t) =
   in
   List.sort_uniq Int.compare (List.filter (fun n -> Interval.mem n d) candidates)
 
-let solve ?(max_nodes = 20_000) constraints =
+(* ------------------------------------------------------------------ *)
+(* Memoization                                                         *)
+(*                                                                     *)
+(* Generational search re-solves many shared constraint sets: distinct *)
+(* runs that reach the same path flip the same branches, and repeated  *)
+(* explorations of the same handler (one per orchestrator round)       *)
+(* regenerate identical path conditions wholesale.  The solver is      *)
+(* deterministic, so a canonical fingerprint of the constraint set     *)
+(* (plus the node budget, which changes Unknown answers) is a sound    *)
+(* memo key.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural rendering keyed on [v_id]: interning makes ids unique per
+   (name, lo, hi), so ids capture variable identity including domains
+   (Expr.to_string prints names only and could alias). *)
+let fingerprint ~max_nodes constraints =
+  let b = Buffer.create 256 in
+  let rec render (e : Expr.t) =
+    match e with
+    | Expr.Const n ->
+        Buffer.add_char b 'c';
+        Buffer.add_string b (string_of_int n)
+    | Expr.Var v ->
+        Buffer.add_char b 'v';
+        Buffer.add_string b (string_of_int v.Expr.v_id)
+    | Expr.Add (x, y) -> bin '+' x y
+    | Expr.Sub (x, y) -> bin '-' x y
+    | Expr.Mul (x, y) -> bin '*' x y
+    | Expr.Band (x, y) -> bin '&' x y
+    | Expr.Eq (x, y) -> bin '=' x y
+    | Expr.Lt (x, y) -> bin '<' x y
+    | Expr.Le (x, y) -> bin 'L' x y
+    | Expr.And (x, y) -> bin 'A' x y
+    | Expr.Or (x, y) -> bin 'O' x y
+    | Expr.Not x ->
+        Buffer.add_char b '!';
+        render x
+  and bin op x y =
+    Buffer.add_char b '(';
+    Buffer.add_char b op;
+    render x;
+    Buffer.add_char b ',';
+    render y;
+    Buffer.add_char b ')'
+  in
+  (* Conjunction order is irrelevant to the outcome: canonicalize by
+     sorting the rendered constraints so permuted sets share a key. *)
+  let rendered =
+    List.sort String.compare
+      (List.map
+         (fun c ->
+           Buffer.clear b;
+           render c;
+           Buffer.contents b)
+         constraints)
+  in
+  Buffer.clear b;
+  Buffer.add_string b (string_of_int max_nodes);
+  List.iter
+    (fun s ->
+      Buffer.add_char b ';';
+      Buffer.add_string b s)
+    rendered;
+  Digest.string (Buffer.contents b)
+
+let cache : (string, outcome) Hashtbl.t = Hashtbl.create 1024
+let cache_lock = Mutex.create ()
+let cache_enabled = Atomic.make true
+let cache_capacity = 1 lsl 16
+
+let set_cache_enabled b = Atomic.set cache_enabled b
+
+let clear_cache () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_lock
+
+let cache_find key =
+  Mutex.lock cache_lock;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_lock;
+  r
+
+let cache_store key outcome =
+  Mutex.lock cache_lock;
+  (* Generational eviction: a full cache is wiped rather than LRU-ed;
+     the hot prefixes repopulate it within one exploration round. *)
+  if Hashtbl.length cache >= cache_capacity then Hashtbl.reset cache;
+  Hashtbl.replace cache key outcome;
+  Mutex.unlock cache_lock
+
+let solve_uncached ~max_nodes constraints =
   let vars = all_vars constraints in
   let nodes = ref 0 in
   let exception Found of model in
   let record outcome =
     (match outcome with
-    | Sat _ -> stats.solved_sat <- stats.solved_sat + 1
-    | Unsat -> stats.solved_unsat <- stats.solved_unsat + 1
-    | Unknown -> stats.solved_unknown <- stats.solved_unknown + 1);
+    | Sat _ -> Atomic.incr stats.solved_sat
+    | Unsat -> Atomic.incr stats.solved_unsat
+    | Unknown -> Atomic.incr stats.solved_unknown);
+    (* One atomic add per solve, not per search node. *)
+    ignore (Atomic.fetch_and_add stats.search_nodes !nodes);
     outcome
   in
   let budget_hit = ref false in
@@ -274,7 +379,6 @@ let solve ?(max_nodes = 20_000) constraints =
      try its interesting values. *)
   let rec search ds =
     incr nodes;
-    stats.search_nodes <- stats.search_nodes + 1;
     if !nodes > max_nodes then budget_hit := true
     else
       match propagate constraints ds with
@@ -320,6 +424,20 @@ let solve ?(max_nodes = 20_000) constraints =
   | () -> if !budget_hit || !sampled then record Unknown else record Unsat
   | exception Found m -> record (Sat m)
   | exception Contradiction -> record Unsat
+
+let solve ?(max_nodes = 20_000) constraints =
+  if not (Atomic.get cache_enabled) then solve_uncached ~max_nodes constraints
+  else
+    let key = fingerprint ~max_nodes constraints in
+    match cache_find key with
+    | Some outcome ->
+        Atomic.incr stats.cache_hits;
+        outcome
+    | None ->
+        Atomic.incr stats.cache_misses;
+        let outcome = solve_uncached ~max_nodes constraints in
+        cache_store key outcome;
+        outcome
 
 let _ = ignore top
 

@@ -17,19 +17,35 @@ type model = (Expr.var * int) list
 type outcome = Sat of model | Unsat | Unknown
 
 type stats = {
-  mutable solved_sat : int;
-  mutable solved_unsat : int;
-  mutable solved_unknown : int;
-  mutable search_nodes : int;
+  solved_sat : int Atomic.t;
+  solved_unsat : int Atomic.t;
+  solved_unknown : int Atomic.t;
+  search_nodes : int Atomic.t;
+  cache_hits : int Atomic.t;  (** memoized answers served *)
+  cache_misses : int Atomic.t;  (** full solves behind the cache *)
 }
 
 val stats : stats
-(** Global counters for the benchmark harness. *)
+(** Global counters for the benchmark harness.  Atomic so that
+    concurrent solves from [Parallel.Pool] workers don't race. *)
 
 val reset_stats : unit -> unit
 
 val solve : ?max_nodes:int -> Expr.t list -> outcome
-(** [max_nodes] bounds the search tree (default 20_000). *)
+(** [max_nodes] bounds the search tree (default 20_000).
+
+    Answers are memoized (when the cache is enabled, the default) on a
+    canonical fingerprint of the constraint set: structural rendering
+    of each conjunct keyed on interned variable ids, sorted so that
+    permutations of the same set share an entry, plus [max_nodes]
+    (which changes [Unknown] answers).  The solver is deterministic,
+    so serving a cached outcome is indistinguishable from re-solving. *)
+
+val set_cache_enabled : bool -> unit
+(** Turn memoization on/off (on by default).  Existing entries are
+    kept; use {!clear_cache} to drop them. *)
+
+val clear_cache : unit -> unit
 
 val check : model -> Expr.t list -> bool
 (** Do all constraints evaluate true under the model (unbound variables

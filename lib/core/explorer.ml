@@ -4,6 +4,7 @@ type params = {
   peers_per_node : int;
   shadow_budget : int;
   check_convergence : bool;
+  domains : int;
 }
 
 let default_params =
@@ -12,7 +13,8 @@ let default_params =
     fuzz_extra = 12;
     peers_per_node = 1;
     shadow_budget = 30_000;
-    check_convergence = true }
+    check_convergence = true;
+    domains = 1 }
 
 type exploration = {
   x_node : int;
@@ -25,6 +27,8 @@ type exploration = {
   x_crashes : int;
   x_snapshot_span : Netsim.Time.span;
   x_wall_seconds : float;
+  x_work_seconds : float;
+  x_domains : int;
 }
 
 let take_snapshot ~build ~cut ~node =
@@ -49,11 +53,19 @@ let take_snapshot ~build ~cut ~node =
   in
   wait ()
 
-(* Live bug flags per node, so clones run the same (buggy) code. *)
-let bugs_of_build build id =
-  match List.assoc_opt id build.Topology.Build.speakers with
-  | Some sp -> sp.Bgp.Speaker.sp_bugs ()
-  | None -> Bgp.Router.no_bugs
+(* Live bug flags per node, so clones run the same (buggy) code.
+   Captured once per exploration into a hash table: the lookup sits
+   inside every shadow spawn, and the captured records are immutable,
+   so sharing them across pool domains is safe. *)
+let bugs_of_build build =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (id, (sp : Bgp.Speaker.t)) -> Hashtbl.replace tbl id (sp.Bgp.Speaker.sp_bugs ()))
+    build.Topology.Build.speakers;
+  fun id ->
+    match Hashtbl.find_opt tbl id with
+    | Some bugs -> bugs
+    | None -> Bgp.Router.no_bugs
 
 let verdicts_to_results ~self ~now ?input ~checker_class verdicts =
   List.fold_left
@@ -83,11 +95,87 @@ let verdicts_to_results ~self ~now ?input ~checker_class verdicts =
         (faults, d :: digests))
     ([], []) verdicts
 
-let explore_peer ~params ~build ~gt ~snapshot ~node ~peer_addr =
+(* Baseline (state) properties: checked once per exploration against
+   the unperturbed clone of the snapshot, after it quiesces.  Hoisted
+   out of the per-peer loop — every peer saw the same snapshot, so the
+   per-peer recomputation was pure waste. *)
+let baseline_results ~params ~bugs_of ~baseline ~snapshot ~node ~now =
+  match baseline with
+  | [] -> ([], [])
+  | checkers ->
+      let pristine = Snapshot.Store.spawn ~bugs_of snapshot in
+      ignore
+        (Snapshot.Store.run_to_quiescence ~max_events:params.shadow_budget pristine);
+      List.fold_left
+        (fun (faults_acc, digests_acc) (c : Checks.checker) ->
+          let faults, digests =
+            verdicts_to_results ~self:node ~now ~checker_class:c.Checks.fault_class
+              (c.Checks.run pristine)
+          in
+          (faults_acc @ List.rev faults, digests_acc @ List.rev digests))
+        ([], []) checkers
+
+(* Replay one derived input over its own fresh clone and run the
+   per-input property checkers.  Self-contained and free of shared
+   mutable state, so it is the unit of parallelism: the shadow owns its
+   engine, network and speakers, and everything reachable from
+   [snapshot] / [view] / [per_input] is immutable. *)
+let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~now
+    input =
+  let t0 = Unix.gettimeofday () in
+  let raw = Sym_handler.concretize view input in
+  let shadow = Snapshot.Store.spawn ~bugs_of snapshot in
+  let target = Snapshot.Store.speaker shadow node in
+  let crash_faults =
+    match
+      target.Bgp.Speaker.sp_process_raw
+        ~from_node:(Bgp.Router.node_of_addr peer_addr) raw
+    with
+    | () -> []
+    | exception Bgp.Router.Crash detail ->
+        [ Fault.make ~input ~at:now ~node ~property:"handler-crash"
+            Fault.Programming_error detail ]
+  in
+  (* Observe system-wide consequences. *)
+  let conv_verdicts =
+    if params.check_convergence then
+      Checks.convergence ~budget:params.shadow_budget shadow
+    else begin
+      ignore (Snapshot.Store.run_to_quiescence ~max_events:params.shadow_budget shadow);
+      []
+    end
+  in
+  let verdicts =
+    List.concat_map
+      (fun (c : Checks.checker) ->
+        List.map (fun v -> (c.Checks.fault_class, v)) (c.Checks.run shadow))
+      per_input
+    @ List.map (fun v -> (Fault.Policy_conflict, v)) conv_verdicts
+  in
+  let faults, digests =
+    List.fold_left
+      (fun (faults_acc, digests_acc) (cls, v) ->
+        let faults, digests =
+          verdicts_to_results ~self:node ~now ~input ~checker_class:cls [ v ]
+        in
+        (faults_acc @ faults, digests_acc @ digests))
+      (crash_faults, []) verdicts
+  in
+  (faults, digests, Unix.gettimeofday () -. t0)
+
+type peer_result = {
+  pr_faults : Fault.t list;  (* deduped, canonical input order *)
+  pr_digests : Privacy.digest list;
+  pr_result : Sym_handler.outcome Concolic.Engine.result;
+  pr_shadow_runs : int;
+  pr_work_seconds : float;  (* summed task time, incl. concolic derivation *)
+}
+
+let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr =
   let t0 = Unix.gettimeofday () in
   let now = Netsim.Engine.now build.Topology.Build.engine in
   (* Probe clone: gives the instrumented handler a consistent view. *)
-  let probe = Snapshot.Store.spawn ~bugs_of:(bugs_of_build build) snapshot in
+  let probe = Snapshot.Store.spawn ~bugs_of snapshot in
   let probe_speaker = Snapshot.Store.speaker probe node in
   let view = Sym_handler.view_of_speaker probe_speaker ~peer:peer_addr in
   (* Step 2: derive inputs by concolic execution. *)
@@ -112,128 +200,112 @@ let explore_peer ~params ~build ~gt ~snapshot ~node ~peer_addr =
         | Concolic.Engine.Value _ -> None)
       result.Concolic.Engine.runs
   in
-  (* Step 3: subject clones to each derived input. *)
+  let derive_seconds = Unix.gettimeofday () -. t0 in
+  (* Step 3: subject clones to each derived input.  Each replay is
+     independent; fan them out across the pool and merge in input
+     order, so faults and dedup are identical to the sequential run. *)
   let rng = Netsim.Rng.create (0xF0 + node) in
   let inputs =
     List.map (fun (r : _ Concolic.Engine.run) -> r.Concolic.Engine.run_input)
       result.Concolic.Engine.runs
     @ Sym_handler.fuzz_inputs view rng params.fuzz_extra
   in
-  let suite = Checks.standard_suite gt in
-  let baseline, per_input =
-    List.partition (fun (c : Checks.checker) -> c.Checks.scope = Checks.Baseline) suite
+  let per_input =
+    List.filter (fun (c : Checks.checker) -> c.Checks.scope = Checks.Per_input) suite
   in
-  let shadow_runs = ref 0 in
-  let all_faults = ref crash_faults in
-  let all_digests = ref [] in
-  (* Baseline (state) properties: checked once against the unperturbed
-     clone of the snapshot, after it quiesces. *)
-  let pristine = Snapshot.Store.spawn ~bugs_of:(bugs_of_build build) snapshot in
-  ignore (Snapshot.Store.run_to_quiescence ~max_events:params.shadow_budget pristine);
-  List.iter
-    (fun (c : Checks.checker) ->
-      List.iter
-        (fun v ->
-          let faults, digests =
-            verdicts_to_results ~self:node ~now ~checker_class:c.Checks.fault_class
-              [ v ]
-          in
-          all_faults := faults @ !all_faults;
-          all_digests := digests @ !all_digests)
-        (c.Checks.run pristine))
-    baseline;
-  List.iter
-    (fun input ->
-      let raw = Sym_handler.concretize view input in
-      let shadow = Snapshot.Store.spawn ~bugs_of:(bugs_of_build build) snapshot in
-      incr shadow_runs;
-      let target = Snapshot.Store.speaker shadow node in
-      (match target.Bgp.Speaker.sp_process_raw ~from_node:(Bgp.Router.node_of_addr peer_addr) raw with
-      | () -> ()
-      | exception Bgp.Router.Crash detail ->
-          all_faults :=
-            Fault.make ~input ~at:now ~node ~property:"handler-crash"
-              Fault.Programming_error detail
-            :: !all_faults);
-      (* Observe system-wide consequences. *)
-      let conv_verdicts =
-        if params.check_convergence then
-          Checks.convergence ~budget:params.shadow_budget shadow
-        else begin
-          ignore (Snapshot.Store.run_to_quiescence ~max_events:params.shadow_budget shadow);
-          []
-        end
-      in
-      let verdicts =
-        List.concat_map
-          (fun (c : Checks.checker) ->
-            List.map (fun v -> (c.Checks.fault_class, v)) (c.Checks.run shadow))
-          per_input
-        @ List.map (fun v -> (Fault.Policy_conflict, v)) conv_verdicts
-      in
-      List.iter
-        (fun (cls, v) ->
-          let faults, digests =
-            verdicts_to_results ~self:node ~now ~input ~checker_class:cls [ v ]
-          in
-          all_faults := faults @ !all_faults;
-          all_digests := digests @ !all_digests)
-        verdicts)
-    inputs;
-  ( Fault.dedupe (List.rev !all_faults),
-    List.rev !all_digests,
-    result,
-    !shadow_runs,
-    Unix.gettimeofday () -. t0 )
+  let replay =
+    replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~now
+  in
+  let replayed =
+    match pool with
+    | Some p when Parallel.Pool.size p > 1 -> Parallel.Pool.map_list p replay inputs
+    | Some _ | None -> List.map replay inputs
+  in
+  let faults =
+    crash_faults @ List.concat_map (fun (faults, _, _) -> faults) replayed
+  in
+  let digests = List.concat_map (fun (_, digests, _) -> digests) replayed in
+  let work =
+    List.fold_left (fun acc (_, _, dt) -> acc +. dt) derive_seconds replayed
+  in
+  { pr_faults = Fault.dedupe faults;
+    pr_digests = digests;
+    pr_result = result;
+    pr_shadow_runs = List.length inputs;
+    pr_work_seconds = work }
 
-let explore_node ?(params = default_params) ~build ~cut ~gt ~node () =
-  let t_start = Netsim.Engine.now build.Topology.Build.engine in
-  (* Step 1: consistent snapshot. *)
-  let snapshot = take_snapshot ~build ~cut ~node in
-  let span =
-    Netsim.Time.diff snapshot.Snapshot.Cut.completed_at snapshot.Snapshot.Cut.started_at
+let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
+  let go pool =
+    (* Step 1: consistent snapshot. *)
+    let snapshot = take_snapshot ~build ~cut ~node in
+    let t0 = Unix.gettimeofday () in
+    let now = Netsim.Engine.now build.Topology.Build.engine in
+    let span =
+      Netsim.Time.diff snapshot.Snapshot.Cut.completed_at
+        snapshot.Snapshot.Cut.started_at
+    in
+    let bugs_of = bugs_of_build build in
+    let suite = Checks.standard_suite gt in
+    let baseline =
+      List.filter (fun (c : Checks.checker) -> c.Checks.scope = Checks.Baseline) suite
+    in
+    let cfg = (Topology.Build.speaker build node).Bgp.Speaker.sp_config () in
+    let peers =
+      List.filteri (fun i _ -> i < params.peers_per_node) cfg.Bgp.Config.neighbors
+    in
+    let base_faults, base_digests =
+      baseline_results ~params ~bugs_of ~baseline ~snapshot ~node ~now
+    in
+    let explore (n : Bgp.Config.neighbor) =
+      explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node
+        ~peer_addr:n.Bgp.Config.addr
+    in
+    (* Sessions fan out across the same pool; nested per-input jobs are
+       safe because Pool.await helps drain the queue. *)
+    let merged =
+      match pool with
+      | Some p when Parallel.Pool.size p > 1 && List.length peers > 1 ->
+          Parallel.Pool.map_list p explore peers
+      | Some _ | None -> List.map explore peers
+    in
+    let faults = base_faults @ List.concat_map (fun pr -> pr.pr_faults) merged in
+    let digests = base_digests @ List.concat_map (fun pr -> pr.pr_digests) merged in
+    let sum f = List.fold_left (fun acc pr -> acc + f pr) 0 merged in
+    let inputs = sum (fun pr -> pr.pr_result.Concolic.Engine.inputs_executed) in
+    let paths = sum (fun pr -> pr.pr_result.Concolic.Engine.distinct_paths) in
+    let crashes = sum (fun pr -> List.length pr.pr_result.Concolic.Engine.crashes) in
+    let shadows = sum (fun pr -> pr.pr_shadow_runs) in
+    let work =
+      List.fold_left (fun acc pr -> acc +. pr.pr_work_seconds) 0. merged
+    in
+    { x_node = node;
+      x_snapshot = snapshot;
+      x_faults = Fault.dedupe faults;
+      x_digests = digests;
+      x_inputs = inputs;
+      x_shadow_runs = shadows;
+      x_distinct_paths = paths;
+      x_crashes = crashes;
+      x_snapshot_span = span;
+      x_wall_seconds = Unix.gettimeofday () -. t0;
+      x_work_seconds = work;
+      x_domains = (match pool with Some p -> Parallel.Pool.size p | None -> 1) }
   in
-  ignore t_start;
-  let cfg = (Topology.Build.speaker build node).Bgp.Speaker.sp_config () in
-  let peers =
-    List.filteri (fun i _ -> i < params.peers_per_node) cfg.Bgp.Config.neighbors
-  in
-  let merged =
-    List.map
-      (fun (n : Bgp.Config.neighbor) ->
-        explore_peer ~params ~build ~gt ~snapshot ~node ~peer_addr:n.Bgp.Config.addr)
-      peers
-  in
-  let faults = List.concat_map (fun (f, _, _, _, _) -> f) merged in
-  let digests = List.concat_map (fun (_, d, _, _, _) -> d) merged in
-  let inputs =
-    List.fold_left (fun acc (_, _, r, _, _) -> acc + r.Concolic.Engine.inputs_executed) 0 merged
-  in
-  let paths =
-    List.fold_left (fun acc (_, _, r, _, _) -> acc + r.Concolic.Engine.distinct_paths) 0 merged
-  in
-  let crashes =
-    List.fold_left
-      (fun acc (_, _, r, _, _) -> acc + List.length r.Concolic.Engine.crashes)
-      0 merged
-  in
-  let shadows = List.fold_left (fun acc (_, _, _, s, _) -> acc + s) 0 merged in
-  let wall = List.fold_left (fun acc (_, _, _, _, w) -> acc +. w) 0. merged in
-  { x_node = node;
-    x_snapshot = snapshot;
-    x_faults = Fault.dedupe faults;
-    x_digests = digests;
-    x_inputs = inputs;
-    x_shadow_runs = shadows;
-    x_distinct_paths = paths;
-    x_crashes = crashes;
-    x_snapshot_span = span;
-    x_wall_seconds = wall }
+  match pool with
+  | Some _ -> go pool
+  | None when params.domains > 1 ->
+      Parallel.Pool.with_pool ~domains:params.domains (fun p -> go (Some p))
+  | None -> go None
 
 let pp_exploration ppf x =
   Format.fprintf ppf
-    "@[<v>node %d: %d inputs, %d paths, %d shadow runs, %d crashes, snapshot %dus, %.2fs wall@ "
+    "@[<v>node %d: %d inputs, %d paths, %d shadow runs, %d crashes, snapshot %dus, %.2fs wall"
     x.x_node x.x_inputs x.x_distinct_paths x.x_shadow_runs x.x_crashes
     x.x_snapshot_span x.x_wall_seconds;
+  if x.x_domains > 1 then
+    Format.fprintf ppf " (pool: %d domains, %.2fs work, %.2fx speedup)" x.x_domains
+      x.x_work_seconds
+      (if x.x_wall_seconds > 0. then x.x_work_seconds /. x.x_wall_seconds else 1.);
+  Format.fprintf ppf "@ ";
   List.iter (fun f -> Format.fprintf ppf "  %a@ " Fault.pp f) x.x_faults;
   Format.fprintf ppf "@]"

@@ -5,7 +5,13 @@
        handler (plus grammar-based fuzzing);
     3. subject an isolated clone of the snapshot to each input and
        observe system-wide consequences through the property checkers;
-    4. aggregate remote verdicts only as privacy-preserving digests. *)
+    4. aggregate remote verdicts only as privacy-preserving digests.
+
+    Step 3 is embarrassingly parallel — each clone owns its engine,
+    network and speakers — and fans out across a [Parallel.Pool] when
+    [domains > 1] (or when a pool is passed in).  Results are merged in
+    input order, so the reported faults, digests and dedup are
+    identical to the sequential run. *)
 
 type params = {
   limits : Concolic.Engine.limits;
@@ -13,6 +19,9 @@ type params = {
   peers_per_node : int;  (** explore the first k sessions of the node *)
   shadow_budget : int;  (** event budget per shadow run *)
   check_convergence : bool;
+  domains : int;
+      (** parallelism for shadow replay; 1 (the default) is strictly
+          sequential and allocates no pool *)
 }
 
 val default_params : params
@@ -27,7 +36,11 @@ type exploration = {
   x_distinct_paths : int;
   x_crashes : int;
   x_snapshot_span : Netsim.Time.span;  (** sim time to collect the cut *)
-  x_wall_seconds : float;  (** host time spent exploring *)
+  x_wall_seconds : float;  (** host time spent exploring (elapsed) *)
+  x_work_seconds : float;
+      (** summed task time across derivation and replays; work/wall is
+          the observed parallel speedup *)
+  x_domains : int;  (** pool size the exploration ran with *)
 }
 
 val take_snapshot :
@@ -37,11 +50,15 @@ val take_snapshot :
 
 val explore_node :
   ?params:params ->
+  ?pool:Parallel.Pool.t ->
   build:Topology.Build.t ->
   cut:Snapshot.Cut.t ->
   gt:Checks.ground_truth ->
   node:int ->
   unit ->
   exploration
+(** [pool] overrides [params.domains]: when given, replays are fanned
+    out over it (and the caller is responsible for its lifetime); when
+    absent and [params.domains > 1], a pool is created for this call. *)
 
 val pp_exploration : Format.formatter -> exploration -> unit

@@ -44,14 +44,14 @@ let make_cut build =
     ~speakers:(fun id -> Topology.Build.speaker build id)
     build.Topology.Build.net
 
-let one_round ~params ~build ~cut ~gt ~interval ~index node =
+let one_round ~params ~pool ~build ~cut ~gt ~interval ~index node =
   let started_at = Netsim.Engine.now build.Topology.Build.engine in
-  let exploration = Explorer.explore_node ?params ~build ~cut ~gt ~node () in
+  let exploration = Explorer.explore_node ?params ?pool ~build ~cut ~gt ~node () in
   (* Let the live system make progress before the next explorer. *)
   Topology.Build.run_for build interval;
   { rd_index = index; rd_started_at = started_at; rd_exploration = exploration }
 
-let run ?params ?(interval = Netsim.Time.span_sec 5.) ?nodes ~build ~gt ~rounds () =
+let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes ~build ~gt ~rounds () =
   let all_nodes =
     match nodes with
     | Some l -> l
@@ -61,12 +61,12 @@ let run ?params ?(interval = Netsim.Time.span_sec 5.) ?nodes ~build ~gt ~rounds 
   let n = List.length all_nodes in
   let result =
     List.init rounds (fun i ->
-        one_round ~params ~build ~cut ~gt ~interval ~index:i
+        one_round ~params ~pool ~build ~cut ~gt ~interval ~index:i
           (List.nth all_nodes (i mod n)))
   in
   summarize result
 
-let run_until_detection ?params ?(interval = Netsim.Time.span_sec 5.) ?nodes
+let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
     ?max_rounds ~build ~gt ~expect () =
   let all_nodes =
     match nodes with
@@ -80,7 +80,8 @@ let run_until_detection ?params ?(interval = Netsim.Time.span_sec 5.) ?nodes
     if i >= max_rounds then (summarize (List.rev acc), None)
     else begin
       let round =
-        one_round ~params ~build ~cut ~gt ~interval ~index:i (List.nth all_nodes (i mod n))
+        one_round ~params ~pool ~build ~cut ~gt ~interval ~index:i
+          (List.nth all_nodes (i mod n))
       in
       let hit =
         List.exists

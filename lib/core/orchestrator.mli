@@ -24,6 +24,7 @@ type summary = {
 
 val run :
   ?params:Explorer.params ->
+  ?pool:Parallel.Pool.t ->
   ?interval:Netsim.Time.span ->
   ?nodes:int list ->
   build:Topology.Build.t ->
@@ -32,10 +33,15 @@ val run :
   unit ->
   summary
 (** [nodes] defaults to every node of the deployment; [interval]
-    (default 5 s simulated) separates successive snapshots. *)
+    (default 5 s simulated) separates successive snapshots.  [pool],
+    when given, parallelizes each round's shadow replays (and, for
+    [peers_per_node > 1], the per-session explorations) over the
+    caller's domain pool; the default path stays sequential and
+    deterministic. *)
 
 val run_until_detection :
   ?params:Explorer.params ->
+  ?pool:Parallel.Pool.t ->
   ?interval:Netsim.Time.span ->
   ?nodes:int list ->
   ?max_rounds:int ->

@@ -1,0 +1,140 @@
+type job = Job : (unit -> unit) -> job
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : job Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  n : int;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a task = {
+  t_pool : t;
+  t_lock : Mutex.t;
+  t_cond : Condition.t;
+  mutable t_state : 'a state;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let size pool = pool.n
+
+(* Take the next job, blocking until one arrives or the pool closes. *)
+let rec next_job pool =
+  match Queue.take_opt pool.jobs with
+  | Some j -> Some j
+  | None ->
+      if pool.closed then None
+      else begin
+        Condition.wait pool.nonempty pool.lock;
+        next_job pool
+      end
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  let j = next_job pool in
+  Mutex.unlock pool.lock;
+  match j with
+  | None -> ()
+  | Some (Job run) ->
+      run ();
+      worker_loop pool
+
+let create ?domains () =
+  let n = max 1 (Option.value domains ~default:(default_domains ())) in
+  let pool =
+    { lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      closed = false;
+      workers = [];
+      n }
+  in
+  pool.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let submit pool f =
+  let task =
+    { t_pool = pool;
+      t_lock = Mutex.create ();
+      t_cond = Condition.create ();
+      t_state = Pending }
+  in
+  let run () =
+    let result =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock task.t_lock;
+    task.t_state <- result;
+    Condition.broadcast task.t_cond;
+    Mutex.unlock task.t_lock
+  in
+  Mutex.lock pool.lock;
+  if pool.closed then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add (Job run) pool.jobs;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock;
+  task
+
+(* Run one queued job inline, if any; [false] means the queue was
+   empty at the time of the check. *)
+let try_help pool =
+  Mutex.lock pool.lock;
+  let j = Queue.take_opt pool.jobs in
+  Mutex.unlock pool.lock;
+  match j with
+  | Some (Job run) ->
+      run ();
+      true
+  | None -> false
+
+let rec await task =
+  Mutex.lock task.t_lock;
+  match task.t_state with
+  | Done v ->
+      Mutex.unlock task.t_lock;
+      v
+  | Failed (e, bt) ->
+      Mutex.unlock task.t_lock;
+      Printexc.raise_with_backtrace e bt
+  | Pending ->
+      Mutex.unlock task.t_lock;
+      if try_help task.t_pool then await task
+      else begin
+        (* Queue empty: our job is either running on another domain or
+           just finished.  Block until its completion broadcast. *)
+        Mutex.lock task.t_lock;
+        (match task.t_state with
+        | Pending -> Condition.wait task.t_cond task.t_lock
+        | Done _ | Failed _ -> ());
+        Mutex.unlock task.t_lock;
+        await task
+      end
+
+let map_list pool f xs =
+  let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
+  List.map await tasks
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  let workers = pool.workers in
+  pool.closed <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join workers
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,55 @@
+(** A fixed-size domain pool for embarrassingly parallel fan-out.
+
+    Design points, in order of importance:
+
+    - {b Deterministic merges.} [map_list] returns results in input
+      order regardless of completion order, so callers that fold the
+      results observe exactly the sequential fold.  With [domains = 1]
+      jobs additionally {e execute} in submission order on the calling
+      domain, so the degenerate pool is bit-identical to a [List.map].
+    - {b Help-first await.} [await] drains pending jobs from the queue
+      while its task is incomplete.  Nested submission (a pool job that
+      itself submits to the same pool and awaits) therefore cannot
+      deadlock: the blocked awaiter executes the queued children
+      itself.  This is what lets the explorer fan out across peers and,
+      inside each peer, across derived inputs, with one shared pool.
+    - {b No work stealing.} A single mutex-protected FIFO is ample for
+      our job granularity (every job spawns and replays a whole shadow
+      topology, i.e. hundreds of microseconds at minimum), and keeps
+      the ordering semantics trivial to reason about. *)
+
+type t
+(** A pool of [size t] domains: [size t - 1] spawned workers plus the
+    caller, which participates whenever it awaits. *)
+
+type 'a task
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains
+    ([domains] defaults to {!default_domains}; values [< 1] are
+    clamped to [1], giving a purely sequential pool). *)
+
+val size : t -> int
+
+val submit : t -> (unit -> 'a) -> 'a task
+(** Enqueue a job.  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a task -> 'a
+(** Block until the task completes, helping to drain the pool's queue
+    in the meantime.  Re-raises (with its original backtrace) any
+    exception the job raised. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list pool f xs] runs [f] on every element concurrently and
+    returns the results in input order.  If several jobs raise, the
+    exception of the {e lowest-indexed} failing element is re-raised —
+    again matching what sequential [List.map] would have done. *)
+
+val shutdown : t -> unit
+(** Finish queued jobs, then join all workers.  Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown], robust to exceptions. *)

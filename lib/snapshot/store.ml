@@ -2,6 +2,7 @@ type shadow = {
   sh_engine : Netsim.Engine.t;
   sh_net : string Netsim.Network.t;
   sh_speakers : (int * Bgp.Speaker.t) list;
+  sh_by_id : (int, Bgp.Speaker.t) Hashtbl.t;
   sh_from : int;
 }
 
@@ -30,10 +31,16 @@ let spawn ?(bugs_of = fun _ -> Bgp.Router.no_bugs) ?(deliver_in_flight = true)
             Netsim.Network.send net ~src:c.Cut.ch_from ~dst:c.Cut.ch_to msg)
           c.Cut.ch_messages)
       snap.Cut.channels;
-  { sh_engine = engine; sh_net = net; sh_speakers = speakers; sh_from = snap.Cut.snap_id }
+  let by_id = Hashtbl.create (List.length speakers) in
+  List.iter (fun (id, sp) -> Hashtbl.replace by_id id sp) speakers;
+  { sh_engine = engine;
+    sh_net = net;
+    sh_speakers = speakers;
+    sh_by_id = by_id;
+    sh_from = snap.Cut.snap_id }
 
 let speaker sh id =
-  match List.assoc_opt id sh.sh_speakers with
+  match Hashtbl.find_opt sh.sh_by_id id with
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Store.speaker: node %d not in shadow" id)
 

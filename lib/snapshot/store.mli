@@ -13,6 +13,9 @@ type shadow = {
   sh_engine : Netsim.Engine.t;
   sh_net : string Netsim.Network.t;
   sh_speakers : (int * Bgp.Speaker.t) list;  (** sorted by node id *)
+  sh_by_id : (int, Bgp.Speaker.t) Hashtbl.t;
+      (** O(1) index behind {!speaker}; [speaker] sits in the explorer's
+          per-input hot loop, where the assoc-list scan was O(nodes) *)
   sh_from : int;  (** snapshot id this shadow was cloned from *)
 }
 

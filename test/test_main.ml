@@ -15,4 +15,5 @@ let () =
       ("concolic", Test_concolic.suite);
       ("snapshot", Test_snapshot.suite);
       ("dice", Test_dice.suite);
+      ("parallel", Test_parallel.suite);
       ("misc", Test_misc.suite) ]
