@@ -49,14 +49,17 @@ let f1 () =
         Dice.Orchestrator.run ~build ~gt ~rounds:(Topology.Graph.size graph) ())
   in
   let per_node =
-    List.map
+    List.filter_map
       (fun (r : Dice.Orchestrator.round) ->
-        let x = r.Dice.Orchestrator.rd_exploration in
-        ( x.Dice.Explorer.x_node,
-          { Topology.Render.label =
-              Printf.sprintf "%d in / %d paths" x.Dice.Explorer.x_inputs
-                x.Dice.Explorer.x_distinct_paths;
-            highlight = x.Dice.Explorer.x_faults <> [] } ))
+        match Dice.Orchestrator.round_exploration r with
+        | None -> None
+        | Some x ->
+            Some
+              ( x.Dice.Explorer.x_node,
+                { Topology.Render.label =
+                    Printf.sprintf "%d in / %d paths" x.Dice.Explorer.x_inputs
+                      x.Dice.Explorer.x_distinct_paths;
+                  highlight = x.Dice.Explorer.x_faults <> [] } ))
       summary.Dice.Orchestrator.rounds
   in
   print_string (Topology.Render.ascii ~annotations:per_node graph);
@@ -82,7 +85,7 @@ let f2 () =
       build.Topology.Build.net
   in
   Tables.note "1. node %d chosen as explorer; triggering snapshot\n" node;
-  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node in
+  let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node ()) in
   Tables.note
     "2. consistent cut: %d checkpoints, %d in-flight messages, %d markers, %s of simulated time\n"
     (List.length snap.Snapshot.Cut.checkpoints)
@@ -212,7 +215,7 @@ let t1 () =
               let detection =
                 List.find
                   (fun (f : Dice.Fault.t) -> f.Dice.Fault.f_class = s.t1_class)
-                  round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults
+                  (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults
               in
               ( "yes",
                 List.length summary.Dice.Orchestrator.rounds,
@@ -285,7 +288,7 @@ let t2 () =
             ~speakers:(fun id -> Topology.Build.speaker build id)
             build.Topology.Build.net
         in
-        let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+        let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node:0 ()) in
         [ name;
           string_of_int (Topology.Graph.size graph);
           fmt_time
@@ -429,7 +432,7 @@ let t4 () =
       ~speakers:(fun id -> Topology.Build.speaker build id)
       build.Topology.Build.net
   in
-  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node in
+  let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node ()) in
   (* Explore over every session of the victim: each peer can displace
      the selection its own way. *)
   let outcomes = Hashtbl.create 8 in
@@ -626,7 +629,7 @@ let t6 () =
     let victim = Topology.Build.speaker build 7 in
     let cfg = victim.Bgp.Speaker.sp_config () in
     victim.Bgp.Speaker.sp_set_config { cfg with Bgp.Config.networks = [] };
-    let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+    let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node:0 ()) in
     let shadow = Snapshot.Store.spawn ~deliver_in_flight snap in
     ignore (Snapshot.Store.run_to_quiescence shadow);
     assert (Topology.Build.converge build);

@@ -56,7 +56,29 @@ let inject_scenario build fault =
       Dice.Inject.apply build s;
       Printf.printf "injected: %s\n%!" (Dice.Inject.describe s)
 
-let run topo nodes seed fault rounds dot_file verbose =
+(* Under --churn: crash-and-restore ~20% of the nodes and flap ~20% of
+   the links across the whole run, while cuts get a deadline so a lost
+   marker aborts into a Partial instead of stalling the round. *)
+let start_churn build graph seed rounds =
+  let links =
+    List.map (fun (e : Topology.Graph.edge) -> (e.Topology.Graph.a, e.Topology.Graph.b))
+      graph.Topology.Graph.edges
+  in
+  let schedule =
+    Netsim.Churn.random
+      ~rng:(Netsim.Rng.create (seed lxor 0xC4A0))
+      ~nodes:(Topology.Graph.node_ids graph)
+      ~links ~start:(Netsim.Time.span_sec 5.)
+      ~duration:(Netsim.Time.span_sec (float_of_int rounds *. 10.))
+      ()
+  in
+  Printf.printf "churn schedule: %d node crash(es), %d link flap(s)\n%!"
+    (Netsim.Churn.node_crashes schedule)
+    (Netsim.Churn.link_downs schedule);
+  Format.printf "%a%!" Netsim.Churn.pp schedule;
+  ignore (Netsim.Churn.apply build.Topology.Build.net schedule)
+
+let run topo nodes seed fault rounds churn dot_file verbose =
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -73,17 +95,30 @@ let run topo nodes seed fault rounds dot_file verbose =
   let rounds =
     match rounds with Some r -> r | None -> Topology.Graph.size graph
   in
-  Printf.printf "running DiCE for %d exploration rounds...\n%!" rounds;
-  let summary = Dice.Orchestrator.run ~build ~gt ~rounds () in
+  let params =
+    if churn then begin
+      start_churn build graph seed rounds;
+      Some
+        { Dice.Explorer.default_params with
+          snapshot_deadline = Some (Netsim.Time.span_sec 30.) }
+    end
+    else None
+  in
+  Printf.printf "running DiCE for %d exploration rounds%s...\n%!" rounds
+    (if churn then " under churn" else "");
+  let summary = Dice.Orchestrator.run ?params ~build ~gt ~rounds () in
   let annotations =
-    List.map
+    List.filter_map
       (fun (r : Dice.Orchestrator.round) ->
-        let x = r.Dice.Orchestrator.rd_exploration in
-        ( x.Dice.Explorer.x_node,
-          { Topology.Render.label =
-              Printf.sprintf "%din/%dp" x.Dice.Explorer.x_inputs
-                x.Dice.Explorer.x_distinct_paths;
-            highlight = x.Dice.Explorer.x_faults <> [] } ))
+        match Dice.Orchestrator.round_exploration r with
+        | None -> None
+        | Some x ->
+            Some
+              ( x.Dice.Explorer.x_node,
+                { Topology.Render.label =
+                    Printf.sprintf "%din/%dp" x.Dice.Explorer.x_inputs
+                      x.Dice.Explorer.x_distinct_paths;
+                  highlight = x.Dice.Explorer.x_faults <> [] } ))
       summary.Dice.Orchestrator.rounds
   in
   print_newline ();
@@ -128,6 +163,14 @@ let rounds =
   let doc = "Exploration rounds (default: one per AS)." in
   Arg.(value & opt (some int) None & info [ "r"; "rounds" ] ~docv:"N" ~doc)
 
+let churn =
+  let doc =
+    "Churn the deployment while DiCE runs: crash-and-restore ~20% of the \
+     routers and flap ~20% of the links, with snapshot deadlines and the \
+     supervised orchestrator keeping every round accounted for."
+  in
+  Arg.(value & flag & info [ "churn" ] ~doc)
+
 let dot_file =
   let doc = "Write a Graphviz .dot rendering of the annotated topology." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
@@ -149,10 +192,11 @@ let cmd =
       `S Manpage.s_examples;
       `Pre "  dice_demo                       # healthy 27-router demo (Figure 1)";
       `Pre "  dice_demo -f hijack             # detect a prefix hijack";
-      `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel" ]
+      `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel";
+      `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash" ]
   in
   Cmd.v
     (Cmd.info "dice_demo" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ topo $ nodes $ seed $ fault $ rounds $ dot_file $ verbose)
+    Term.(const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ dot_file $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -49,7 +49,7 @@ let () =
         (fun (f : Dice.Fault.t) ->
           if String.equal f.Dice.Fault.f_property "handler-crash" then
             Format.printf "  %a@." Dice.Fault.pp f)
-        round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults
+        (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults
   | None -> print_endline "NOT DETECTED (unexpected)");
 
   (* The healthy remainder stays clean: one more full sweep. *)

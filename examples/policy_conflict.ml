@@ -35,7 +35,7 @@ let () =
           if f.Dice.Fault.f_class = Dice.Fault.Policy_conflict then
             Format.printf "  %a@." Dice.Fault.pp f)
         (List.filteri (fun i _ -> i < 4)
-           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+           (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults)
   | None -> print_endline "NOT DETECTED (unexpected)");
 
   (* Show that the live system is indeed flapping. *)

@@ -30,12 +30,12 @@ let () =
   | Some round ->
       Printf.printf "detected after %d round(s), exploring node %d:\n"
         (List.length summary.Dice.Orchestrator.rounds)
-        round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_node;
+        (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_node;
       List.iter
         (fun (f : Dice.Fault.t) ->
           if f.Dice.Fault.f_class = Dice.Fault.Operator_mistake then
             Format.printf "  %a@." Dice.Fault.pp f)
-        round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults
+        (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults
   | None -> print_endline "NOT DETECTED (unexpected)");
 
   (* How far did the hijack spread in the live system? *)

@@ -31,7 +31,7 @@ let () =
         (fun (f : Dice.Fault.t) ->
           if String.equal f.Dice.Fault.f_property "handler-crash" then
             Format.printf "  %a@." Dice.Fault.pp f)
-        round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults
+        (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults
   | None -> print_endline "crash bug NOT found (unexpected)");
 
   (* --- Bug 2: inverted MED comparison --- *)
@@ -80,7 +80,7 @@ let () =
           if f.Dice.Fault.f_class = Dice.Fault.Programming_error then
             Format.printf "  %a@." Dice.Fault.pp f)
         (List.filteri (fun i _ -> i < 3)
-           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+           (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults)
   | None -> print_endline "inverted-MED bug NOT found (unexpected)");
 
   (* Sanity: what did the buggy router actually select? *)

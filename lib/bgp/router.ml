@@ -396,6 +396,21 @@ and rearm_timers t (n : Config.neighbor) before after =
       tm.hold <- None;
       cancel_timer tm.keepalive;
       tm.keepalive <- None);
+  (* Entering OpenSent arms the hold timer immediately: a peer that
+     never answers our OPEN (crashed, partitioned away) must tear the
+     session down rather than leave it stuck in OpenSent forever. *)
+  (match (before.state, after.state) with
+  | (Idle | Connect | Active), OpenSent ->
+      let hold = t.cfg.Config.hold_time in
+      if hold > 0 then begin
+        cancel_timer tm.hold;
+        tm.hold <-
+          Some
+            (Netsim.Engine.schedule t.eng
+               ~after:(Netsim.Time.span_sec (float_of_int hold))
+               (fun () -> drive t n Fsm.Hold_timer_expired))
+      end
+  | _ -> ());
   (* Keepalive timer: periodic from OpenConfirm on. *)
   match (before.state, after.state) with
   | (Idle | Connect | Active | OpenSent), (OpenConfirm | Established) ->

@@ -12,6 +12,8 @@ type peer = {
   mutable p_got_open : bool;
   mutable p_in : Attr.t Prefix_trie.t;  (* post-import-policy *)
   mutable p_out : Attr.t Prefix_trie.t; (* last advertised *)
+  mutable p_hold : Netsim.Engine.timer option;  (* liveness watchdog *)
+  mutable p_retry : Netsim.Engine.timer option; (* re-greet loop *)
 }
 
 type t = {
@@ -197,16 +199,41 @@ let open_msg t =
     { version = 4; my_as = t.cfg.Config.asn; hold_time = t.cfg.Config.hold_time;
       bgp_id = t.cfg.Config.router_id }
 
-let greet t (p : peer) =
+let cancel_opt = function
+  | Some tm -> Netsim.Engine.cancel tm
+  | None -> ()
+
+(* Hold watchdog, re-greet loop and the session phases are mutually
+   recursive: greeting arms the watchdog, the watchdog tears the session
+   down, teardown starts the re-greet loop, the loop greets again. *)
+let rec arm_hold t (p : peer) =
+  if t.liveness && t.cfg.Config.hold_time > 0 then begin
+    cancel_opt p.p_hold;
+    p.p_hold <-
+      Some
+        (Netsim.Engine.schedule t.eng
+           ~after:(Netsim.Time.span_sec (float_of_int t.cfg.Config.hold_time))
+           (fun () ->
+             if p.p_phase <> Down then begin
+               Netsim.Stats.incr t.stats "hold_expired";
+               session_down t p.p_cfg.Config.addr p
+             end))
+  end
+
+and greet t (p : peer) =
   if not p.p_sent_open then begin
     p.p_sent_open <- true;
     p.p_phase <- Greeting;
-    send t p.p_cfg.Config.addr (open_msg t)
+    send t p.p_cfg.Config.addr (open_msg t);
+    (* A peer that never answers must not leave us greeting forever. *)
+    arm_hold t p
   end
 
-let session_up t addr (p : peer) =
+and session_up t addr (p : peer) =
   if p.p_phase <> Up then begin
     p.p_phase <- Up;
+    cancel_opt p.p_retry;
+    p.p_retry <- None;
     Netsim.Stats.incr t.stats "session_up";
     full_table_to t addr;
     (* Periodic keepalives so FSM-based peers do not expire their hold
@@ -222,20 +249,35 @@ let session_up t addr (p : peer) =
     end
   end
 
-let session_down t addr (p : peer) =
+and session_down t addr (p : peer) =
   Netsim.Stats.incr t.stats "session_down";
   p.p_phase <- Down;
   p.p_sent_open <- false;
   p.p_got_open <- false;
+  cancel_opt p.p_hold;
+  p.p_hold <- None;
   let lost = Prefix_trie.fold (fun prefix _ acc -> prefix :: acc) p.p_in [] in
   p.p_in <- Prefix_trie.empty;
   p.p_out <- Prefix_trie.empty;
   List.iter (reselect t) lost;
-  (* Reactive retry. *)
-  if t.liveness then
-    ignore
-      (Netsim.Engine.schedule t.eng ~after:(Netsim.Time.span_sec 15.) (fun () ->
-           if p.p_phase = Down then greet t p));
+  (* Reactive retry: keep re-greeting until the peer answers (it may be
+     down for a while).  One loop per peer; a fresh session_down resets
+     it. *)
+  if t.liveness then begin
+    cancel_opt p.p_retry;
+    let rec retry () =
+      if p.p_phase <> Up then begin
+        p.p_sent_open <- false;
+        p.p_got_open <- false;
+        greet t p;
+        p.p_retry <-
+          Some (Netsim.Engine.schedule t.eng ~after:(Netsim.Time.span_sec 15.) retry)
+      end
+      else p.p_retry <- None
+    in
+    p.p_retry <-
+      Some (Netsim.Engine.schedule t.eng ~after:(Netsim.Time.span_sec 15.) retry)
+  end;
   ignore addr
 
 let handle_msg t addr (p : peer) = function
@@ -266,7 +308,9 @@ let process_raw t ~from_node raw =
       match Wire.decode raw with
       | Ok msg ->
           Netsim.Stats.incr t.stats ("rx_" ^ String.lowercase_ascii (Msg.kind msg));
-          handle_msg t addr p msg
+          handle_msg t addr p msg;
+          (* Any message from a live peer resets the hold watchdog. *)
+          if p.p_phase <> Down then arm_hold t p
       | Error e ->
           Netsim.Stats.incr t.stats "rx_malformed";
           send t addr
@@ -288,7 +332,8 @@ let create ?(liveness_timers = true) ?(bugs = Router.no_bugs) ~net ~node cfg =
           (fun (n : Config.neighbor) ->
             ( n.Config.addr,
               { p_cfg = n; p_phase = Down; p_sent_open = false; p_got_open = false;
-                p_in = Prefix_trie.empty; p_out = Prefix_trie.empty } ))
+                p_in = Prefix_trie.empty; p_out = Prefix_trie.empty;
+                p_hold = None; p_retry = None } ))
           cfg.Config.neighbors;
       loc = Prefix_trie.empty;
       stats = Netsim.Stats.create ();

@@ -5,6 +5,7 @@ type params = {
   shadow_budget : int;
   check_convergence : bool;
   domains : int;
+  snapshot_deadline : Netsim.Time.span option;
 }
 
 let default_params =
@@ -14,11 +15,14 @@ let default_params =
     peers_per_node = 1;
     shadow_budget = 30_000;
     check_convergence = true;
-    domains = 1 }
+    domains = 1;
+    snapshot_deadline = None }
 
 type exploration = {
   x_node : int;
   x_snapshot : Snapshot.Cut.snapshot;
+  x_partial : bool;
+  x_stalled : (int * int) list;
   x_faults : Fault.t list;
   x_digests : Privacy.digest list;
   x_inputs : int;
@@ -31,25 +35,28 @@ type exploration = {
   x_domains : int;
 }
 
-let take_snapshot ~build ~cut ~node =
+let take_snapshot ?deadline ~build ~cut ~node () =
   let eng = build.Topology.Build.engine in
   let result = ref None in
   let _id =
-    Snapshot.Cut.initiate cut ~initiator:node ~on_complete:(fun s -> result := Some s)
+    Snapshot.Cut.initiate ?deadline cut ~initiator:node
+      ~on_result:(fun r -> result := Some r)
   in
-  (* Drive the live system until the markers have flooded the graph. *)
+  (* Drive the live system until the markers have flooded the graph (or,
+     with a deadline, until the cut aborts into a Partial). *)
   let horizon = Netsim.Time.span_sec 120. in
-  let deadline = Netsim.Time.add (Netsim.Engine.now eng) horizon in
+  let give_up = Netsim.Time.add (Netsim.Engine.now eng) horizon in
   let rec wait () =
     match !result with
-    | Some s -> s
+    | Some r -> r
     | None ->
-        if Netsim.Time.(deadline <= Netsim.Engine.now eng) then
+        if Netsim.Time.(give_up <= Netsim.Engine.now eng) then
           failwith "Explorer.take_snapshot: cut did not complete within horizon"
-        else begin
-          ignore (Netsim.Engine.step eng);
-          wait ()
-        end
+        else if not (Netsim.Engine.step eng) then
+          (* Event queue drained with the cut still open: nothing can
+             close it anymore. *)
+          failwith "Explorer.take_snapshot: engine idle with cut still open"
+        else wait ()
   in
   wait ()
 
@@ -236,8 +243,14 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
 
 let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
   let go pool =
-    (* Step 1: consistent snapshot. *)
-    let snapshot = take_snapshot ~build ~cut ~node in
+    (* Step 1: consistent snapshot.  Under churn the cut may abort at
+       its deadline; we then explore the nodes we did checkpoint (the
+       initiator is always among them) and report the gap honestly. *)
+    let cut_result =
+      take_snapshot ?deadline:params.snapshot_deadline ~build ~cut ~node ()
+    in
+    let snapshot = Snapshot.Cut.snapshot_of cut_result in
+    let stalled = Snapshot.Cut.stalled_of cut_result in
     let t0 = Unix.gettimeofday () in
     let now = Netsim.Engine.now build.Topology.Build.engine in
     let span =
@@ -280,6 +293,8 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
     in
     { x_node = node;
       x_snapshot = snapshot;
+      x_partial = stalled <> [];
+      x_stalled = stalled;
       x_faults = Fault.dedupe faults;
       x_digests = digests;
       x_inputs = inputs;
@@ -297,11 +312,22 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
       Parallel.Pool.with_pool ~domains:params.domains (fun p -> go (Some p))
   | None -> go None
 
+let coverage x =
+  ( List.length x.x_snapshot.Snapshot.Cut.checkpoints,
+    List.length x.x_snapshot.Snapshot.Cut.channels )
+
 let pp_exploration ppf x =
   Format.fprintf ppf
     "@[<v>node %d: %d inputs, %d paths, %d shadow runs, %d crashes, snapshot %dus, %.2fs wall"
     x.x_node x.x_inputs x.x_distinct_paths x.x_shadow_runs x.x_crashes
     x.x_snapshot_span x.x_wall_seconds;
+  if x.x_partial then begin
+    let nodes, chans = coverage x in
+    Format.fprintf ppf
+      " [PARTIAL cut: %d nodes checkpointed, %d/%d channels closed]" nodes
+      (chans - List.length x.x_stalled)
+      chans
+  end;
   if x.x_domains > 1 then
     Format.fprintf ppf " (pool: %d domains, %.2fs work, %.2fx speedup)" x.x_domains
       x.x_work_seconds

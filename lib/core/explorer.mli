@@ -22,6 +22,10 @@ type params = {
   domains : int;
       (** parallelism for shadow replay; 1 (the default) is strictly
           sequential and allocates no pool *)
+  snapshot_deadline : Netsim.Time.span option;
+      (** abort the cut into a [Partial] after this much simulated time;
+          [None] (the default) waits the full 120 s horizon and fails if
+          the cut never closes *)
 }
 
 val default_params : params
@@ -29,6 +33,9 @@ val default_params : params
 type exploration = {
   x_node : int;
   x_snapshot : Snapshot.Cut.snapshot;
+  x_partial : bool;  (** the cut aborted at its deadline *)
+  x_stalled : (int * int) list;
+      (** channels whose marker never arrived (empty when complete) *)
   x_faults : Fault.t list;  (** deduplicated *)
   x_digests : Privacy.digest list;  (** remote check results *)
   x_inputs : int;  (** concolic executions of the instrumented handler *)
@@ -44,9 +51,17 @@ type exploration = {
 }
 
 val take_snapshot :
-  build:Topology.Build.t -> cut:Snapshot.Cut.t -> node:int -> Snapshot.Cut.snapshot
+  ?deadline:Netsim.Time.span ->
+  build:Topology.Build.t ->
+  cut:Snapshot.Cut.t ->
+  node:int ->
+  unit ->
+  Snapshot.Cut.result
 (** Initiate from [node] and drive the live engine until the cut
-    completes. *)
+    settles — [Complete], or [Partial] once [deadline] elapses.
+    @raise Failure if the cut is still open after 120 s of simulated
+    time (or the engine goes idle with it open) and no deadline
+    intervened. *)
 
 val explore_node :
   ?params:params ->
@@ -60,5 +75,9 @@ val explore_node :
 (** [pool] overrides [params.domains]: when given, replays are fanned
     out over it (and the caller is responsible for its lifetime); when
     absent and [params.domains > 1], a pool is created for this call. *)
+
+val coverage : exploration -> int * int
+(** [(nodes checkpointed, channels in the cut)] — how much of the
+    deployment the snapshot actually covered. *)
 
 val pp_exploration : Format.formatter -> exploration -> unit

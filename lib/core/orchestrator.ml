@@ -1,8 +1,42 @@
+type exn_info = { ei_exn : string; ei_backtrace : string }
+
+type round_outcome =
+  | Ok of Explorer.exploration
+  | Degraded of Explorer.exploration * string
+  | Failed of exn_info
+
 type round = {
   rd_index : int;
+  rd_node : int;
   rd_started_at : Netsim.Time.t;
-  rd_exploration : Explorer.exploration;
+  rd_outcome : round_outcome;
 }
+
+let round_exploration r =
+  match r.rd_outcome with
+  | Ok x | Degraded (x, _) -> Some x
+  | Failed _ -> None
+
+let round_exploration_exn r =
+  match round_exploration r with
+  | Some x -> x
+  | None -> invalid_arg "Orchestrator.round_exploration_exn: round Failed"
+
+type quarantine_event = {
+  q_node : int;
+  q_round : int;  (** round index whose failure triggered it *)
+  q_strikes : int;
+  q_until_round : int;  (** first round index the node is eligible again *)
+}
+
+type supervisor = {
+  max_strikes : int;
+  backoff_rounds : int;
+  round_wall_budget : float option;
+}
+
+let default_supervisor =
+  { max_strikes = 3; backoff_rounds = 2; round_wall_budget = None }
 
 type summary = {
   rounds : round list;
@@ -11,91 +45,217 @@ type summary = {
   total_inputs : int;
   total_shadow_runs : int;
   total_wall_seconds : float;
+  ok_rounds : int;
+  degraded_rounds : int;
+  failed_rounds : int;
+  quarantines : quarantine_event list;
+  leaked_snapshots : int;
 }
 
-let summarize rounds =
+let summarize ?(quarantines = []) ?(leaked_snapshots = 0) rounds =
+  let explorations = List.filter_map round_exploration rounds in
   let faults =
-    Fault.dedupe
-      (List.concat_map (fun r -> r.rd_exploration.Explorer.x_faults) rounds)
+    Fault.dedupe (List.concat_map (fun x -> x.Explorer.x_faults) explorations)
   in
+  (* Earliest detection per class: minimum [f_detected_at] across every
+     fault of every round (not first-in-list-order). *)
   let first_detection =
     List.fold_left
       (fun acc r ->
-        List.fold_left
-          (fun acc (f : Fault.t) ->
-            if List.mem_assoc f.Fault.f_class acc then acc
-            else (f.Fault.f_class, (f.Fault.f_detected_at, r.rd_index + 1)) :: acc)
-          acc r.rd_exploration.Explorer.x_faults)
+        match round_exploration r with
+        | None -> acc
+        | Some x ->
+            List.fold_left
+              (fun acc (f : Fault.t) ->
+                let cls = f.Fault.f_class in
+                match List.assoc_opt cls acc with
+                | Some (t, _) when Netsim.Time.(t <= f.Fault.f_detected_at) -> acc
+                | Some _ | None ->
+                    (cls, (f.Fault.f_detected_at, r.rd_index + 1))
+                    :: List.remove_assoc cls acc)
+              acc x.Explorer.x_faults)
       [] rounds
     |> List.map (fun (c, (t, n)) -> (c, t, n))
+    |> List.sort (fun (_, t1, _) (_, t2, _) -> Netsim.Time.compare t1 t2)
   in
+  let count pred = List.length (List.filter pred rounds) in
+  let sum f = List.fold_left (fun a x -> a + f x) 0 explorations in
   { rounds;
     faults;
     first_detection;
-    total_inputs =
-      List.fold_left (fun a r -> a + r.rd_exploration.Explorer.x_inputs) 0 rounds;
-    total_shadow_runs =
-      List.fold_left (fun a r -> a + r.rd_exploration.Explorer.x_shadow_runs) 0 rounds;
+    total_inputs = sum (fun x -> x.Explorer.x_inputs);
+    total_shadow_runs = sum (fun x -> x.Explorer.x_shadow_runs);
     total_wall_seconds =
-      List.fold_left (fun a r -> a +. r.rd_exploration.Explorer.x_wall_seconds) 0. rounds }
+      List.fold_left (fun a x -> a +. x.Explorer.x_wall_seconds) 0. explorations;
+    ok_rounds = count (fun r -> match r.rd_outcome with Ok _ -> true | _ -> false);
+    degraded_rounds =
+      count (fun r -> match r.rd_outcome with Degraded _ -> true | _ -> false);
+    failed_rounds =
+      count (fun r -> match r.rd_outcome with Failed _ -> true | _ -> false);
+    quarantines;
+    leaked_snapshots }
 
 let make_cut build =
   Snapshot.Cut.create
     ~speakers:(fun id -> Topology.Build.speaker build id)
     build.Topology.Build.net
 
-let one_round ~params ~pool ~build ~cut ~gt ~interval ~index node =
+(* One supervised round: the exploration runs under exception
+   containment, and the live system advances by [interval] afterwards
+   whatever the outcome — a crashing explorer must not stall the
+   deployment or the remaining rounds. *)
+let one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index node =
   let started_at = Netsim.Engine.now build.Topology.Build.engine in
-  let exploration = Explorer.explore_node ?params ?pool ~build ~cut ~gt ~node () in
-  (* Let the live system make progress before the next explorer. *)
-  Topology.Build.run_for build interval;
-  { rd_index = index; rd_started_at = started_at; rd_exploration = exploration }
-
-let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes ~build ~gt ~rounds () =
-  let all_nodes =
-    match nodes with
-    | Some l -> l
-    | None -> Topology.Graph.node_ids build.Topology.Build.graph
+  let outcome =
+    match Explorer.explore_node ?params ?pool ~build ~cut ~gt ~node () with
+    | x ->
+        if x.Explorer.x_partial then
+          Degraded
+            ( x,
+              Printf.sprintf "partial cut: %d channel(s) never closed"
+                (List.length x.Explorer.x_stalled) )
+        else (
+          match supervisor.round_wall_budget with
+          | Some budget when x.Explorer.x_wall_seconds > budget ->
+              (* Domains cannot be killed, so the budget is enforced by
+                 observation: the round still yields its results but is
+                 flagged as over budget. *)
+              Degraded
+                ( x,
+                  Printf.sprintf "wall budget exceeded: %.2fs > %.2fs"
+                    x.Explorer.x_wall_seconds budget )
+          | Some _ | None -> Ok x)
+    | exception e ->
+        Failed
+          { ei_exn = Printexc.to_string e;
+            ei_backtrace = Printexc.get_backtrace () }
   in
+  Topology.Build.run_for build interval;
+  { rd_index = index; rd_node = node; rd_started_at = started_at;
+    rd_outcome = outcome }
+
+(* Per-node health for the quarantine policy. *)
+type health = {
+  mutable h_strikes : int;
+  mutable h_until : int;  (* quarantined while round index < h_until *)
+  mutable h_quarantines : int;  (* drives the exponential backoff *)
+}
+
+type sched = {
+  s_nodes : int array;
+  s_health : health array;
+  s_sup : supervisor;
+  mutable s_events : quarantine_event list;
+}
+
+let sched_make sup nodes =
+  let s_nodes = Array.of_list nodes in
+  { s_nodes;
+    s_health =
+      Array.map (fun _ -> { h_strikes = 0; h_until = 0; h_quarantines = 0 }) s_nodes;
+    s_sup = sup;
+    s_events = [] }
+
+(* Round-robin with quarantine skipping: start at the scheduled slot and
+   take the first healthy node; if everyone is quarantined, run the
+   scheduled node anyway (the system must keep testing). *)
+let sched_pick s i =
+  let n = Array.length s.s_nodes in
+  let rec probe k = if k >= n then i mod n
+    else
+      let idx = (i + k) mod n in
+      if s.s_health.(idx).h_until > i then probe (k + 1) else idx
+  in
+  probe 0
+
+let sched_record s ~round_index ~slot outcome =
+  let h = s.s_health.(slot) in
+  match outcome with
+  | Ok _ | Degraded _ -> h.h_strikes <- 0
+  | Failed _ ->
+      h.h_strikes <- h.h_strikes + 1;
+      if h.h_strikes >= s.s_sup.max_strikes then begin
+        let len = s.s_sup.backoff_rounds * (1 lsl h.h_quarantines) in
+        h.h_until <- round_index + 1 + len;
+        h.h_quarantines <- h.h_quarantines + 1;
+        h.h_strikes <- 0;
+        s.s_events <-
+          { q_node = s.s_nodes.(slot); q_round = round_index;
+            q_strikes = s.s_sup.max_strikes; q_until_round = h.h_until }
+          :: s.s_events
+      end
+
+let node_list nodes build =
+  match nodes with
+  | Some l -> l
+  | None -> Topology.Graph.node_ids build.Topology.Build.graph
+
+let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
+    ?(supervisor = default_supervisor) ~build ~gt ~rounds () =
+  let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
-  let n = List.length all_nodes in
   let result =
     List.init rounds (fun i ->
-        one_round ~params ~pool ~build ~cut ~gt ~interval ~index:i
-          (List.nth all_nodes (i mod n)))
+        let slot = sched_pick sched i in
+        let r =
+          one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index:i
+            sched.s_nodes.(slot)
+        in
+        sched_record sched ~round_index:i ~slot r.rd_outcome;
+        r)
   in
-  summarize result
+  summarize ~quarantines:(List.rev sched.s_events)
+    ~leaked_snapshots:(Snapshot.Cut.active cut) result
 
 let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
-    ?max_rounds ~build ~gt ~expect () =
-  let all_nodes =
-    match nodes with
-    | Some l -> l
-    | None -> Topology.Graph.node_ids build.Topology.Build.graph
-  in
+    ?(supervisor = default_supervisor) ?max_rounds ~build ~gt ~expect () =
+  let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
-  let n = List.length all_nodes in
+  let n = Array.length sched.s_nodes in
   let max_rounds = Option.value max_rounds ~default:(2 * n) in
+  let finish acc =
+    summarize ~quarantines:(List.rev sched.s_events)
+      ~leaked_snapshots:(Snapshot.Cut.active cut) acc
+  in
   let rec go i acc =
-    if i >= max_rounds then (summarize (List.rev acc), None)
+    if i >= max_rounds then (finish (List.rev acc), None)
     else begin
+      let slot = sched_pick sched i in
       let round =
-        one_round ~params ~pool ~build ~cut ~gt ~interval ~index:i
-          (List.nth all_nodes (i mod n))
+        one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index:i
+          sched.s_nodes.(slot)
       in
+      sched_record sched ~round_index:i ~slot round.rd_outcome;
       let hit =
-        List.exists
-          (fun (f : Fault.t) -> f.Fault.f_class = expect)
-          round.rd_exploration.Explorer.x_faults
+        match round_exploration round with
+        | Some x ->
+            List.exists
+              (fun (f : Fault.t) -> f.Fault.f_class = expect)
+              x.Explorer.x_faults
+        | None -> false
       in
-      if hit then (summarize (List.rev (round :: acc)), Some round)
+      if hit then (finish (List.rev (round :: acc)), Some round)
       else go (i + 1) (round :: acc)
     end
   in
   go 0 []
 
+let pp_outcome ppf = function
+  | Ok _ -> Format.fprintf ppf "ok"
+  | Degraded (_, why) -> Format.fprintf ppf "degraded (%s)" why
+  | Failed e -> Format.fprintf ppf "FAILED: %s" e.ei_exn
+
 let pp_summary ppf s =
-  Format.fprintf ppf "@[<v>%d rounds, %d inputs, %d shadow runs, %.2fs wall@ "
-    (List.length s.rounds) s.total_inputs s.total_shadow_runs s.total_wall_seconds;
+  Format.fprintf ppf
+    "@[<v>%d rounds (%d ok, %d degraded, %d failed), %d inputs, %d shadow runs, %.2fs wall@ "
+    (List.length s.rounds) s.ok_rounds s.degraded_rounds s.failed_rounds
+    s.total_inputs s.total_shadow_runs s.total_wall_seconds;
+  List.iter
+    (fun q ->
+      Format.fprintf ppf "quarantined node %d after round %d (until round %d)@ "
+        q.q_node (q.q_round + 1) q.q_until_round)
+    s.quarantines;
+  if s.leaked_snapshots > 0 then
+    Format.fprintf ppf "WARNING: %d snapshot(s) still active@ " s.leaked_snapshots;
   List.iter (fun f -> Format.fprintf ppf "%a@ " Fault.pp f) s.faults;
   Format.fprintf ppf "@]"

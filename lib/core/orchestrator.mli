@@ -1,25 +1,84 @@
-(** Continuous exploration alongside the live system.
+(** Continuous exploration alongside the live system, under
+    supervision.
 
     Round-robin over explorer nodes: each round takes a snapshot,
     explores it in isolation, then lets the live system run for the
     configured interval before the next node starts.  This is the
     "operates alongside the deployed system but in isolation from it"
-    loop of the paper. *)
+    loop of the paper.
+
+    {b Supervision.} On a churning deployment a round can go wrong —
+    the cut aborts into a partial snapshot, the exploration takes too
+    long, or it raises.  Each round therefore runs under exception
+    containment and produces a {!round_outcome} instead of
+    propagating: [Ok] for a clean round, [Degraded] when the round
+    produced results from a partial cut or blew its wall budget, and
+    [Failed] when the exploration raised (the live system still
+    advances by [interval] so later rounds see fresh state).  A node
+    whose rounds fail {!supervisor.max_strikes} times consecutively is
+    quarantined — skipped by the scheduler — for
+    [backoff_rounds * 2^(previous quarantines)] rounds. *)
+
+type exn_info = { ei_exn : string; ei_backtrace : string }
+
+type round_outcome =
+  | Ok of Explorer.exploration
+  | Degraded of Explorer.exploration * string
+      (** results were produced but coverage or budget suffered; the
+          string says why *)
+  | Failed of exn_info
 
 type round = {
   rd_index : int;
+  rd_node : int;  (** the explorer node this round ran on *)
   rd_started_at : Netsim.Time.t;
-  rd_exploration : Explorer.exploration;
+  rd_outcome : round_outcome;
 }
+
+val round_exploration : round -> Explorer.exploration option
+(** [None] exactly for [Failed] rounds. *)
+
+val round_exploration_exn : round -> Explorer.exploration
+(** @raise Invalid_argument on a [Failed] round — for callers that know
+    the round produced results (e.g. the detection round returned by
+    {!run_until_detection}). *)
+
+type quarantine_event = {
+  q_node : int;
+  q_round : int;  (** round index whose failure triggered it *)
+  q_strikes : int;
+  q_until_round : int;  (** first round index the node is eligible again *)
+}
+
+type supervisor = {
+  max_strikes : int;  (** consecutive failures before quarantine *)
+  backoff_rounds : int;  (** base quarantine length; doubles each time *)
+  round_wall_budget : float option;
+      (** host seconds per round; an over-budget round is flagged
+          [Degraded] (domains cannot be killed, so enforcement is by
+          observation, not preemption) *)
+}
+
+val default_supervisor : supervisor
+(** 3 strikes, 2-round base backoff, no wall budget. *)
 
 type summary = {
   rounds : round list;
   faults : Fault.t list;  (** deduplicated across rounds *)
   first_detection : (Fault.fault_class * Netsim.Time.t * int) list;
-      (** per detected class: simulated detection time and rounds used *)
+      (** per detected class: the {e earliest} simulated detection time
+          across all rounds, and the (1-based) round that achieved it;
+          sorted by detection time *)
   total_inputs : int;
   total_shadow_runs : int;
   total_wall_seconds : float;
+  ok_rounds : int;
+  degraded_rounds : int;
+  failed_rounds : int;
+  quarantines : quarantine_event list;  (** in trigger order *)
+  leaked_snapshots : int;
+      (** cuts still active when the run ended — 0 unless a cut without
+          a deadline stalled *)
 }
 
 val run :
@@ -27,6 +86,7 @@ val run :
   ?pool:Parallel.Pool.t ->
   ?interval:Netsim.Time.span ->
   ?nodes:int list ->
+  ?supervisor:supervisor ->
   build:Topology.Build.t ->
   gt:Checks.ground_truth ->
   rounds:int ->
@@ -37,13 +97,15 @@ val run :
     when given, parallelizes each round's shadow replays (and, for
     [peers_per_node > 1], the per-session explorations) over the
     caller's domain pool; the default path stays sequential and
-    deterministic. *)
+    deterministic.  Rounds never propagate exploration exceptions — see
+    the supervision notes above. *)
 
 val run_until_detection :
   ?params:Explorer.params ->
   ?pool:Parallel.Pool.t ->
   ?interval:Netsim.Time.span ->
   ?nodes:int list ->
+  ?supervisor:supervisor ->
   ?max_rounds:int ->
   build:Topology.Build.t ->
   gt:Checks.ground_truth ->
@@ -54,4 +116,5 @@ val run_until_detection :
     [expect]; [None] if [max_rounds] (default: 2 passes over the node
     list) were exhausted. *)
 
+val pp_outcome : Format.formatter -> round_outcome -> unit
 val pp_summary : Format.formatter -> summary -> unit

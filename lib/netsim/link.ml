@@ -3,13 +3,16 @@ type t = {
   jitter : Time.span;
   loss : float;
   retransmit : Time.span;
+  max_retries : int;
 }
 
-let make ?(jitter = 0) ?(loss = 0.) ?(retransmit = Time.span_ms 300) latency =
+let make ?(jitter = 0) ?(loss = 0.) ?(retransmit = Time.span_ms 300)
+    ?(max_retries = 8) latency =
   if latency < 0 || jitter < 0 || retransmit < 0 then
     invalid_arg "Link.make: negative delay";
   if loss < 0. || loss >= 1. then invalid_arg "Link.make: loss must be in [0,1)";
-  { latency; jitter; loss; retransmit }
+  if max_retries < 0 then invalid_arg "Link.make: negative max_retries";
+  { latency; jitter; loss; retransmit; max_retries }
 
 let ideal = make (Time.span_ms 1)
 
@@ -18,7 +21,7 @@ let delay t rng =
   (* Each lost transmission costs one retransmit timeout; bound the number
      of retries so a pathological RNG stream cannot stall the channel. *)
   let rec retries n acc =
-    if n >= 8 || t.loss <= 0. then acc
+    if n >= t.max_retries || t.loss <= 0. then acc
     else if Rng.chance rng t.loss then retries (n + 1) (acc + t.retransmit)
     else acc
   in

@@ -2,13 +2,23 @@ type control = Marker of { snapshot : int; initiator : int }
 
 type 'msg envelope = Data of 'msg | Control of control
 
+type link_policy = Drop_while_down | Queue_while_down
+
 type 'msg channel = {
   link : Link.t;
   chan_rng : Rng.t;
   mutable last_delivery : Time.t;  (* FIFO floor for the next delivery *)
+  mutable ch_up : bool;
+  mutable ch_policy : link_policy;
+  (* Envelopes held back while the link is down under [Queue_while_down],
+     oldest first. *)
+  mutable ch_held : 'msg envelope list;
 }
 
-type 'msg node = { mutable handler : src:int -> 'msg -> unit }
+type 'msg node = {
+  mutable handler : src:int -> 'msg -> unit;
+  mutable nd_up : bool;
+}
 
 type 'msg t = {
   eng : Engine.t;
@@ -21,6 +31,7 @@ type 'msg t = {
   mutable sent : int;
   mutable delivered : int;
   mutable flying : int;
+  mutable dropped : int;
 }
 
 let create ?trace eng =
@@ -35,6 +46,7 @@ let create ?trace eng =
     sent = 0;
     delivered = 0;
     flying = 0;
+    dropped = 0;
   }
 
 let engine t = t.eng
@@ -43,7 +55,7 @@ let trace t = t.tr
 let add_node t id handler =
   if Hashtbl.mem t.node_tbl id then
     invalid_arg (Printf.sprintf "Network.add_node: node %d exists" id);
-  Hashtbl.add t.node_tbl id { handler }
+  Hashtbl.add t.node_tbl id { handler; nd_up = true }
 
 let set_handler t id handler =
   match Hashtbl.find_opt t.node_tbl id with
@@ -58,7 +70,8 @@ let connect t a b link =
   if Hashtbl.mem t.chan_tbl (a, b) then
     invalid_arg (Printf.sprintf "Network.connect: channel %d->%d exists" a b);
   Hashtbl.add t.chan_tbl (a, b)
-    { link; chan_rng = Rng.split t.net_rng; last_delivery = Time.zero }
+    { link; chan_rng = Rng.split t.net_rng; last_delivery = Time.zero;
+      ch_up = true; ch_policy = Drop_while_down; ch_held = [] }
 
 let connect_sym t a b link =
   connect t a b link;
@@ -69,31 +82,132 @@ let emit t ~node ~kind detail =
   | Some tr -> Trace.emit tr ~at:(Engine.now t.eng) ~node ~kind detail
   | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Failure state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let node_of t id =
+  match Hashtbl.find_opt t.node_tbl id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Network: no node %d" id)
+
+let chan_of t a b =
+  match Hashtbl.find_opt t.chan_tbl (a, b) with
+  | Some ch -> ch
+  | None -> invalid_arg (Printf.sprintf "Network: no channel %d->%d" a b)
+
+let node_is_up t id = (node_of t id).nd_up
+let link_is_up t a b = (chan_of t a b).ch_up
+
+let set_node_down t id =
+  let n = node_of t id in
+  if n.nd_up then begin
+    n.nd_up <- false;
+    emit t ~node:id ~kind:"churn" "node down"
+  end
+
+let set_node_up t id =
+  let n = node_of t id in
+  if not n.nd_up then begin
+    n.nd_up <- true;
+    emit t ~node:id ~kind:"churn" "node up"
+  end
+
+let drop t ~src env =
+  t.dropped <- t.dropped + 1;
+  match env with
+  | Data _ -> emit t ~node:src ~kind:"drop" "message lost to churn"
+  | Control _ -> emit t ~node:src ~kind:"drop" "marker lost to churn"
+
 let deliver t ~src ~dst env =
   t.flying <- t.flying - 1;
-  match env with
-  | Control c -> t.control_handler ~self:dst ~src c
-  | Data m -> (
-      t.delivered <- t.delivered + 1;
-      (match t.tap with Some f -> f ~dst ~src m | None -> ());
-      emit t ~node:dst ~kind:"deliver" (Printf.sprintf "from %d" src);
-      match Hashtbl.find_opt t.node_tbl dst with
-      | Some n -> n.handler ~src m
-      | None -> ())
+  let ch = chan_of t src dst in
+  let dst_node = node_of t dst in
+  if not dst_node.nd_up then drop t ~src env
+  else if not ch.ch_up then
+    (* The link failed while the message was in flight. *)
+    (match ch.ch_policy with
+    | Drop_while_down -> drop t ~src env
+    | Queue_while_down -> ch.ch_held <- ch.ch_held @ [ env ])
+  else
+    match env with
+    | Control c -> t.control_handler ~self:dst ~src c
+    | Data m ->
+        t.delivered <- t.delivered + 1;
+        (match t.tap with Some f -> f ~dst ~src m | None -> ());
+        emit t ~node:dst ~kind:"deliver" (Printf.sprintf "from %d" src);
+        dst_node.handler ~src m
+
+let schedule_delivery t ~src ~dst ch env =
+  let now = Engine.now t.eng in
+  let arrival = Time.add now (Link.delay ch.link ch.chan_rng) in
+  (* Clamp to the previous delivery instant to preserve FIFO order. *)
+  let arrival =
+    if Time.(arrival < ch.last_delivery) then ch.last_delivery else arrival
+  in
+  ch.last_delivery <- arrival;
+  t.flying <- t.flying + 1;
+  ignore (Engine.at t.eng arrival (fun () -> deliver t ~src ~dst env))
 
 let transmit t ~src ~dst env =
   match Hashtbl.find_opt t.chan_tbl (src, dst) with
   | None -> invalid_arg (Printf.sprintf "Network.send: no channel %d->%d" src dst)
   | Some ch ->
-      let now = Engine.now t.eng in
-      let arrival = Time.add now (Link.delay ch.link ch.chan_rng) in
-      (* Clamp to the previous delivery instant to preserve FIFO order. *)
-      let arrival =
-        if Time.(arrival < ch.last_delivery) then ch.last_delivery else arrival
-      in
-      ch.last_delivery <- arrival;
-      t.flying <- t.flying + 1;
-      ignore (Engine.at t.eng arrival (fun () -> deliver t ~src ~dst env))
+      (* A down node is silent: its timers may still fire, but nothing it
+         tries to send reaches the wire. *)
+      if not (node_of t src).nd_up then drop t ~src env
+      else if not ch.ch_up then
+        (match ch.ch_policy with
+        | Drop_while_down -> drop t ~src env
+        | Queue_while_down ->
+            (* Ride the normal delay path; [deliver] holds the envelope
+               at arrival, so the held queue is in arrival order and FIFO
+               survives messages already in flight when the link failed. *)
+            schedule_delivery t ~src ~dst ch env)
+      else schedule_delivery t ~src ~dst ch env
+
+let set_link_down ?(policy = Drop_while_down) t a b =
+  let ch = chan_of t a b in
+  ch.ch_policy <- policy;
+  if ch.ch_up then begin
+    ch.ch_up <- false;
+    emit t ~node:a ~kind:"churn" (Printf.sprintf "link %d->%d down" a b)
+  end
+
+let set_link_up t a b =
+  let ch = chan_of t a b in
+  if not ch.ch_up then begin
+    ch.ch_up <- true;
+    emit t ~node:a ~kind:"churn" (Printf.sprintf "link %d->%d up" a b);
+    (* Release held-back traffic in arrival order through the normal
+       delay path; the FIFO floor keeps the order intact. *)
+    let held = ch.ch_held in
+    ch.ch_held <- [];
+    List.iter (fun env -> schedule_delivery t ~src:a ~dst:b ch env) held
+  end
+
+let set_link_down_sym ?policy t a b =
+  set_link_down ?policy t a b;
+  set_link_down ?policy t b a
+
+let set_link_up_sym t a b =
+  set_link_up t a b;
+  set_link_up t b a
+
+let partition ?policy t xs ys =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Hashtbl.mem t.chan_tbl (a, b) then set_link_down ?policy t a b;
+          if Hashtbl.mem t.chan_tbl (b, a) then set_link_down ?policy t b a)
+        ys)
+    xs
+
+let heal t =
+  (* [set_link_up] only mutates channel records, never the table
+     structure, so iterating directly is safe. *)
+  Hashtbl.iter (fun (a, b) ch -> if not ch.ch_up then set_link_up t a b) t.chan_tbl
 
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
@@ -124,3 +238,4 @@ let channels t =
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let in_flight t = t.flying
+let messages_dropped t = t.dropped

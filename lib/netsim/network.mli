@@ -1,15 +1,32 @@
 (** Message-passing network over the event engine.
 
-    Nodes are integers; channels are directed, reliable and FIFO.  The
-    network is polymorphic in the application message type.
+    Nodes are integers; channels are directed and FIFO, and — on a
+    healthy substrate — reliable.  The network is polymorphic in the
+    application message type.
 
     Two hooks exist for the snapshot subsystem:
     - control messages ([Marker]) travel on the same FIFO channels as
       data but are delivered to the control handler instead of the node;
     - a delivery tap observes every data message just before it reaches
-      its destination handler (used to record in-flight messages). *)
+      its destination handler (used to record in-flight messages).
+
+    {b Churn.} Deployed systems are not always healthy: nodes and links
+    can be taken down and restored at runtime ({!set_node_down},
+    {!set_link_down}, {!partition}).  A down node neither receives nor
+    sends — deliveries to it are dropped and anything its (still
+    firing) timers try to transmit is silenced.  A down link either
+    drops traffic or holds it back for redelivery on recovery,
+    according to its {!link_policy}.  Dropped messages are counted in
+    {!messages_dropped}.  See {!Churn} for declarative failure
+    schedules driven by engine timers. *)
 
 type control = Marker of { snapshot : int; initiator : int }
+
+type link_policy =
+  | Drop_while_down  (** traffic on a down link is lost (default) *)
+  | Queue_while_down
+      (** traffic is held back and redelivered, in order, when the link
+          comes back up *)
 
 type 'msg t
 
@@ -39,6 +56,45 @@ val send_control : 'msg t -> src:int -> dst:int -> control -> unit
 val set_control_handler : 'msg t -> (self:int -> src:int -> control -> unit) -> unit
 val set_delivery_tap : 'msg t -> (dst:int -> src:int -> 'msg -> unit) option -> unit
 
+(** {1 Failure injection} *)
+
+val set_node_down : 'msg t -> int -> unit
+(** Crash a node: deliveries to it are dropped (data {e and} control
+    markers), and nothing it transmits reaches the wire.  Idempotent.
+    @raise Invalid_argument on an unknown node. *)
+
+val set_node_up : 'msg t -> int -> unit
+(** Restore a crashed node.  Sessions re-establish through the
+    application layer's own timers; the network does not replay
+    anything dropped while the node was down. *)
+
+val node_is_up : 'msg t -> int -> bool
+
+val set_link_down : ?policy:link_policy -> 'msg t -> int -> int -> unit
+(** Take the directed channel [a -> b] down.  [policy] (default
+    [Drop_while_down]) governs both new transmissions and messages
+    already in flight when they reach their delivery instant.
+    @raise Invalid_argument on an unknown channel. *)
+
+val set_link_up : 'msg t -> int -> int -> unit
+(** Restore a link; under [Queue_while_down] the held-back messages are
+    redelivered in their original order. *)
+
+val set_link_down_sym : ?policy:link_policy -> 'msg t -> int -> int -> unit
+val set_link_up_sym : 'msg t -> int -> int -> unit
+
+val link_is_up : 'msg t -> int -> int -> bool
+
+val partition : ?policy:link_policy -> 'msg t -> int list -> int list -> unit
+(** [partition t xs ys] takes down every channel (in both directions)
+    between a node of [xs] and a node of [ys].  Pairs with no channel
+    are skipped. *)
+
+val heal : 'msg t -> unit
+(** Bring every down link (not node) back up. *)
+
+(** {1 Introspection} *)
+
 val nodes : 'msg t -> int list
 (** Sorted. *)
 
@@ -52,3 +108,6 @@ val messages_sent : 'msg t -> int
 
 val messages_delivered : 'msg t -> int
 val in_flight : 'msg t -> int
+
+val messages_dropped : 'msg t -> int
+(** Data and control messages lost to down nodes or down links. *)

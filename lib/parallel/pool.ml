@@ -122,6 +122,26 @@ let rec await task =
         await task
       end
 
+let await_timeout task ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  (* The stdlib has no timed [Condition.wait], so once the queue is dry
+     we spin politely on the task state instead of blocking. *)
+  let rec loop () =
+    Mutex.lock task.t_lock;
+    let st = task.t_state in
+    Mutex.unlock task.t_lock;
+    match st with
+    | Done v -> Some v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          if not (try_help task.t_pool) then Domain.cpu_relax ();
+          loop ()
+        end
+  in
+  loop ()
+
 let map_list pool f xs =
   let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
   List.map await tasks

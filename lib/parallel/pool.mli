@@ -42,6 +42,13 @@ val await : 'a task -> 'a
     in the meantime.  Re-raises (with its original backtrace) any
     exception the job raised. *)
 
+val await_timeout : 'a task -> timeout_s:float -> 'a option
+(** Like {!await} but gives up after [timeout_s] wall-clock seconds,
+    returning [None].  The job itself is {e not} cancelled — OCaml
+    domains cannot be killed — so an abandoned job may still complete
+    later; the caller has merely stopped waiting for it.  Helps drain
+    the queue while waiting, then polls. *)
+
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list pool f xs] runs [f] on every element concurrently and
     returns the results in input order.  If several jobs raise, the

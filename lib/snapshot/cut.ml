@@ -10,6 +10,11 @@ type snapshot = {
   control_messages : int;
 }
 
+type result = Complete of snapshot | Partial of snapshot * (int * int) list
+
+let snapshot_of = function Complete s | Partial (s, _) -> s
+let stalled_of = function Complete _ -> [] | Partial (_, st) -> st
+
 let in_flight_total snapshot =
   List.fold_left (fun acc c -> acc + List.length c.ch_messages) 0 snapshot.channels
 
@@ -23,46 +28,69 @@ type active_snap = {
   a_channels : (int * int, chan_status) Hashtbl.t;
   a_markers_seen : (int * int, unit) Hashtbl.t;
   mutable a_markers_sent : int;
-  a_on_complete : snapshot -> unit;
+  (* The channel set pinned at initiation time: completion accounting is
+     judged against this, so channels appearing later cannot corrupt it
+     and channels that stall show up in the Partial result. *)
+  a_expected : (int * int) list;
+  mutable a_timer : Netsim.Engine.timer option;
+  a_on_result : result -> unit;
 }
 
 type t = {
   net : string Netsim.Network.t;
   speakers : int -> Bgp.Speaker.t;
   active_tbl : (int, active_snap) Hashtbl.t;
-  mutable done_list : snapshot list;
+  mutable done_list : result list;
   mutable next_id : int;
 }
 
 let now t = Netsim.Engine.now (Netsim.Network.engine t.net)
 
-let total_channels t = List.length (Netsim.Network.channels t.net)
-
-let finish t a =
+let build_snapshot t a =
   let checkpoints =
     Hashtbl.fold (fun node cp acc -> (node, cp) :: acc) a.a_checkpoints []
     |> List.sort (fun (x, _) (y, _) -> Int.compare x y)
   in
+  (* One record per expected channel: gathered messages where we have
+     them, empty otherwise — so a shadow spawned from a partial cut
+     still knows the full channel structure. *)
   let channels =
-    Hashtbl.fold
-      (fun (f, d) status acc ->
-        let msgs = match status with Recording r -> List.rev !r | Closed m -> m in
-        { ch_from = f; ch_to = d; ch_messages = msgs } :: acc)
-      a.a_channels []
+    List.map
+      (fun (f, d) ->
+        let msgs =
+          match Hashtbl.find_opt a.a_channels (f, d) with
+          | Some (Recording r) -> List.rev !r
+          | Some (Closed m) -> m
+          | None -> []
+        in
+        { ch_from = f; ch_to = d; ch_messages = msgs })
+      a.a_expected
     |> List.sort compare
   in
-  let snap =
-    { snap_id = a.a_id;
-      initiator = a.a_initiator;
-      started_at = a.a_started;
-      completed_at = now t;
-      checkpoints;
-      channels;
-      control_messages = a.a_markers_sent }
-  in
+  { snap_id = a.a_id;
+    initiator = a.a_initiator;
+    started_at = a.a_started;
+    completed_at = now t;
+    checkpoints;
+    channels;
+    control_messages = a.a_markers_sent }
+
+let settle t a result =
+  (match a.a_timer with Some tm -> Netsim.Engine.cancel tm | None -> ());
+  a.a_timer <- None;
   Hashtbl.remove t.active_tbl a.a_id;
-  t.done_list <- snap :: t.done_list;
-  a.a_on_complete snap
+  t.done_list <- result :: t.done_list;
+  a.a_on_result result
+
+let finish t a = settle t a (Complete (build_snapshot t a))
+
+let abort t a =
+  if Hashtbl.mem t.active_tbl a.a_id then begin
+    let stalled =
+      List.filter (fun c -> not (Hashtbl.mem a.a_markers_seen c)) a.a_expected
+    in
+    settle t a (Partial (build_snapshot t a, stalled))
+  end
 
 (* First involvement of [node] in snapshot [a]: checkpoint it, start
    recording every incoming channel, and flood markers downstream.
@@ -85,7 +113,10 @@ let engage t a node ~closed_from =
     (Netsim.Network.neighbors_out t.net node)
 
 let check_done t a =
-  if Hashtbl.length a.a_markers_seen = total_channels t then finish t a
+  let closed =
+    List.for_all (fun c -> Hashtbl.mem a.a_markers_seen c) a.a_expected
+  in
+  if closed then finish t a
 
 let on_marker t ~self ~src ~snapshot ~initiator =
   match Hashtbl.find_opt t.active_tbl snapshot with
@@ -124,18 +155,44 @@ let create ~speakers net =
   Netsim.Network.set_delivery_tap net (Some (fun ~dst ~src msg -> on_delivery t ~dst ~src msg));
   t
 
-let initiate t ~initiator ~on_complete =
+let initiate ?deadline t ~initiator ~on_result =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   let a =
     { a_id = id; a_initiator = initiator; a_started = now t;
       a_checkpoints = Hashtbl.create 32; a_channels = Hashtbl.create 64;
       a_markers_seen = Hashtbl.create 64; a_markers_sent = 0;
-      a_on_complete = on_complete }
+      a_expected = Netsim.Network.channels t.net;
+      a_timer = None;
+      a_on_result = on_result }
   in
   Hashtbl.replace t.active_tbl id a;
-  engage t a initiator ~closed_from:None;
+  (match deadline with
+  | Some d ->
+      a.a_timer <-
+        Some
+          (Netsim.Engine.schedule
+             (Netsim.Network.engine t.net)
+             ~after:d
+             (fun () -> abort t a))
+  | None -> ());
+  (* If engaging the initiator raises (e.g. its speaker is gone), the
+     cut must not stay registered — nothing would ever settle it. *)
+  (try engage t a initiator ~closed_from:None
+   with e ->
+     (match a.a_timer with Some tm -> Netsim.Engine.cancel tm | None -> ());
+     Hashtbl.remove t.active_tbl id;
+     raise e);
+  (* A trivial topology (no channels) completes immediately. *)
+  check_done t a;
   id
 
 let active t = Hashtbl.length t.active_tbl
-let completed t = List.rev t.done_list
+let results t = List.rev t.done_list
+
+let completed t =
+  List.filter_map (function Complete s -> Some s | Partial _ -> None) (results t)
+
+let aborted t =
+  List.filter_map (function Partial (s, st) -> Some (s, st) | Complete _ -> None)
+    (results t)

@@ -6,7 +6,17 @@
     incoming channel until that channel's marker arrives.  The result
     is a causally consistent cut including in-flight messages — the
     "consistent shadow snapshot of local node checkpoints" of the
-    paper's Figure 2 (step 2). *)
+    paper's Figure 2 (step 2).
+
+    {b Deadlines.} On a churning substrate a marker can be lost (dead
+    node, down link) and a cut would otherwise stall forever.
+    {!initiate} therefore accepts a [?deadline]: when it fires before
+    the cut closes, the cut {e aborts} into a {!result.Partial} carrying
+    everything gathered so far plus the list of channels whose marker
+    never arrived.  Completion accounting is pinned to the channel set
+    at initiation time, so mid-snapshot topology churn cannot corrupt
+    it.  Every initiated cut settles exactly once — completed or
+    aborted, it leaves the active table. *)
 
 type channel_record = {
   ch_from : int;
@@ -21,8 +31,20 @@ type snapshot = {
   completed_at : Netsim.Time.t;
   checkpoints : (int * Checkpoint.t) list;  (** sorted by node *)
   channels : channel_record list;
+      (** one record per channel expected at initiation (empty messages
+          for channels the sweep never reached) *)
   control_messages : int;  (** markers sent — the overhead metric *)
 }
+
+type result =
+  | Complete of snapshot
+  | Partial of snapshot * (int * int) list
+      (** the cut aborted at its deadline; the second component names
+          the channels whose marker never arrived *)
+
+val snapshot_of : result -> snapshot
+val stalled_of : result -> (int * int) list
+(** [\[\]] for [Complete]. *)
 
 val in_flight_total : snapshot -> int
 
@@ -32,13 +54,23 @@ type t
 
 val create : speakers:(int -> Bgp.Speaker.t) -> string Netsim.Network.t -> t
 
-val initiate : t -> initiator:int -> on_complete:(snapshot -> unit) -> int
+val initiate :
+  ?deadline:Netsim.Time.span -> t -> initiator:int -> on_result:(result -> unit) -> int
 (** Starts the marker algorithm from [initiator]; returns the snapshot
-    id.  [on_complete] fires (via the event engine) once every channel
-    has been closed by its marker.  Multiple snapshots may be in flight
-    concurrently. *)
+    id.  [on_result] fires (via the event engine) exactly once: with
+    [Complete] once every channel has been closed by its marker, or with
+    [Partial] when [deadline] elapses first.  Without a [deadline] a cut
+    that cannot complete stays active indefinitely.  Multiple snapshots
+    may be in flight concurrently. *)
 
 val active : t -> int
 (** Number of snapshots still collecting. *)
 
+val results : t -> result list
+(** Every settled cut, oldest first. *)
+
 val completed : t -> snapshot list
+(** The [Complete] subset of {!results}. *)
+
+val aborted : t -> (snapshot * (int * int) list) list
+(** The [Partial] subset of {!results}. *)

@@ -10,7 +10,16 @@ let spawn ?(bugs_of = fun _ -> Bgp.Router.no_bugs) ?(deliver_in_flight = true)
     (snap : Cut.snapshot) =
   let engine = Netsim.Engine.create ~seed:(0xD1CE + snap.Cut.snap_id) () in
   let net = Netsim.Network.create engine in
-  let nodes = List.map fst snap.Cut.checkpoints in
+  (* A partial cut's channel list can reference nodes the sweep never
+     checkpointed; give those black-hole stand-ins so checkpointed
+     speakers can still talk toward them. *)
+  let nodes =
+    List.sort_uniq Int.compare
+      (List.map fst snap.Cut.checkpoints
+      @ List.concat_map
+          (fun (c : Cut.channel_record) -> [ c.Cut.ch_from; c.Cut.ch_to ])
+          snap.Cut.channels)
+  in
   List.iter (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ())) nodes;
   (* Recreate exactly the channels the snapshot saw, with ideal links:
      shadow exploration cares about ordering and content, not latency. *)

@@ -152,7 +152,7 @@ let mirror_matches_reality =
               (* Replay on a fresh clone of the live system and inspect
                  the node's Adj-RIB-In. *)
               let cut = make_cut build in
-              let snap = Dice.Explorer.take_snapshot ~build ~cut ~node in
+              let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node ()) in
               let shadow = Snapshot.Store.spawn snap in
               let target = Snapshot.Store.speaker shadow node in
               target.Bgp.Speaker.sp_process_raw
@@ -241,7 +241,7 @@ let checks_clean_on_healthy_system () =
   let graph, build = Lazy.force lazy_build in
   let gt = Dice.Checks.ground_truth_of_graph graph in
   let cut = make_cut build in
-  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+  let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node:0 ()) in
   let shadow = Snapshot.Store.spawn snap in
   ignore (Snapshot.Store.run_to_quiescence shadow);
   List.iter
@@ -343,7 +343,7 @@ let detects_crash_bug () =
         (List.exists
            (fun (f : Dice.Fault.t) ->
              String.equal f.Dice.Fault.f_property "handler-crash")
-           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+           (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults)
   | None -> Alcotest.fail "crash bug not detected"
 
 let detects_loop_bug () =
@@ -360,7 +360,7 @@ let detects_loop_bug () =
         (List.exists
            (fun (f : Dice.Fault.t) ->
              String.equal f.Dice.Fault.f_property "no-own-as-in-path")
-           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+           (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults)
   | None -> Alcotest.fail "loop bug not detected"
 
 let detects_dispute_wheel () =

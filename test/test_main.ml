@@ -16,4 +16,5 @@ let () =
       ("snapshot", Test_snapshot.suite);
       ("dice", Test_dice.suite);
       ("parallel", Test_parallel.suite);
+      ("churn", Test_churn.suite);
       ("misc", Test_misc.suite) ]

@@ -162,6 +162,24 @@ let link_rejects_bad_loss () =
   Alcotest.check_raises "loss 1.0" (Invalid_argument "Link.make: loss must be in [0,1)")
     (fun () -> ignore (Netsim.Link.make ~loss:1.0 100))
 
+let link_max_retries () =
+  (* The retry cap bounds loss-induced delay: with max_retries = 0 a
+     lossy link degenerates to latency+jitter; a custom cap raises the
+     worst case proportionally. *)
+  let rng = Netsim.Rng.create 5 in
+  let none = Netsim.Link.make ~loss:0.9 ~retransmit:1000 ~max_retries:0 2000 in
+  for _ = 1 to 100 do
+    check Alcotest.int "no retries, pure latency" 2000 (Netsim.Link.delay none rng)
+  done;
+  let capped = Netsim.Link.make ~loss:0.9 ~retransmit:1000 ~max_retries:3 2000 in
+  for _ = 1 to 200 do
+    let d = Netsim.Link.delay capped rng in
+    Alcotest.(check bool) "within [lat, lat+3*rtx]" true (d >= 2000 && d <= 2000 + (3 * 1000))
+  done;
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Link.make: negative max_retries") (fun () ->
+      ignore (Netsim.Link.make ~max_retries:(-1) 100))
+
 (* ------------------------------------------------------------------ *)
 (* Trace / Stats                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -244,6 +262,162 @@ let network_tap_and_control () =
     "control handler saw the marker" [ (0, 1, 42) ] !controls;
   check Alcotest.int "marker not counted as data" 1 (Netsim.Network.messages_delivered net)
 
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let churn_rig () =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  let received = ref [] in
+  Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+  Netsim.Network.add_node net 1 (fun ~src:_ m -> received := m :: !received);
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  (eng, net, received)
+
+let node_down_drops () =
+  let eng, net, received = churn_rig () in
+  (* Down destination: deliveries vanish. *)
+  Netsim.Network.set_node_down net 1;
+  Netsim.Network.send net ~src:0 ~dst:1 "a";
+  Netsim.Engine.run eng;
+  check Alcotest.int "nothing delivered" 0 (Netsim.Network.messages_delivered net);
+  check Alcotest.int "drop counted" 1 (Netsim.Network.messages_dropped net);
+  (* Down source: sends are silenced even though its timers run. *)
+  Netsim.Network.set_node_up net 1;
+  Netsim.Network.set_node_down net 0;
+  Netsim.Network.send net ~src:0 ~dst:1 "b";
+  Netsim.Engine.run eng;
+  check Alcotest.int "still nothing" 0 (Netsim.Network.messages_delivered net);
+  (* Recovery restores normal delivery; nothing lost is replayed. *)
+  Netsim.Network.set_node_up net 0;
+  Netsim.Network.send net ~src:0 ~dst:1 "c";
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "only the post-recovery message" [ "c" ]
+    (List.rev !received)
+
+let node_down_mid_flight () =
+  (* The destination fails while the message is on the wire: delivery
+     consults node state at arrival time, not send time. *)
+  let eng, net, _received = churn_rig () in
+  Netsim.Network.send net ~src:0 ~dst:1 "doomed";
+  Netsim.Network.set_node_down net 1;
+  Netsim.Engine.run eng;
+  check Alcotest.int "dropped at arrival" 1 (Netsim.Network.messages_dropped net);
+  check Alcotest.int "in-flight accounting drained" 0 (Netsim.Network.in_flight net)
+
+let link_down_policies () =
+  let eng, net, received = churn_rig () in
+  (* Drop policy: traffic on a down link is lost. *)
+  Netsim.Network.set_link_down net 0 1;
+  Alcotest.(check bool) "link reported down" false (Netsim.Network.link_is_up net 0 1);
+  Alcotest.(check bool) "reverse direction untouched" true
+    (Netsim.Network.link_is_up net 1 0);
+  Netsim.Network.send net ~src:0 ~dst:1 "lost";
+  Netsim.Engine.run eng;
+  check Alcotest.int "dropped" 1 (Netsim.Network.messages_dropped net);
+  Netsim.Network.set_link_up net 0 1;
+  (* Queue policy: traffic is held and redelivered in order on recovery. *)
+  Netsim.Network.set_link_down ~policy:Netsim.Network.Queue_while_down net 0 1;
+  List.iter (fun m -> Netsim.Network.send net ~src:0 ~dst:1 m) [ "1"; "2"; "3" ];
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "held while down" [] (List.rev !received);
+  Netsim.Network.set_link_up net 0 1;
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "flushed in FIFO order" [ "1"; "2"; "3" ]
+    (List.rev !received)
+
+let queue_policy_preserves_fifo_with_in_flight () =
+  (* A message already in flight when the link fails is queued at its
+     arrival instant; messages sent while down queue behind it; the
+     flush keeps the original order. *)
+  let eng, net, received = churn_rig () in
+  Netsim.Network.send net ~src:0 ~dst:1 "a";
+  Netsim.Network.set_link_down ~policy:Netsim.Network.Queue_while_down net 0 1;
+  Netsim.Network.send net ~src:0 ~dst:1 "b";
+  Netsim.Network.send net ~src:0 ~dst:1 "c";
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "all held" [] (List.rev !received);
+  Netsim.Network.set_link_up net 0 1;
+  Netsim.Engine.run eng;
+  check (Alcotest.list Alcotest.string) "order preserved across the outage"
+    [ "a"; "b"; "c" ] (List.rev !received);
+  check Alcotest.int "nothing dropped" 0 (Netsim.Network.messages_dropped net)
+
+let partition_and_heal () =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  let got = ref [] in
+  List.iter
+    (fun id -> Netsim.Network.add_node net id (fun ~src m -> got := (src, id, m) :: !got))
+    [ 0; 1; 2; 3 ];
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 1 2 Netsim.Link.ideal;
+  Netsim.Network.connect_sym net 2 3 Netsim.Link.ideal;
+  Netsim.Network.partition net [ 0; 1 ] [ 2; 3 ];
+  (* Intra-side channel unaffected, cross-side channels cut both ways. *)
+  Alcotest.(check bool) "0->1 up" true (Netsim.Network.link_is_up net 0 1);
+  Alcotest.(check bool) "1->2 down" false (Netsim.Network.link_is_up net 1 2);
+  Alcotest.(check bool) "2->1 down" false (Netsim.Network.link_is_up net 2 1);
+  Netsim.Network.send net ~src:1 ~dst:2 "cross";
+  Netsim.Network.send net ~src:0 ~dst:1 "intra";
+  Netsim.Engine.run eng;
+  check Alcotest.int "cross-partition message dropped" 1
+    (Netsim.Network.messages_dropped net);
+  check Alcotest.int "intra-side message delivered" 1
+    (Netsim.Network.messages_delivered net);
+  Netsim.Network.heal net;
+  Alcotest.(check bool) "healed" true (Netsim.Network.link_is_up net 1 2);
+  Netsim.Network.send net ~src:1 ~dst:2 "after";
+  Netsim.Engine.run eng;
+  check Alcotest.int "delivered after heal" 2 (Netsim.Network.messages_delivered net)
+
+let churn_schedule_timing () =
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+  Netsim.Network.add_node net 1 (fun ~src:_ _ -> ());
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  let schedule =
+    Netsim.Churn.crash ~node:1 ~at:(Netsim.Time.span_ms 10)
+      ~restore_after:(Netsim.Time.span_ms 10) ()
+    @ Netsim.Churn.flap ~a:0 ~b:1 ~from_:(Netsim.Time.span_ms 40)
+        ~every:(Netsim.Time.span_ms 20) ~down_for:(Netsim.Time.span_ms 5) ~times:2
+  in
+  check Alcotest.int "one crash" 1 (Netsim.Churn.node_crashes schedule);
+  check Alcotest.int "two flaps" 2 (Netsim.Churn.link_downs schedule);
+  ignore (Netsim.Churn.apply net schedule);
+  let up_at ms =
+    Netsim.Engine.run ~until:(Netsim.Time.of_ms ms) eng;
+    (Netsim.Network.node_is_up net 1, Netsim.Network.link_is_up net 0 1)
+  in
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=5ms: healthy" (true, true) (up_at 5);
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=15ms: node down" (false, true) (up_at 15);
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=25ms: node restored" (true, true) (up_at 25);
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=42ms: link flapped down" (true, false) (up_at 42);
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=47ms: link back" (true, true) (up_at 47);
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=62ms: second flap" (true, false) (up_at 62);
+  check (Alcotest.pair Alcotest.bool Alcotest.bool) "t=70ms: stable" (true, true) (up_at 70);
+  (* Symmetric application. *)
+  Netsim.Engine.run ~until:(Netsim.Time.of_ms 62) eng;
+  Alcotest.(check bool) "flap was symmetric" true
+    (Netsim.Network.link_is_up net 1 0)
+
+let churn_random_deterministic () =
+  let mk () =
+    Netsim.Churn.random
+      ~rng:(Netsim.Rng.create 99)
+      ~nodes:[ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+      ~links:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ]
+      ~start:0
+      ~duration:(Netsim.Time.span_sec 10.)
+      ~node_fraction:0.3 ~link_fraction:0.4 ()
+  in
+  let s1 = mk () and s2 = mk () in
+  Alcotest.(check bool) "same seed, same schedule" true (s1 = s2);
+  check Alcotest.int "30% of 10 nodes crash" 3 (Netsim.Churn.node_crashes s1);
+  check Alcotest.int "2 links x 2 flaps" 4 (Netsim.Churn.link_downs s1)
+
 let suite =
   [ ("time: units", `Quick, time_units);
     ("time: add clips, diff", `Quick, time_add_clips);
@@ -260,8 +434,16 @@ let suite =
     ("engine: nested scheduling", `Quick, engine_nested_schedule);
     ("link: delay bounds", `Quick, link_delay_bounds);
     ("link: rejects loss >= 1", `Quick, link_rejects_bad_loss);
+    ("link: max_retries cap", `Quick, link_max_retries);
     ("trace: bounded ring", `Quick, trace_ring);
     ("stats: counters and distributions", `Quick, stats_basics);
     qtest network_fifo;
     ("network: counters and channels", `Quick, network_counts);
-    ("network: tap and control plane", `Quick, network_tap_and_control) ]
+    ("network: tap and control plane", `Quick, network_tap_and_control);
+    ("churn: node down drops and silences", `Quick, node_down_drops);
+    ("churn: node fails mid-flight", `Quick, node_down_mid_flight);
+    ("churn: link drop and queue policies", `Quick, link_down_policies);
+    ("churn: queue policy keeps FIFO", `Quick, queue_policy_preserves_fifo_with_in_flight);
+    ("churn: partition and heal", `Quick, partition_and_heal);
+    ("churn: schedule fires on time", `Quick, churn_schedule_timing);
+    ("churn: random schedule deterministic", `Quick, churn_random_deterministic) ]

@@ -59,6 +59,47 @@ let pool_submit_await () =
         (List.map Parallel.Pool.await tasks);
       check Alcotest.int "pool size" 3 (Parallel.Pool.size pool))
 
+let pool_await_timeout () =
+  Parallel.Pool.with_pool ~domains:2 (fun pool ->
+      (* A finished job: timeout path returns the value. *)
+      let quick = Parallel.Pool.submit pool (fun () -> 41 + 1) in
+      check (Alcotest.option Alcotest.int) "completed job" (Some 42)
+        (Parallel.Pool.await_timeout quick ~timeout_s:5.0);
+      (* A job that outlives its deadline: None, and the pool survives.
+         Wait for a worker to pick it up first — the timed wait helps
+         with queued jobs, and the caller must not adopt this one. *)
+      let started = Atomic.make false in
+      let gate = Atomic.make false in
+      let slow =
+        Parallel.Pool.submit pool
+          (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get gate) do Domain.cpu_relax () done;
+            "done")
+      in
+      while not (Atomic.get started) do Domain.cpu_relax () done;
+      check (Alcotest.option Alcotest.string) "deadline expired" None
+        (Parallel.Pool.await_timeout slow ~timeout_s:0.05);
+      Atomic.set gate true;
+      (* The job was not cancelled — a later await still collects it. *)
+      check Alcotest.string "job finished after release" "done"
+        (Parallel.Pool.await slow);
+      (* Failures propagate through the timed wait too. *)
+      let bad = Parallel.Pool.submit pool (fun () -> failwith "timed boom") in
+      Alcotest.check_raises "exception re-raised" (Failure "timed boom")
+        (fun () -> ignore (Parallel.Pool.await_timeout bad ~timeout_s:5.0));
+      (* Helping: the timed wait drains queued work instead of spinning,
+         so a single-worker backlog still completes within the deadline. *)
+      let tasks =
+        List.init 64 (fun i -> Parallel.Pool.submit pool (fun () -> i))
+      in
+      List.iteri
+        (fun i task ->
+          check (Alcotest.option Alcotest.int) "backlog drained via helping"
+            (Some i)
+            (Parallel.Pool.await_timeout task ~timeout_s:5.0))
+        tasks)
+
 (* ------------------------------------------------------------------ *)
 (* Solver memoization                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -203,6 +244,7 @@ let suite =
     ("pool: exception propagation", `Quick, pool_exception_propagation);
     ("pool: nested submission is deadlock-free", `Quick, pool_nested_submission);
     ("pool: submit/await", `Quick, pool_submit_await);
+    ("pool: await_timeout", `Quick, pool_await_timeout);
     ("solver: cache is semantically transparent", `Quick, solver_cache_transparent);
     ("solver: repeated-prefix workload hit rate", `Quick, solver_cache_hit_rate);
     ("solver: atomic stats under the pool", `Quick, solver_stats_race_free);

@@ -176,6 +176,64 @@ let state_is_persistent () =
   check Alcotest.int "restore brings it back" loc_before
     (Bgp.Prefix.Map.cardinal (Bgp.Router.rib r0).Bgp.Rib.loc)
 
+let hold_timer_tears_down_dead_peer () =
+  let eng, net, routers = chain 3 in
+  let r0 = List.hd routers and r1 = List.nth routers 1 in
+  (* Node 2 fails silently: no NOTIFICATION, no withdrawal — only the
+     hold timer can notice. *)
+  Netsim.Network.set_node_down net 2;
+  Netsim.Engine.run
+    ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 120.)) eng;
+  Alcotest.(check bool) "r1 dropped the dead session" false
+    (List.mem (Bgp.Router.addr_of_node 2) (Bgp.Router.established_peers r1));
+  Alcotest.(check bool) "r0 lost routes behind the dead peer" false
+    (Bgp.Prefix.Map.mem (p "192.0.2.0/24") (Bgp.Router.loc_rib r0));
+  Alcotest.(check bool) "hold expiry recorded" true
+    (Netsim.Stats.get (Bgp.Router.stats r1) "session_down" >= 1)
+
+let dead_peer_recovers () =
+  let eng, net, routers = chain 3 in
+  let r0 = List.hd routers and r1 = List.nth routers 1 in
+  Netsim.Network.set_node_down net 2;
+  Netsim.Engine.run
+    ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 120.)) eng;
+  Alcotest.(check bool) "prefix gone while down" false
+    (Bgp.Prefix.Map.mem (p "192.0.2.0/24") (Bgp.Router.loc_rib r0));
+  Netsim.Network.set_node_up net 2;
+  Netsim.Engine.run
+    ~until:(Netsim.Time.add (Netsim.Engine.now eng) (Netsim.Time.span_sec 300.)) eng;
+  Alcotest.(check bool) "session re-established" true
+    (List.mem (Bgp.Router.addr_of_node 2) (Bgp.Router.established_peers r1));
+  Alcotest.(check bool) "routes relearned" true
+    (Bgp.Prefix.Map.mem (p "192.0.2.0/24") (Bgp.Router.loc_rib r0))
+
+let stuck_open_times_out () =
+  (* A peer that is down from the very start: the session attempt parks
+     in OpenSent and must be reaped by the hold timer, not hang. *)
+  let eng = Netsim.Engine.create () in
+  let net = Netsim.Network.create eng in
+  Netsim.Network.add_node net 0 (fun ~src:_ _ -> ());
+  Netsim.Network.add_node net 1 (fun ~src:_ _ -> ());
+  Netsim.Network.connect_sym net 0 1 Netsim.Link.ideal;
+  Netsim.Network.set_node_down net 1;
+  let cfg =
+    Bgp.Config.make ~asn:1000 ~router_id:(Bgp.Router.addr_of_node 0)
+      ~networks:[ p "192.0.0.0/24" ]
+      ~neighbors:[ Bgp.Config.neighbor (Bgp.Router.addr_of_node 1) ~remote_as:1001 ]
+      ()
+  in
+  let r0 = Bgp.Router.create ~net ~node:0 cfg in
+  Bgp.Router.start r0;
+  Netsim.Engine.run ~until:(Netsim.Time.of_sec 95.) eng;
+  (* 90 s hold expired: the FSM must have cycled out of its first
+     OpenSent rather than waiting forever on the silent peer. *)
+  (match Bgp.Router.session_state r0 (Bgp.Router.addr_of_node 1) with
+  | Some Bgp.Fsm.Established -> Alcotest.fail "cannot establish with a dead peer"
+  | Some _ | None -> ());
+  Alcotest.(check bool) "session torn down at least once" true
+    (Netsim.Stats.get (Bgp.Router.stats r0) "session_down" >= 1
+    || Netsim.Stats.get (Bgp.Router.stats r0) "tx_notification" >= 1)
+
 let suite =
   [ ("router: chain convergence", `Quick, chain_converges);
     ("router: withdrawal propagates", `Quick, withdrawal_propagates);
@@ -184,4 +242,7 @@ let suite =
     ("router: no-export respected", `Quick, no_export_respected);
     ("router: loop prevention", `Quick, loop_prevention);
     ("router: malformed input resets session", `Quick, malformed_input_resets_session);
-    ("router: state is persistent", `Quick, state_is_persistent) ]
+    ("router: state is persistent", `Quick, state_is_persistent);
+    ("router: hold timer reaps dead peer", `Quick, hold_timer_tears_down_dead_peer);
+    ("router: dead peer recovers", `Quick, dead_peer_recovers);
+    ("router: stuck OpenSent times out", `Quick, stuck_open_times_out) ]

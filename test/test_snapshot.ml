@@ -23,21 +23,28 @@ let make_cut build =
     ~speakers:(fun id -> Topology.Build.speaker build id)
     build.Topology.Build.net
 
-let take build cut node =
+let take_result ?deadline build cut node =
   let result = ref None in
-  ignore (Snapshot.Cut.initiate cut ~initiator:node ~on_complete:(fun s -> result := Some s));
+  ignore
+    (Snapshot.Cut.initiate ?deadline cut ~initiator:node
+       ~on_result:(fun r -> result := Some r));
   let eng = build.Topology.Build.engine in
   let rec wait n =
     match !result with
-    | Some s -> s
+    | Some r -> r
     | None ->
-        if n = 0 then Alcotest.fail "cut did not complete"
+        if n = 0 then Alcotest.fail "cut did not settle"
         else begin
           ignore (Netsim.Engine.step eng);
           wait (n - 1)
         end
   in
   wait 1_000_000
+
+let take build cut node =
+  match take_result build cut node with
+  | Snapshot.Cut.Complete s -> s
+  | Snapshot.Cut.Partial _ -> Alcotest.fail "cut unexpectedly partial"
 
 let checkpoint_captures_state () =
   let build = deploy_line 3 in
@@ -68,8 +75,8 @@ let concurrent_cuts () =
   let build = deploy_line 3 in
   let cut = make_cut build in
   let done1 = ref false and done2 = ref false in
-  ignore (Snapshot.Cut.initiate cut ~initiator:0 ~on_complete:(fun _ -> done1 := true));
-  ignore (Snapshot.Cut.initiate cut ~initiator:2 ~on_complete:(fun _ -> done2 := true));
+  ignore (Snapshot.Cut.initiate cut ~initiator:0 ~on_result:(fun _ -> done1 := true));
+  ignore (Snapshot.Cut.initiate cut ~initiator:2 ~on_result:(fun _ -> done2 := true));
   Topology.Build.run_for build (Netsim.Time.span_sec 10.);
   Alcotest.(check bool) "both complete" true (!done1 && !done2);
   check Alcotest.int "two snapshots recorded" 2 (List.length (Snapshot.Cut.completed cut))
@@ -237,6 +244,74 @@ let codec_cross_implementation () =
         (List.map fst (Bgp.Prefix.Map.bindings (Bgp.Speaker.loc_rib clone))
         = List.map fst (Bgp.Prefix.Map.bindings (Bgp.Speaker.loc_rib sp)))
 
+(* --- cuts under churn --- *)
+
+let cut_aborts_on_dead_peer () =
+  (* Node 2 (middle of the line) dies before the markers reach it: the
+     deadline must fire and name every channel the sweep lost. *)
+  let build = deploy_line 4 in
+  let cut = make_cut build in
+  Netsim.Network.set_node_down build.Topology.Build.net 2;
+  match take_result ~deadline:(Netsim.Time.span_sec 30.) build cut 0 with
+  | Snapshot.Cut.Complete _ -> Alcotest.fail "cut completed across a dead node"
+  | Snapshot.Cut.Partial (snap, stalled) ->
+      Alcotest.(check bool) "initiator checkpointed" true
+        (List.mem_assoc 0 snap.Snapshot.Cut.checkpoints);
+      Alcotest.(check bool) "dead node not checkpointed" false
+        (List.mem_assoc 2 snap.Snapshot.Cut.checkpoints);
+      (* Markers to and through node 2 never arrived: at least the two
+         channels into the dead node's neighbors stall. *)
+      Alcotest.(check bool) "stalled channels named" true
+        (List.mem (2, 1) stalled && List.mem (2, 3) stalled);
+      check Alcotest.int "controller idle after abort" 0 (Snapshot.Cut.active cut);
+      check Alcotest.int "recorded as aborted" 1
+        (List.length (Snapshot.Cut.aborted cut))
+
+let partial_cut_spawns_shadow () =
+  (* A partial snapshot must still be explorable: spawn it, replay, and
+     let checkpointed speakers talk toward the missing (black-hole)
+     nodes without raising. *)
+  let build = deploy_line 4 in
+  let cut = make_cut build in
+  Netsim.Network.set_node_down build.Topology.Build.net 3;
+  match take_result ~deadline:(Netsim.Time.span_sec 30.) build cut 0 with
+  | Snapshot.Cut.Complete _ -> Alcotest.fail "cut completed across a dead node"
+  | Snapshot.Cut.Partial (snap, _) ->
+      let shadow = Snapshot.Store.spawn snap in
+      let sp0 = Snapshot.Store.speaker shadow 0 in
+      sp0.Bgp.Speaker.sp_inject_update ~from:(Bgp.Router.addr_of_node 1)
+        { Bgp.Msg.withdrawn = [ Topology.Gao_rexford.prefix_of_node 3 ];
+          attrs = None; nlri = [] };
+      Alcotest.(check bool) "partial shadow quiesces" true
+        (Snapshot.Store.run_to_quiescence shadow)
+
+let cut_deadline_property =
+  QCheck.Test.make ~count:30 ~name:"every cut settles by its deadline"
+    QCheck.(pair (int_range 0 3) (int_range 0 4))
+    (fun (initiator, victim) ->
+      (* Kill an arbitrary node (possibly none, possibly the initiator's
+         neighbor) mid-deployment, then initiate with a deadline: the
+         cut must settle — Complete or Partial — and leave the active
+         table empty. *)
+      let build = deploy_line 4 in
+      let cut = make_cut build in
+      if victim < 4 && victim <> initiator then
+        Netsim.Network.set_node_down build.Topology.Build.net victim;
+      let settled = ref None in
+      ignore
+        (Snapshot.Cut.initiate cut ~deadline:(Netsim.Time.span_sec 20.)
+           ~initiator ~on_result:(fun r -> settled := Some r));
+      Topology.Build.run_for build (Netsim.Time.span_sec 60.);
+      match !settled with
+      | None -> false
+      | Some r ->
+          let ok_kind =
+            match r with
+            | Snapshot.Cut.Complete _ -> victim >= 4 || victim = initiator
+            | Snapshot.Cut.Partial (_, stalled) -> stalled <> []
+          in
+          ok_kind && Snapshot.Cut.active cut = 0)
+
 let codec_rejects_garbage () =
   let eng = Netsim.Engine.create () in
   let net = Netsim.Network.create eng in
@@ -254,6 +329,9 @@ let suite =
     ("cut: completes over all nodes", `Quick, cut_completes_with_all_nodes);
     ("cut: concurrent snapshots", `Quick, concurrent_cuts);
     ("cut: consistency with in-flight messages", `Quick, cut_captures_in_flight);
+    ("cut: aborts on dead peer, names stalled channels", `Quick, cut_aborts_on_dead_peer);
+    ("cut: partial snapshot still spawns a shadow", `Quick, partial_cut_spawns_shadow);
+    QCheck_alcotest.to_alcotest cut_deadline_property;
     ("store: shadow isolation", `Quick, shadow_isolation);
     ("store: clones are independent", `Quick, clones_are_independent);
     ("checkpoint: O(1) cost", `Quick, checkpoint_cost_constant) ]

@@ -116,7 +116,7 @@ let sparrow_decision_matches_spec () =
       build.Topology.Build.net
   in
   let gt = Dice.Checks.ground_truth_of_graph graph in
-  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+  let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node:0 ()) in
   let shadow = Snapshot.Store.spawn snap in
   ignore (Snapshot.Store.run_to_quiescence shadow);
   List.iter
@@ -138,7 +138,7 @@ let heterogeneous_shadow_preserves_impls () =
       ~speakers:(fun id -> Topology.Build.speaker build id)
       build.Topology.Build.net
   in
-  let snap = Dice.Explorer.take_snapshot ~build ~cut ~node:0 in
+  let snap = Snapshot.Cut.snapshot_of (Dice.Explorer.take_snapshot ~build ~cut ~node:0 ()) in
   let shadow = Snapshot.Store.spawn snap in
   List.iter
     (fun (id, sp) ->
@@ -169,7 +169,7 @@ let dice_detects_sparrow_crash () =
         (List.exists
            (fun (f : Dice.Fault.t) ->
              String.equal f.Dice.Fault.f_property "handler-crash")
-           round.Dice.Orchestrator.rd_exploration.Dice.Explorer.x_faults)
+           (Dice.Orchestrator.round_exploration_exn round).Dice.Explorer.x_faults)
   | None -> Alcotest.fail "sparrow crash bug not detected"
 
 (* Differential property: Sparrow's independently written selection
@@ -237,6 +237,64 @@ let sparrow_selection_spec =
       let actual = Bgp.Rib.loc_get prefix rib in
       reference = actual)
 
+let sparrow_hold_reaps_dead_neighbor () =
+  (* 0 (bird) — 1 (sparrow) — 2 (bird); node 2 dies silently.  Sparrow
+     has no FSM hold timer of its own design, so this exercises the
+     watchdog added for churn. *)
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 3 in
+  assert (Topology.Build.converge build);
+  let sp0 = Topology.Build.speaker build 0 in
+  let sp1 = Topology.Build.speaker build 1 in
+  Netsim.Network.set_node_down build.Topology.Build.net 2;
+  Topology.Build.run_for build (Netsim.Time.span_sec 120.);
+  Alcotest.(check bool) "sparrow dropped the dead session" false
+    (List.mem 2
+       (List.map Bgp.Router.node_of_addr (sp1.Bgp.Speaker.sp_established ())));
+  Alcotest.(check bool) "watchdog fired" true
+    (Netsim.Stats.get (sp1.Bgp.Speaker.sp_stats ()) "hold_expired" >= 1);
+  Alcotest.(check bool) "withdrawal propagated upstream" false
+    (Bgp.Prefix.Map.mem (Topology.Gao_rexford.prefix_of_node 2)
+       (Bgp.Speaker.loc_rib sp0))
+
+let sparrow_reestablishes_after_recovery () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 3 in
+  assert (Topology.Build.converge build);
+  let sp0 = Topology.Build.speaker build 0 in
+  let sp1 = Topology.Build.speaker build 1 in
+  Netsim.Network.set_node_down build.Topology.Build.net 2;
+  Topology.Build.run_for build (Netsim.Time.span_sec 120.);
+  Alcotest.(check bool) "down while peer dead" false
+    (List.mem 2
+       (List.map Bgp.Router.node_of_addr (sp1.Bgp.Speaker.sp_established ())));
+  Netsim.Network.set_node_up build.Topology.Build.net 2;
+  Topology.Build.run_for build (Netsim.Time.span_sec 300.);
+  Alcotest.(check bool) "sparrow re-established" true
+    (List.mem 2
+       (List.map Bgp.Router.node_of_addr (sp1.Bgp.Speaker.sp_established ())));
+  Alcotest.(check bool) "routes relearned end to end" true
+    (Bgp.Prefix.Map.mem (Topology.Gao_rexford.prefix_of_node 2)
+       (Bgp.Speaker.loc_rib sp0))
+
+let bird_reaps_dead_sparrow () =
+  (* The other direction of the interop: a reference router notices a
+     silently dead Sparrow peer through its own hold timer. *)
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 3 in
+  assert (Topology.Build.converge build);
+  let sp0 = Topology.Build.speaker build 0 in
+  Netsim.Network.set_node_down build.Topology.Build.net 1;
+  Topology.Build.run_for build (Netsim.Time.span_sec 120.);
+  Alcotest.(check bool) "bird dropped the dead sparrow" false
+    (List.mem 1
+       (List.map Bgp.Router.node_of_addr (sp0.Bgp.Speaker.sp_established ())));
+  Alcotest.(check bool) "routes behind it flushed" false
+    (Bgp.Prefix.Map.mem (Topology.Gao_rexford.prefix_of_node 2)
+       (Bgp.Speaker.loc_rib sp0));
+  Netsim.Network.set_node_up build.Topology.Build.net 1;
+  Topology.Build.run_for build (Netsim.Time.span_sec 300.);
+  Alcotest.(check bool) "interop session recovered" true
+    (List.mem 1
+       (List.map Bgp.Router.node_of_addr (sp0.Bgp.Speaker.sp_established ())))
+
 let suite =
   [ ("sparrow: pair converges", `Quick, sparrow_pair_converges);
     ("mixed: chain converges", `Quick, mixed_chain_converges);
@@ -247,4 +305,7 @@ let suite =
     ("mixed: checks clean when healthy", `Slow, sparrow_decision_matches_spec);
     ("mixed: shadows preserve implementations", `Quick, heterogeneous_shadow_preserves_impls);
     ("mixed: DiCE finds a sparrow crash bug", `Slow, dice_detects_sparrow_crash);
+    ("sparrow: hold watchdog reaps dead peer", `Quick, sparrow_hold_reaps_dead_neighbor);
+    ("sparrow: re-establishes after recovery", `Quick, sparrow_reestablishes_after_recovery);
+    ("mixed: bird reaps dead sparrow and recovers", `Quick, bird_reaps_dead_sparrow);
     QCheck_alcotest.to_alcotest sparrow_selection_spec ]
