@@ -384,13 +384,11 @@ let t3 () =
     ~title:"a. concolic path discovery vs input budget (one transit router's import pipeline)"
     ~header:[ "budget"; "executed"; "distinct paths"; "solver calls"; "sat" ]
     rows;
-  Tables.note "solver totals: sat=%d unsat=%d unknown=%d nodes=%d cache hits=%d misses=%d\n"
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.solved_sat)
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.solved_unsat)
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.solved_unknown)
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.search_nodes)
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_hits)
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_misses);
+  (let st = Concolic.Solver.stats () in
+   Tables.note "solver totals: sat=%d unsat=%d unknown=%d nodes=%d cache hits=%d misses=%d\n"
+     st.Concolic.Solver.solved_sat st.Concolic.Solver.solved_unsat
+     st.Concolic.Solver.solved_unknown st.Concolic.Solver.search_nodes
+     st.Concolic.Solver.cache_hits st.Concolic.Solver.cache_misses);
   (* b. grammar fuzz validity *)
   let rng = Netsim.Rng.create 19 in
   let n = 2000 in

@@ -50,7 +50,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses =
+let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses
+    ~(orch : Dice.Orchestrator.summary) =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -81,10 +82,23 @@ let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses =
         (if i = List.length runs - 1 then "" else ","))
     runs;
   add "  ],\n";
-  add "  \"solver_cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f}\n"
+  add "  \"solver_cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n"
     cache_hits cache_misses
     (let total = cache_hits + cache_misses in
      if total = 0 then 0. else float_of_int cache_hits /. float_of_int total);
+  (* Supervision health of a short orchestrator run: a regression that
+     starts failing or quarantining rounds shows up in the trajectory
+     even when raw throughput is unchanged. *)
+  add
+    "  \"orchestrator\": {\"rounds\": %d, \"ok\": %d, \"degraded\": %d, \
+     \"failed\": %d, \"quarantines\": %d, \"leaked_snapshots\": %d, \
+     \"faults\": %d}\n"
+    (List.length orch.Dice.Orchestrator.rounds)
+    orch.Dice.Orchestrator.ok_rounds orch.Dice.Orchestrator.degraded_rounds
+    orch.Dice.Orchestrator.failed_rounds
+    (List.length orch.Dice.Orchestrator.quarantines)
+    orch.Dice.Orchestrator.leaked_snapshots
+    (List.length orch.Dice.Orchestrator.faults);
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -140,13 +154,22 @@ let run () =
              r.xr_faults seq.xr_faults))
     runs;
   Tables.note "determinism: all domain counts agree on inputs/paths/faults\n";
-  let hits = Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_hits in
-  let misses = Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_misses in
+  let solver_st = Concolic.Solver.stats () in
+  let hits = solver_st.Concolic.Solver.cache_hits in
+  let misses = solver_st.Concolic.Solver.cache_misses in
   Tables.note "solver cache: %d hits / %d misses (%.1f%% hit rate)\n" hits misses
     (let t = hits + misses in
      if t = 0 then 0. else 100. *. float_of_int hits /. float_of_int t);
+  (* A short supervised run so the trajectory records orchestration
+     health (ok/degraded/failed, quarantines, leaks), not just speed. *)
+  let orch = Dice.Orchestrator.run ~build ~gt ~rounds:3 () in
+  Tables.note "orchestrator: %d ok / %d degraded / %d failed, %d quarantine(s), %d leak(s)\n"
+    orch.Dice.Orchestrator.ok_rounds orch.Dice.Orchestrator.degraded_rounds
+    orch.Dice.Orchestrator.failed_rounds
+    (List.length orch.Dice.Orchestrator.quarantines)
+    orch.Dice.Orchestrator.leaked_snapshots;
   Tables.note "collecting micro-benchmark baselines for BENCH.json...\n";
   let micro = Micro.results () in
   write_bench_json ~path:"BENCH.json" ~micro ~runs ~seq_wall:seq.xr_wall
-    ~cache_hits:hits ~cache_misses:misses;
+    ~cache_hits:hits ~cache_misses:misses ~orch;
   Tables.note "wrote BENCH.json\n"

@@ -78,7 +78,7 @@ let start_churn build graph seed rounds =
   Format.printf "%a%!" Netsim.Churn.pp schedule;
   ignore (Netsim.Churn.apply build.Topology.Build.net schedule)
 
-let run topo nodes seed fault rounds churn dot_file verbose =
+let run topo nodes seed fault rounds churn dot_file telemetry_file report verbose =
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -106,7 +106,29 @@ let run topo nodes seed fault rounds churn dot_file verbose =
   in
   Printf.printf "running DiCE for %d exploration rounds%s...\n%!" rounds
     (if churn then " under churn" else "");
-  let summary = Dice.Orchestrator.run ?params ~build ~gt ~rounds () in
+  let explore () = Dice.Orchestrator.run ?params ~build ~gt ~rounds () in
+  let summary =
+    match telemetry_file with
+    | None -> explore ()
+    | Some path ->
+        (* The orchestrator re-installs the sim clock at run entry, but
+           the run header is written before that — install it here so
+           even the header timestamp is simulated time. *)
+        Telemetry.set_clock (fun () ->
+            Netsim.Time.to_us (Netsim.Engine.now build.Topology.Build.engine));
+        let summary =
+          Telemetry.with_jsonl path
+            ~attrs:
+              [ ("topology", Telemetry.Json.String topo);
+                ("seed", Telemetry.Json.Int seed);
+                ("fault", Telemetry.Json.String fault);
+                ("rounds", Telemetry.Json.Int rounds);
+                ("churn", Telemetry.Json.Bool churn) ]
+            explore
+        in
+        Printf.printf "wrote telemetry to %s\n%!" path;
+        summary
+  in
   let annotations =
     List.filter_map
       (fun (r : Dice.Orchestrator.round) ->
@@ -130,6 +152,11 @@ let run topo nodes seed fault rounds churn dot_file verbose =
   | faults ->
       Printf.printf "%d fault(s) detected:\n" (List.length faults);
       List.iter (fun f -> Format.printf "  %a@." Dice.Fault.pp f) faults);
+  if report then begin
+    print_newline ();
+    print_endline "telemetry report:";
+    Format.printf "%a%!" Telemetry.report ()
+  end;
   match dot_file with
   | Some path ->
       let oc = open_out path in
@@ -175,6 +202,19 @@ let dot_file =
   let doc = "Write a Graphviz .dot rendering of the annotated topology." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
 
+let telemetry_file =
+  let doc =
+    "Write the run's flight-recorder artifact (JSONL, schema \
+     dice-telemetry/1) to $(docv): spans for every round / cut / \
+     exploration / shadow replay, fault records with their causal span \
+     path, simulator trace events, and a final metrics snapshot."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let report =
+  let doc = "Print the metrics registry (counters, gauges, histograms) after the run." in
+  Arg.(value & flag & info [ "report" ] ~doc)
+
 let verbose =
   let doc = "Verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
@@ -193,10 +233,13 @@ let cmd =
       `Pre "  dice_demo                       # healthy 27-router demo (Figure 1)";
       `Pre "  dice_demo -f hijack             # detect a prefix hijack";
       `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel";
-      `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash" ]
+      `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash";
+      `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder" ]
   in
   Cmd.v
     (Cmd.info "dice_demo" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ dot_file $ verbose)
+    Term.(
+      const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ dot_file
+      $ telemetry_file $ report $ verbose)
 
 let () = exit (Cmd.eval cmd)

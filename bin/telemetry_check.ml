@@ -1,0 +1,20 @@
+(* Smoke validator for dice-telemetry/1 artifacts: every line parses,
+   the header is well-formed, span ids are unique, every span closes,
+   and fault span paths reference real spans.  Exit 0 on a valid file,
+   1 with the violations listed otherwise.  CI runs this over the
+   demo's JSONL before uploading it. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      match Telemetry.Schema.validate_file path with
+      | Ok stats ->
+          Format.printf "%s: OK — %a@." path Telemetry.Schema.pp_stats stats;
+          exit 0
+      | Error msgs ->
+          Printf.eprintf "%s: INVALID (%d problem(s))\n" path (List.length msgs);
+          List.iter (fun m -> Printf.eprintf "  - %s\n" m) msgs;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: %s FILE.jsonl\n" Sys.argv.(0);
+      exit 2

@@ -2,32 +2,36 @@ type model = (Expr.var * int) list
 
 type outcome = Sat of model | Unsat | Unknown
 
-(* Counters are atomics: solves run concurrently on pool worker
-   domains and plain mutable fields would tear / lose increments. *)
+(* Accounting lives in the global telemetry registry (registry
+   counters are atomics, so concurrent solves on pool worker domains
+   don't race).  [stats] reads them back for the bench harness. *)
 type stats = {
-  solved_sat : int Atomic.t;
-  solved_unsat : int Atomic.t;
-  solved_unknown : int Atomic.t;
-  search_nodes : int Atomic.t;
-  cache_hits : int Atomic.t;
-  cache_misses : int Atomic.t;
+  solved_sat : int;
+  solved_unsat : int;
+  solved_unknown : int;
+  search_nodes : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
-let stats =
-  { solved_sat = Atomic.make 0;
-    solved_unsat = Atomic.make 0;
-    solved_unknown = Atomic.make 0;
-    search_nodes = Atomic.make 0;
-    cache_hits = Atomic.make 0;
-    cache_misses = Atomic.make 0 }
+let m_sat = lazy (Telemetry.Metrics.counter "solver.sat")
+let m_unsat = lazy (Telemetry.Metrics.counter "solver.unsat")
+let m_unknown = lazy (Telemetry.Metrics.counter "solver.unknown")
+let m_nodes = lazy (Telemetry.Metrics.counter "solver.search_nodes")
+let m_hits = lazy (Telemetry.Metrics.counter "solver.cache_hits")
+let m_misses = lazy (Telemetry.Metrics.counter "solver.cache_misses")
 
-let reset_stats () =
-  Atomic.set stats.solved_sat 0;
-  Atomic.set stats.solved_unsat 0;
-  Atomic.set stats.solved_unknown 0;
-  Atomic.set stats.search_nodes 0;
-  Atomic.set stats.cache_hits 0;
-  Atomic.set stats.cache_misses 0
+let all_counters () =
+  List.map Lazy.force [ m_sat; m_unsat; m_unknown; m_nodes; m_hits; m_misses ]
+
+let stats () =
+  match List.map Telemetry.Metrics.value (all_counters ()) with
+  | [ sat; unsat; unknown; nodes; hits; misses ] ->
+      { solved_sat = sat; solved_unsat = unsat; solved_unknown = unknown;
+        search_nodes = nodes; cache_hits = hits; cache_misses = misses }
+  | _ -> assert false
+
+let reset_stats () = List.iter Telemetry.Metrics.reset (all_counters ())
 
 (* Wide sentinels that survive interval arithmetic without overflow. *)
 let neg_big = -(1 lsl 40)
@@ -365,12 +369,14 @@ let solve_uncached ~max_nodes constraints =
   let nodes = ref 0 in
   let exception Found of model in
   let record outcome =
-    (match outcome with
-    | Sat _ -> Atomic.incr stats.solved_sat
-    | Unsat -> Atomic.incr stats.solved_unsat
-    | Unknown -> Atomic.incr stats.solved_unknown);
+    Telemetry.Metrics.incr
+      (Lazy.force
+         (match outcome with
+         | Sat _ -> m_sat
+         | Unsat -> m_unsat
+         | Unknown -> m_unknown));
     (* One atomic add per solve, not per search node. *)
-    ignore (Atomic.fetch_and_add stats.search_nodes !nodes);
+    Telemetry.Metrics.add (Lazy.force m_nodes) !nodes;
     outcome
   in
   let budget_hit = ref false in
@@ -425,19 +431,34 @@ let solve_uncached ~max_nodes constraints =
   | exception Found m -> record (Sat m)
   | exception Contradiction -> record Unsat
 
+let outcome_name = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"
+
 let solve ?(max_nodes = 20_000) constraints =
-  if not (Atomic.get cache_enabled) then solve_uncached ~max_nodes constraints
-  else
-    let key = fingerprint ~max_nodes constraints in
-    match cache_find key with
-    | Some outcome ->
-        Atomic.incr stats.cache_hits;
+  Telemetry.with_span "solve"
+    ~attrs:[ ("constraints", Telemetry.Json.Int (List.length constraints)) ]
+    (fun sp ->
+      let note ~cached outcome =
+        Telemetry.add_attr sp
+          [ ("outcome", Telemetry.Json.String (outcome_name outcome));
+            ("cached", Telemetry.Json.Bool cached) ];
         outcome
-    | None ->
-        Atomic.incr stats.cache_misses;
-        let outcome = solve_uncached ~max_nodes constraints in
-        cache_store key outcome;
-        outcome
+      in
+      if not (Atomic.get cache_enabled) then
+        note ~cached:false (solve_uncached ~max_nodes constraints)
+      else
+        let key = fingerprint ~max_nodes constraints in
+        match cache_find key with
+        | Some outcome ->
+            Telemetry.Metrics.incr (Lazy.force m_hits);
+            note ~cached:true outcome
+        | None ->
+            Telemetry.Metrics.incr (Lazy.force m_misses);
+            let outcome = solve_uncached ~max_nodes constraints in
+            cache_store key outcome;
+            note ~cached:false outcome)
 
 let _ = ignore top
 

@@ -17,17 +17,19 @@ type model = (Expr.var * int) list
 type outcome = Sat of model | Unsat | Unknown
 
 type stats = {
-  solved_sat : int Atomic.t;
-  solved_unsat : int Atomic.t;
-  solved_unknown : int Atomic.t;
-  search_nodes : int Atomic.t;
-  cache_hits : int Atomic.t;  (** memoized answers served *)
-  cache_misses : int Atomic.t;  (** full solves behind the cache *)
+  solved_sat : int;
+  solved_unsat : int;
+  solved_unknown : int;
+  search_nodes : int;
+  cache_hits : int;  (** memoized answers served *)
+  cache_misses : int;  (** full solves behind the cache *)
 }
 
-val stats : stats
-(** Global counters for the benchmark harness.  Atomic so that
-    concurrent solves from [Parallel.Pool] workers don't race. *)
+val stats : unit -> stats
+(** Snapshot of the solver's accounting.  The live counters are
+    [solver.*] entries in {!Telemetry.Metrics} (atomic, so concurrent
+    solves from [Parallel.Pool] workers don't race); this reads them
+    back for the benchmark harness. *)
 
 val reset_stats : unit -> unit
 

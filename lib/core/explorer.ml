@@ -36,29 +36,40 @@ type exploration = {
 }
 
 let take_snapshot ?deadline ~build ~cut ~node () =
-  let eng = build.Topology.Build.engine in
-  let result = ref None in
-  let _id =
-    Snapshot.Cut.initiate ?deadline cut ~initiator:node
-      ~on_result:(fun r -> result := Some r)
-  in
-  (* Drive the live system until the markers have flooded the graph (or,
-     with a deadline, until the cut aborts into a Partial). *)
-  let horizon = Netsim.Time.span_sec 120. in
-  let give_up = Netsim.Time.add (Netsim.Engine.now eng) horizon in
-  let rec wait () =
-    match !result with
-    | Some r -> r
-    | None ->
-        if Netsim.Time.(give_up <= Netsim.Engine.now eng) then
-          failwith "Explorer.take_snapshot: cut did not complete within horizon"
-        else if not (Netsim.Engine.step eng) then
-          (* Event queue drained with the cut still open: nothing can
-             close it anymore. *)
-          failwith "Explorer.take_snapshot: engine idle with cut still open"
-        else wait ()
-  in
-  wait ()
+  Telemetry.with_span "cut"
+    ~attrs:[ ("initiator", Telemetry.Json.Int node) ]
+    (fun sp ->
+      let eng = build.Topology.Build.engine in
+      let result = ref None in
+      let _id =
+        Snapshot.Cut.initiate ?deadline cut ~initiator:node
+          ~on_result:(fun r -> result := Some r)
+      in
+      (* Drive the live system until the markers have flooded the graph (or,
+         with a deadline, until the cut aborts into a Partial). *)
+      let horizon = Netsim.Time.span_sec 120. in
+      let give_up = Netsim.Time.add (Netsim.Engine.now eng) horizon in
+      let rec wait () =
+        match !result with
+        | Some r -> r
+        | None ->
+            if Netsim.Time.(give_up <= Netsim.Engine.now eng) then
+              failwith "Explorer.take_snapshot: cut did not complete within horizon"
+            else if not (Netsim.Engine.step eng) then
+              (* Event queue drained with the cut still open: nothing can
+                 close it anymore. *)
+              failwith "Explorer.take_snapshot: engine idle with cut still open"
+            else wait ()
+      in
+      let r = wait () in
+      Telemetry.add_attr sp
+        [ ( "result",
+            Telemetry.Json.String
+              (match r with
+              | Snapshot.Cut.Complete _ -> "complete"
+              | Snapshot.Cut.Partial _ -> "partial") );
+          ("stalled", Telemetry.Json.Int (List.length (Snapshot.Cut.stalled_of r))) ];
+      r)
 
 (* Live bug flags per node, so clones run the same (buggy) code.
    Captured once per exploration into a hash table: the lookup sits
@@ -129,6 +140,7 @@ let baseline_results ~params ~bugs_of ~baseline ~snapshot ~node ~now =
    [snapshot] / [view] / [per_input] is immutable. *)
 let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~now
     input =
+  Telemetry.with_span "shadow_replay" (fun _sp ->
   let t0 = Unix.gettimeofday () in
   let raw = Sym_handler.concretize view input in
   let shadow = Snapshot.Store.spawn ~bugs_of snapshot in
@@ -168,7 +180,7 @@ let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~n
         (faults_acc @ faults, digests_acc @ digests))
       (crash_faults, []) verdicts
   in
-  (faults, digests, Unix.gettimeofday () -. t0)
+  (faults, digests, Unix.gettimeofday () -. t0))
 
 type peer_result = {
   pr_faults : Fault.t list;  (* deduped, canonical input order *)
@@ -179,6 +191,10 @@ type peer_result = {
 }
 
 let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr =
+  Telemetry.with_span "peer"
+    ~attrs:[ ("node", Telemetry.Json.Int node);
+             ("peer", Telemetry.Json.String (Bgp.Ipv4.to_string peer_addr)) ]
+    (fun sp ->
   let t0 = Unix.gettimeofday () in
   let now = Netsim.Engine.now build.Topology.Build.engine in
   (* Probe clone: gives the instrumented handler a consistent view. *)
@@ -225,7 +241,14 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
   in
   let replayed =
     match pool with
-    | Some p when Parallel.Pool.size p > 1 -> Parallel.Pool.map_list p replay inputs
+    | Some p when Parallel.Pool.size p > 1 ->
+        (* Pool tasks run on other domains, where the DLS span stack is
+           empty; re-establish this peer's span path around each replay
+           so its shadow_replay spans and faults keep their parent. *)
+        let path = Telemetry.span_path () in
+        Parallel.Pool.map_list p
+          (fun input -> Telemetry.with_path path (fun () -> replay input))
+          inputs
     | Some _ | None -> List.map replay inputs
   in
   let faults =
@@ -235,14 +258,32 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
   let work =
     List.fold_left (fun acc (_, _, dt) -> acc +. dt) derive_seconds replayed
   in
+  Telemetry.add_attr sp
+    [ ("inputs", Telemetry.Json.Int (List.length inputs));
+      ("paths", Telemetry.Json.Int result.Concolic.Engine.distinct_paths) ];
   { pr_faults = Fault.dedupe faults;
     pr_digests = digests;
     pr_result = result;
     pr_shadow_runs = List.length inputs;
-    pr_work_seconds = work }
+    pr_work_seconds = work })
+
+(* Exploration-level accounting; the per-round story lives in spans,
+   these registry totals feed the end-of-run report and BENCH.json. *)
+let m_inputs = lazy (Telemetry.Metrics.counter "explorer.inputs")
+let m_shadow_runs = lazy (Telemetry.Metrics.counter "explorer.shadow_runs")
+let m_crashes = lazy (Telemetry.Metrics.counter "explorer.crashes")
+let m_faults = lazy (Telemetry.Metrics.counter "explorer.faults")
+let m_snapshot_span =
+  lazy
+    (Telemetry.Metrics.histogram
+       ~buckets:[| 100.; 1e3; 1e4; 1e5; 1e6; 1e7 |]
+       "explorer.snapshot_span_us")
 
 let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
   let go pool =
+    Telemetry.with_span "explore"
+      ~attrs:[ ("node", Telemetry.Json.Int node) ]
+    @@ fun xsp ->
     (* Step 1: consistent snapshot.  Under churn the cut may abort at
        its deadline; we then explore the nodes we did checkpoint (the
        initiator is always among them) and report the gap honestly. *)
@@ -278,7 +319,10 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
     let merged =
       match pool with
       | Some p when Parallel.Pool.size p > 1 && List.length peers > 1 ->
-          Parallel.Pool.map_list p explore peers
+          let path = Telemetry.span_path () in
+          Parallel.Pool.map_list p
+            (fun peer -> Telemetry.with_path path (fun () -> explore peer))
+            peers
       | Some _ | None -> List.map explore peers
     in
     let faults = base_faults @ List.concat_map (fun pr -> pr.pr_faults) merged in
@@ -291,11 +335,23 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
     let work =
       List.fold_left (fun acc pr -> acc +. pr.pr_work_seconds) 0. merged
     in
+    let deduped = Fault.dedupe faults in
+    Telemetry.Metrics.add (Lazy.force m_inputs) inputs;
+    Telemetry.Metrics.add (Lazy.force m_shadow_runs) shadows;
+    Telemetry.Metrics.add (Lazy.force m_crashes) crashes;
+    Telemetry.Metrics.add (Lazy.force m_faults) (List.length deduped);
+    Telemetry.Histogram.observe
+      (Lazy.force m_snapshot_span)
+      (float_of_int span);
+    Telemetry.add_attr xsp
+      [ ("inputs", Telemetry.Json.Int inputs);
+        ("faults", Telemetry.Json.Int (List.length deduped));
+        ("partial", Telemetry.Json.Bool (stalled <> [])) ];
     { x_node = node;
       x_snapshot = snapshot;
       x_partial = stalled <> [];
       x_stalled = stalled;
-      x_faults = Fault.dedupe faults;
+      x_faults = deduped;
       x_digests = digests;
       x_inputs = inputs;
       x_shadow_runs = shadows;

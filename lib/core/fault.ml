@@ -15,6 +15,11 @@ type t = {
 }
 
 let make ?input ~at ~node ~property f_class detail =
+  (* Every detection lands in the telemetry artifact with the span path
+     of whatever produced it (round / cut / peer / shadow replay). *)
+  Telemetry.fault ~t_us:(Netsim.Time.to_us at)
+    ~fault_class:(class_to_string f_class) ~property ~node ~detail
+    ~input:(Option.map Concolic.Ctx.input_to_string input) ();
   { f_class; f_property = property; f_node = node; f_detail = detail;
     f_input = input; f_detected_at = at }
 

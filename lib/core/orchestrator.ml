@@ -100,11 +100,40 @@ let make_cut build =
     ~speakers:(fun id -> Topology.Build.speaker build id)
     build.Topology.Build.net
 
+let m_rounds_ok = lazy (Telemetry.Metrics.counter "orchestrator.rounds_ok")
+let m_rounds_degraded = lazy (Telemetry.Metrics.counter "orchestrator.rounds_degraded")
+let m_rounds_failed = lazy (Telemetry.Metrics.counter "orchestrator.rounds_failed")
+let m_quarantines = lazy (Telemetry.Metrics.counter "orchestrator.quarantines")
+let m_leaked = lazy (Telemetry.Metrics.gauge "orchestrator.leaked_snapshots")
+
+let outcome_label = function
+  | Ok _ -> "ok"
+  | Degraded _ -> "degraded"
+  | Failed _ -> "failed"
+
+let note_outcome outcome =
+  Telemetry.Metrics.incr
+    (Lazy.force
+       (match outcome with
+       | Ok _ -> m_rounds_ok
+       | Degraded _ -> m_rounds_degraded
+       | Failed _ -> m_rounds_failed))
+
+(* Timestamps in the artifact come from simulated time: runs replay
+   bit-identically for a given seed whatever the host. *)
+let install_clock build =
+  let eng = build.Topology.Build.engine in
+  Telemetry.set_clock (fun () -> Netsim.Time.to_us (Netsim.Engine.now eng))
+
 (* One supervised round: the exploration runs under exception
    containment, and the live system advances by [interval] afterwards
    whatever the outcome — a crashing explorer must not stall the
    deployment or the remaining rounds. *)
 let one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index node =
+  Telemetry.with_span "round"
+    ~attrs:[ ("index", Telemetry.Json.Int index);
+             ("node", Telemetry.Json.Int node) ]
+  @@ fun rsp ->
   let started_at = Netsim.Engine.now build.Topology.Build.engine in
   let outcome =
     match Explorer.explore_node ?params ?pool ~build ~cut ~gt ~node () with
@@ -130,6 +159,9 @@ let one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index node =
           { ei_exn = Printexc.to_string e;
             ei_backtrace = Printexc.get_backtrace () }
   in
+  note_outcome outcome;
+  Telemetry.add_attr rsp
+    [ ("outcome", Telemetry.Json.String (outcome_label outcome)) ];
   Topology.Build.run_for build interval;
   { rd_index = index; rd_node = node; rd_started_at = started_at;
     rd_outcome = outcome }
@@ -179,6 +211,7 @@ let sched_record s ~round_index ~slot outcome =
         h.h_until <- round_index + 1 + len;
         h.h_quarantines <- h.h_quarantines + 1;
         h.h_strikes <- 0;
+        Telemetry.Metrics.incr (Lazy.force m_quarantines);
         s.s_events <-
           { q_node = s.s_nodes.(slot); q_round = round_index;
             q_strikes = s.s_sup.max_strikes; q_until_round = h.h_until }
@@ -192,6 +225,7 @@ let node_list nodes build =
 
 let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
     ?(supervisor = default_supervisor) ~build ~gt ~rounds () =
+  install_clock build;
   let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
   let result =
@@ -204,16 +238,19 @@ let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
         sched_record sched ~round_index:i ~slot r.rd_outcome;
         r)
   in
+  Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
   summarize ~quarantines:(List.rev sched.s_events)
     ~leaked_snapshots:(Snapshot.Cut.active cut) result
 
 let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
     ?(supervisor = default_supervisor) ?max_rounds ~build ~gt ~expect () =
+  install_clock build;
   let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
   let n = Array.length sched.s_nodes in
   let max_rounds = Option.value max_rounds ~default:(2 * n) in
   let finish acc =
+    Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
     summarize ~quarantines:(List.rev sched.s_events)
       ~leaked_snapshots:(Snapshot.Cut.active cut) acc
   in
@@ -250,6 +287,12 @@ let pp_summary ppf s =
     "@[<v>%d rounds (%d ok, %d degraded, %d failed), %d inputs, %d shadow runs, %.2fs wall@ "
     (List.length s.rounds) s.ok_rounds s.degraded_rounds s.failed_rounds
     s.total_inputs s.total_shadow_runs s.total_wall_seconds;
+  (let st = Concolic.Solver.stats () in
+   let solves = st.Concolic.Solver.cache_hits + st.Concolic.Solver.cache_misses in
+   if solves > 0 then
+     Format.fprintf ppf "solver cache: %d/%d hits (%.0f%%)@ "
+       st.Concolic.Solver.cache_hits solves
+       (100. *. float_of_int st.Concolic.Solver.cache_hits /. float_of_int solves));
   List.iter
     (fun q ->
       Format.fprintf ppf "quarantined node %d after round %d (until round %d)@ "

@@ -98,7 +98,11 @@ let pp ppf sched =
     (fun { at; ev } -> Format.fprintf ppf "  t+%.1fs %a@." (float_of_int at /. 1e6) pp_event ev)
     sched
 
-let apply_event ?policy net = function
+let events_applied = lazy (Telemetry.Metrics.counter "churn.events_applied")
+
+let apply_event ?policy net ev =
+  Telemetry.Metrics.incr (Lazy.force events_applied);
+  match ev with
   | Node_down n -> if Network.has_node net n then Network.set_node_down net n
   | Node_up n -> if Network.has_node net n then Network.set_node_up net n
   | Link_down (a, b) ->

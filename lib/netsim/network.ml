@@ -13,16 +13,47 @@ type 'msg channel = {
   (* Envelopes held back while the link is down under [Queue_while_down],
      oldest first. *)
   mutable ch_held : 'msg envelope list;
+  mutable ch_down_since : Time.t option;
 }
 
 type 'msg node = {
   mutable handler : src:int -> 'msg -> unit;
   mutable nd_up : bool;
+  mutable nd_down_since : Time.t option;
 }
+
+(* Global (registry) accounting, created only for labeled networks so
+   the live deployment's traffic is not polluted by the thousands of
+   shadow clones the explorer spawns. *)
+type net_metrics = {
+  nm_sent : Telemetry.Metrics.counter;
+  nm_delivered : Telemetry.Metrics.counter;
+  nm_dropped : Telemetry.Metrics.counter;
+  nm_node_downs : Telemetry.Metrics.counter;
+  nm_link_downs : Telemetry.Metrics.counter;
+  nm_node_downtime : Telemetry.Histogram.t;
+  nm_link_downtime : Telemetry.Histogram.t;
+}
+
+(* Decades of microseconds: 1ms .. 1000s, apt for simulated outages. *)
+let downtime_buckets = [| 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let net_metrics label =
+  let name suffix = Printf.sprintf "net.%s.%s" label suffix in
+  { nm_sent = Telemetry.Metrics.counter (name "sent");
+    nm_delivered = Telemetry.Metrics.counter (name "delivered");
+    nm_dropped = Telemetry.Metrics.counter (name "dropped");
+    nm_node_downs = Telemetry.Metrics.counter (name "node_downs");
+    nm_link_downs = Telemetry.Metrics.counter (name "link_downs");
+    nm_node_downtime =
+      Telemetry.Metrics.histogram ~buckets:downtime_buckets (name "node_downtime_us");
+    nm_link_downtime =
+      Telemetry.Metrics.histogram ~buckets:downtime_buckets (name "link_downtime_us") }
 
 type 'msg t = {
   eng : Engine.t;
   tr : Trace.t option;
+  metrics : net_metrics option;
   node_tbl : (int, 'msg node) Hashtbl.t;
   chan_tbl : (int * int, 'msg channel) Hashtbl.t;
   net_rng : Rng.t;
@@ -34,10 +65,11 @@ type 'msg t = {
   mutable dropped : int;
 }
 
-let create ?trace eng =
+let create ?trace ?label eng =
   {
     eng;
     tr = trace;
+    metrics = Option.map net_metrics label;
     node_tbl = Hashtbl.create 64;
     chan_tbl = Hashtbl.create 256;
     net_rng = Rng.split (Engine.rng eng);
@@ -52,10 +84,12 @@ let create ?trace eng =
 let engine t = t.eng
 let trace t = t.tr
 
+let bump t f = match t.metrics with Some m -> f m | None -> ()
+
 let add_node t id handler =
   if Hashtbl.mem t.node_tbl id then
     invalid_arg (Printf.sprintf "Network.add_node: node %d exists" id);
-  Hashtbl.add t.node_tbl id { handler; nd_up = true }
+  Hashtbl.add t.node_tbl id { handler; nd_up = true; nd_down_since = None }
 
 let set_handler t id handler =
   match Hashtbl.find_opt t.node_tbl id with
@@ -71,16 +105,27 @@ let connect t a b link =
     invalid_arg (Printf.sprintf "Network.connect: channel %d->%d exists" a b);
   Hashtbl.add t.chan_tbl (a, b)
     { link; chan_rng = Rng.split t.net_rng; last_delivery = Time.zero;
-      ch_up = true; ch_policy = Drop_while_down; ch_held = [] }
+      ch_up = true; ch_policy = Drop_while_down; ch_held = [];
+      ch_down_since = None }
 
 let connect_sym t a b link =
   connect t a b link;
   connect t b a link
 
-let emit t ~node ~kind detail =
+let emit ?level t ~node ~kind detail =
   match t.tr with
-  | Some tr -> Trace.emit tr ~at:(Engine.now t.eng) ~node ~kind detail
+  | Some tr -> Trace.emit ?level tr ~at:(Engine.now t.eng) ~node ~kind detail
   | None -> ()
+
+(* Per-message events are chatty; the thunk keeps the sprintf off the
+   hot path when the trace is filtered and no telemetry sink is up. *)
+let emit_lazy ?level t ~node ~kind f =
+  match t.tr with
+  | Some tr -> Trace.emit_lazy ?level tr ~at:(Engine.now t.eng) ~node ~kind f
+  | None -> ()
+
+let downtime_us t since =
+  Time.to_us (Engine.now t.eng) - Time.to_us since
 
 (* ------------------------------------------------------------------ *)
 (* Failure state                                                       *)
@@ -103,6 +148,8 @@ let set_node_down t id =
   let n = node_of t id in
   if n.nd_up then begin
     n.nd_up <- false;
+    n.nd_down_since <- Some (Engine.now t.eng);
+    bump t (fun m -> Telemetry.Metrics.incr m.nm_node_downs);
     emit t ~node:id ~kind:"churn" "node down"
   end
 
@@ -110,11 +157,19 @@ let set_node_up t id =
   let n = node_of t id in
   if not n.nd_up then begin
     n.nd_up <- true;
+    (match n.nd_down_since with
+    | Some since ->
+        n.nd_down_since <- None;
+        bump t (fun m ->
+            Telemetry.Histogram.observe m.nm_node_downtime
+              (float_of_int (downtime_us t since)))
+    | None -> ());
     emit t ~node:id ~kind:"churn" "node up"
   end
 
 let drop t ~src env =
   t.dropped <- t.dropped + 1;
+  bump t (fun m -> Telemetry.Metrics.incr m.nm_dropped);
   match env with
   | Data _ -> emit t ~node:src ~kind:"drop" "message lost to churn"
   | Control _ -> emit t ~node:src ~kind:"drop" "marker lost to churn"
@@ -134,8 +189,10 @@ let deliver t ~src ~dst env =
     | Control c -> t.control_handler ~self:dst ~src c
     | Data m ->
         t.delivered <- t.delivered + 1;
+        bump t (fun mt -> Telemetry.Metrics.incr mt.nm_delivered);
         (match t.tap with Some f -> f ~dst ~src m | None -> ());
-        emit t ~node:dst ~kind:"deliver" (Printf.sprintf "from %d" src);
+        emit_lazy ~level:Trace.Debug t ~node:dst ~kind:"deliver" (fun () ->
+            Printf.sprintf "from %d" src);
         dst_node.handler ~src m
 
 let schedule_delivery t ~src ~dst ch env =
@@ -171,14 +228,25 @@ let set_link_down ?(policy = Drop_while_down) t a b =
   ch.ch_policy <- policy;
   if ch.ch_up then begin
     ch.ch_up <- false;
-    emit t ~node:a ~kind:"churn" (Printf.sprintf "link %d->%d down" a b)
+    ch.ch_down_since <- Some (Engine.now t.eng);
+    bump t (fun m -> Telemetry.Metrics.incr m.nm_link_downs);
+    emit_lazy t ~node:a ~kind:"churn" (fun () ->
+        Printf.sprintf "link %d->%d down" a b)
   end
 
 let set_link_up t a b =
   let ch = chan_of t a b in
   if not ch.ch_up then begin
     ch.ch_up <- true;
-    emit t ~node:a ~kind:"churn" (Printf.sprintf "link %d->%d up" a b);
+    (match ch.ch_down_since with
+    | Some since ->
+        ch.ch_down_since <- None;
+        bump t (fun m ->
+            Telemetry.Histogram.observe m.nm_link_downtime
+              (float_of_int (downtime_us t since)))
+    | None -> ());
+    emit_lazy t ~node:a ~kind:"churn" (fun () ->
+        Printf.sprintf "link %d->%d up" a b);
     (* Release held-back traffic in arrival order through the normal
        delay path; the FIFO floor keeps the order intact. *)
     let held = ch.ch_held in
@@ -211,7 +279,9 @@ let heal t =
 
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
-  emit t ~node:src ~kind:"send" (Printf.sprintf "to %d" dst);
+  bump t (fun m -> Telemetry.Metrics.incr m.nm_sent);
+  emit_lazy ~level:Trace.Debug t ~node:src ~kind:"send" (fun () ->
+      Printf.sprintf "to %d" dst);
   transmit t ~src ~dst (Data msg)
 
 let send_control t ~src ~dst c = transmit t ~src ~dst (Control c)

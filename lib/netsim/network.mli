@@ -30,7 +30,14 @@ type link_policy =
 
 type 'msg t
 
-val create : ?trace:Trace.t -> Engine.t -> 'msg t
+(** [create ?trace ?label eng] builds an empty network.
+    [label] opts this network into the global telemetry registry:
+    counters [net.<label>.sent/delivered/dropped/node_downs/link_downs]
+    and downtime histograms [net.<label>.node_downtime_us] /
+    [net.<label>.link_downtime_us].  Leave it unset for throwaway
+    networks (shadow replays) so they do not pollute the live run's
+    accounting. *)
+val create : ?trace:Trace.t -> ?label:string -> Engine.t -> 'msg t
 val engine : 'msg t -> Engine.t
 val trace : 'msg t -> Trace.t option
 

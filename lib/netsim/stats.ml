@@ -1,8 +1,11 @@
-type dist = { mutable samples : float list; mutable n : int }
+(* Thin shim over the telemetry subsystem: counters stay local refs
+   (they are per-component, single-domain), but distributions are
+   [Telemetry.Histogram]s so there is exactly one quantile
+   implementation in the tree. *)
 
 type t = {
   counters : (string, int ref) Hashtbl.t;
-  dists : (string, dist) Hashtbl.t;
+  dists : (string, Telemetry.Histogram.t) Hashtbl.t;
 }
 
 let create () = { counters = Hashtbl.create 16; dists = Hashtbl.create 16 }
@@ -23,35 +26,26 @@ let dist t name =
   match Hashtbl.find_opt t.dists name with
   | Some d -> d
   | None ->
-      let d = { samples = []; n = 0 } in
+      let d = Telemetry.Histogram.create name in
       Hashtbl.add t.dists name d;
       d
 
-let observe t name v =
-  let d = dist t name in
-  d.samples <- v :: d.samples;
-  d.n <- d.n + 1
+let observe t name v = Telemetry.Histogram.observe (dist t name) v
 
-let count t name = match Hashtbl.find_opt t.dists name with Some d -> d.n | None -> 0
-
-let with_samples t name f =
+let count t name =
   match Hashtbl.find_opt t.dists name with
-  | Some d when d.n > 0 -> f d.samples
+  | Some d -> Telemetry.Histogram.count d
+  | None -> 0
+
+let with_dist t name f =
+  match Hashtbl.find_opt t.dists name with
+  | Some d when Telemetry.Histogram.count d > 0 -> f d
   | Some _ | None -> nan
 
-let mean t name =
-  with_samples t name (fun s -> List.fold_left ( +. ) 0. s /. float_of_int (List.length s))
-
-let min_value t name = with_samples t name (fun s -> List.fold_left min infinity s)
-let max_value t name = with_samples t name (fun s -> List.fold_left max neg_infinity s)
-
-let percentile t name p =
-  with_samples t name (fun s ->
-      let a = Array.of_list s in
-      Array.sort compare a;
-      let n = Array.length a in
-      let rank = int_of_float (ceil (p *. float_of_int n)) in
-      a.(max 0 (min (n - 1) (rank - 1))))
+let mean t name = with_dist t name Telemetry.Histogram.mean
+let min_value t name = with_dist t name Telemetry.Histogram.min_value
+let max_value t name = with_dist t name Telemetry.Histogram.max_value
+let percentile t name p = with_dist t name (fun d -> Telemetry.Histogram.percentile d p)
 
 let counters t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
@@ -59,7 +53,9 @@ let counters t =
 
 let merge_into ~dst src =
   Hashtbl.iter (fun k r -> add dst k !r) src.counters;
-  Hashtbl.iter (fun k d -> List.iter (observe dst k) (List.rev d.samples)) src.dists
+  Hashtbl.iter
+    (fun k d -> List.iter (observe dst k) (Telemetry.Histogram.samples d))
+    src.dists
 
 let clear t =
   Hashtbl.reset t.counters;

@@ -17,8 +17,13 @@ val mean : t -> string -> float
 val min_value : t -> string -> float
 val max_value : t -> string -> float
 val percentile : t -> string -> float -> float
-(** [percentile t name 0.99]; nearest-rank on the recorded samples.
-    Distribution queries return [nan] when no sample was recorded. *)
+(** [percentile t name 0.99]; nearest-rank on the recorded samples,
+    delegated to {!Telemetry.Histogram.percentile} (one quantile
+    implementation in the tree): [p = 0.] is exactly the minimum,
+    [p = 1.] exactly the maximum.  Distribution queries return [nan]
+    when no sample was recorded — test with [Float.is_nan].
+    @raise Invalid_argument if [p] is outside [\[0, 1\]] or NaN (and
+    samples exist). *)
 
 val counters : t -> (string * int) list
 (** Sorted by name. *)

@@ -1,3 +1,5 @@
+type level = Debug | Info
+
 type record = { at : Time.t; node : int; kind : string; detail : string }
 
 type t = {
@@ -5,16 +7,47 @@ type t = {
   ring : record option array;
   mutable next : int;
   mutable count : int;
+  mutable enabled : bool;
+  mutable min_level : level;
 }
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; next = 0; count = 0 }
+  { capacity; ring = Array.make capacity None; next = 0; count = 0;
+    enabled = true; min_level = Debug }
 
-let emit t ~at ~node ~kind detail =
-  t.ring.(t.next) <- Some { at; node; kind; detail };
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+let set_level t l = t.min_level <- l
+let level t = t.min_level
+
+let admits level threshold =
+  match (threshold, level) with
+  | Debug, _ -> true
+  | Info, Info -> true
+  | Info, Debug -> false
+
+let interested ?(level = Info) t =
+  (t.enabled && admits level t.min_level) || Telemetry.enabled ()
+
+let record t r =
+  t.ring.(t.next) <- Some r;
   t.next <- (t.next + 1) mod t.capacity;
   t.count <- t.count + 1
+
+let emit ?(level = Info) t ~at ~node ~kind detail =
+  if t.enabled && admits level t.min_level then
+    record t { at; node; kind; detail };
+  (* The ring and the telemetry sink see the same timeline: sim events
+     recorded here also land in the JSONL artifact, interleaved with
+     spans and faults by sequence number. *)
+  if Telemetry.enabled () then
+    Telemetry.trace_event ~t_us:(Time.to_us at) ~node ~kind ~detail
+
+let emit_lazy ?level t ~at ~node ~kind f =
+  (* The point of the thunk: nobody listening => [f] never runs, so
+     call sites stop paying for [Printf.sprintf] on every event. *)
+  if interested ?level t then emit ?level t ~at ~node ~kind (f ())
 
 let length t = min t.count t.capacity
 let total t = t.count

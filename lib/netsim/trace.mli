@@ -2,7 +2,21 @@
 
     A bounded ring of timestamped records, shared by the simulator and
     the systems built on it.  Used by tests to assert on event ordering
-    and by the demo to display activity. *)
+    and by the demo to display activity.
+
+    Every record written to the ring is also forwarded to the global
+    telemetry sink (when one is installed), so simulator events, spans
+    and fault records land in one JSONL timeline.
+
+    {b Cost control.}  A trace can be disabled ({!set_enabled}) or
+    restricted to {!Info}-level events ({!set_level}); use
+    {!emit_lazy} (or guard on {!interested}) at chatty call sites so
+    the detail string is never even built when nobody listens. *)
+
+type level = Debug | Info
+(** [Debug] is the chatty per-message tier (send/deliver); [Info] is
+    state changes worth keeping under a raised threshold (churn,
+    drops, session events). *)
 
 type record = {
   at : Time.t;
@@ -14,7 +28,27 @@ type record = {
 type t
 
 val create : ?capacity:int -> unit -> t
-val emit : t -> at:Time.t -> node:int -> kind:string -> string -> unit
+(** Enabled, threshold [Debug] (record everything) by default. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val set_level : t -> level -> unit
+(** Records below this threshold are dropped ([Info] drops [Debug]). *)
+
+val level : t -> level
+
+val interested : ?level:level -> t -> bool
+(** Would an [emit] at [level] (default [Info]) reach the ring or the
+    telemetry sink?  Check before building an expensive detail. *)
+
+val emit : ?level:level -> t -> at:Time.t -> node:int -> kind:string -> string -> unit
+(** Default level [Info]. *)
+
+val emit_lazy :
+  ?level:level -> t -> at:Time.t -> node:int -> kind:string -> (unit -> string) -> unit
+(** Like {!emit} but the detail thunk only runs when {!interested}. *)
+
 val to_list : t -> record list
 (** Oldest first. *)
 
@@ -22,7 +56,8 @@ val length : t -> int
 (** Number of records currently retained. *)
 
 val total : t -> int
-(** Number of records ever emitted (including evicted ones). *)
+(** Number of records ever admitted to the ring (including evicted
+    ones); filtered records are not counted. *)
 
 val find : t -> kind:string -> record list
 val clear : t -> unit

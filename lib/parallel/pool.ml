@@ -25,10 +25,22 @@ let default_domains () = Domain.recommended_domain_count ()
 
 let size pool = pool.n
 
+(* Registry metrics are process-global; lazy so the registry mutex is
+   only touched on first use, not at module load. *)
+let m_submitted = lazy (Telemetry.Metrics.counter "pool.jobs_submitted")
+let m_depth = lazy (Telemetry.Metrics.gauge "pool.queue_depth")
+let m_timeouts = lazy (Telemetry.Metrics.counter "pool.await_timeouts")
+
+(* Call with [pool.lock] held: the gauge mirrors the queue length. *)
+let note_depth pool =
+  Telemetry.Metrics.set (Lazy.force m_depth) (Queue.length pool.jobs)
+
 (* Take the next job, blocking until one arrives or the pool closes. *)
 let rec next_job pool =
   match Queue.take_opt pool.jobs with
-  | Some j -> Some j
+  | Some j ->
+      note_depth pool;
+      Some j
   | None ->
       if pool.closed then None
       else begin
@@ -83,6 +95,8 @@ let submit pool f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.add (Job run) pool.jobs;
+  Telemetry.Metrics.incr (Lazy.force m_submitted);
+  note_depth pool;
   Condition.signal pool.nonempty;
   Mutex.unlock pool.lock;
   task
@@ -92,6 +106,7 @@ let submit pool f =
 let try_help pool =
   Mutex.lock pool.lock;
   let j = Queue.take_opt pool.jobs in
+  if Option.is_some j then note_depth pool;
   Mutex.unlock pool.lock;
   match j with
   | Some (Job run) ->
@@ -134,7 +149,10 @@ let await_timeout task ~timeout_s =
     | Done v -> Some v
     | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
     | Pending ->
-        if Unix.gettimeofday () >= deadline then None
+        if Unix.gettimeofday () >= deadline then begin
+          Telemetry.Metrics.incr (Lazy.force m_timeouts);
+          None
+        end
         else begin
           if not (try_help task.t_pool) then Domain.cpu_relax ();
           loop ()

@@ -75,11 +75,20 @@ let build_snapshot t a =
     channels;
     control_messages = a.a_markers_sent }
 
+let m_complete = lazy (Telemetry.Metrics.counter "cut.complete")
+let m_partial = lazy (Telemetry.Metrics.counter "cut.partial")
+let m_stalled = lazy (Telemetry.Metrics.counter "cut.stalled_channels")
+
 let settle t a result =
   (match a.a_timer with Some tm -> Netsim.Engine.cancel tm | None -> ());
   a.a_timer <- None;
   Hashtbl.remove t.active_tbl a.a_id;
   t.done_list <- result :: t.done_list;
+  (match result with
+  | Complete _ -> Telemetry.Metrics.incr (Lazy.force m_complete)
+  | Partial (_, stalled) ->
+      Telemetry.Metrics.incr (Lazy.force m_partial);
+      Telemetry.Metrics.add (Lazy.force m_stalled) (List.length stalled));
   a.a_on_result result
 
 let finish t a = settle t a (Complete (build_snapshot t a))

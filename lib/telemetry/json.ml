@@ -1,0 +1,244 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f ->
+      if not (Float.is_finite f) then Buffer.add_string b "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.12g" f)
+  | String s ->
+      Buffer.add_char b '"';
+      add_escaped b s;
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          add_escaped b k;
+          Buffer.add_string b "\":";
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal l v =
+    let len = String.length l in
+    if !pos + len <= n && String.sub s !pos len = l then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "bad literal"
+  in
+  let add_utf8 b code =
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' ->
+            incr pos;
+            Buffer.contents b
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "dangling escape";
+            (match s.[!pos] with
+            | '"' -> Buffer.add_char b '"'; incr pos
+            | '\\' -> Buffer.add_char b '\\'; incr pos
+            | '/' -> Buffer.add_char b '/'; incr pos
+            | 'n' -> Buffer.add_char b '\n'; incr pos
+            | 't' -> Buffer.add_char b '\t'; incr pos
+            | 'r' -> Buffer.add_char b '\r'; incr pos
+            | 'b' -> Buffer.add_char b '\b'; incr pos
+            | 'f' -> Buffer.add_char b '\012'; incr pos
+            | 'u' ->
+                if !pos + 4 >= n then fail "truncated \\u escape";
+                (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                | Some code -> add_utf8 b code
+                | None -> fail "bad \\u escape");
+                pos := !pos + 5
+            | _ -> fail "unknown escape");
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          fields []
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | String x, String y -> String.equal x y
+  | List xs, List ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      let sort = List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) in
+      let xs = sort xs and ys = sort ys in
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+           xs ys
+  | (Null | Bool _ | Int _ | Float _ | String _ | List _ | Obj _), _ -> false

@@ -1,0 +1,32 @@
+(** Minimal JSON values — encoder and decoder for the telemetry JSONL
+    artifacts.
+
+    Hand-rolled on purpose: the schema is small, the container must not
+    grow a dependency for it, and the decoder lets tests and the CI
+    smoke check round-trip every line we emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Non-finite floats encode as [null]
+    (JSON has no representation for them); integral floats keep a
+    trailing [.0] so they decode back as [Float]. *)
+
+val of_string : string -> (t, string) result
+(** Parse exactly one JSON value; surrounding whitespace is allowed,
+    trailing garbage is an error.  Numbers without [.], [e] or [E]
+    decode as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors or a missing
+    field. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Obj] fields compare order-insensitively. *)

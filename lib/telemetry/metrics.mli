@@ -1,0 +1,49 @@
+(** Global named metrics registry — typed counters, gauges and
+    histograms.
+
+    Metrics are process-global and always on: registering and bumping
+    them is independent of whether a telemetry sink is installed (a
+    counter increment is one [Atomic] op).  Subsystems declare their
+    metrics once at module initialisation and bump them from any
+    domain; exporters and reports read the registry at the end of a
+    run.
+
+    Names are dot-separated ([subsystem.metric], e.g.
+    [solver.cache_hits]).  Re-registering a name returns the existing
+    metric; registering it as a different kind raises. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Find-or-register. @raise Invalid_argument if [name] is registered
+    as a different kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset : counter -> unit
+
+val gauge : string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val histogram : ?buckets:float array -> string -> Histogram.t
+(** Find-or-register; [buckets] only applies on first registration. *)
+
+val reset_all : unit -> unit
+(** Zero every counter and gauge and clear every histogram; the
+    registry keeps its entries.  For tests and benchmark sections that
+    need isolated accounting. *)
+
+val snapshot : unit -> (string * Json.t) list
+(** One [(name, value)] pair per registered metric, sorted by name.
+    Counters and gauges render as
+    [{"kind": ..., "value": n}]; histograms as
+    [{"kind": "histogram", "count": n, "sum": s, "min": .., "max": ..,
+    "p50": .., "p99": .., "buckets": [{"le": b, "n": c}, ...]}] with
+    [null] for the undefined fields of an empty histogram. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable dump of the registry, one metric per line, sorted;
+    empty histograms and zero counters are skipped. *)

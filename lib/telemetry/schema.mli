@@ -1,0 +1,30 @@
+(** Validation of [dice-telemetry/1] JSONL artifacts.
+
+    Checks, line by line:
+    - every line parses as a JSON object and decodes to a known event;
+    - the first line is a [run] header carrying the expected schema id;
+    - [seq] is strictly increasing (file order = emission order);
+    - span ids are unique, every [span_end] matches an open span, every
+      [parent] and every fault [span_path] entry names a span already
+      started, and no span is left open at end of file.
+
+    Used by the [telemetry_check] executable (CI smoke) and the test
+    suite. *)
+
+val version : string
+(** ["dice-telemetry/1"]. *)
+
+type stats = {
+  v_lines : int;
+  v_spans : int;
+  v_faults : int;
+  v_metrics : int;
+  v_traces : int;
+}
+
+val validate_lines : string list -> (stats, string list) result
+(** Blank lines are ignored.  On failure, one message per offending
+    line (validation keeps going to report everything at once). *)
+
+val validate_file : string -> (stats, string list) result
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,203 @@
+type event =
+  | Run of { schema : string; attrs : (string * Json.t) list }
+  | Span_start of {
+      id : int;
+      parent : int option;
+      name : string;
+      t_us : int;
+      attrs : (string * Json.t) list;
+    }
+  | Span_end of { id : int; t_us : int; attrs : (string * Json.t) list }
+  | Fault of {
+      t_us : int;
+      fault_class : string;
+      property : string;
+      node : int;
+      detail : string;
+      input : string option;
+      span_path : int list;
+    }
+  | Metric of { t_us : int; name : string; value : Json.t }
+  | Trace of { t_us : int; node : int; kind : string; detail : string }
+
+type t =
+  | Noop
+  | Memory of { mutable buf : (int * event) list; m_lock : Mutex.t; mutable m_seq : int }
+  | Jsonl of { oc : out_channel; j_lock : Mutex.t; mutable j_seq : int }
+
+let noop = Noop
+let memory () = Memory { buf = []; m_lock = Mutex.create (); m_seq = 0 }
+let jsonl oc = Jsonl { oc; j_lock = Mutex.create (); j_seq = 0 }
+
+let is_noop = function Noop -> true | Memory _ | Jsonl _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec (schema dice-telemetry/1)                                *)
+(* ------------------------------------------------------------------ *)
+
+let attrs_field attrs = ("attrs", Json.Obj attrs)
+
+let to_json ~seq event =
+  let base ty rest = Json.Obj (("type", Json.String ty) :: ("seq", Json.Int seq) :: rest) in
+  match event with
+  | Run { schema; attrs } ->
+      base "run" [ ("schema", Json.String schema); attrs_field attrs ]
+  | Span_start { id; parent; name; t_us; attrs } ->
+      base "span_start"
+        [ ("id", Json.Int id);
+          ("parent", match parent with Some p -> Json.Int p | None -> Json.Null);
+          ("name", Json.String name);
+          ("t_us", Json.Int t_us);
+          attrs_field attrs ]
+  | Span_end { id; t_us; attrs } ->
+      base "span_end" [ ("id", Json.Int id); ("t_us", Json.Int t_us); attrs_field attrs ]
+  | Fault { t_us; fault_class; property; node; detail; input; span_path } ->
+      base "fault"
+        [ ("t_us", Json.Int t_us);
+          ("class", Json.String fault_class);
+          ("property", Json.String property);
+          ("node", Json.Int node);
+          ("detail", Json.String detail);
+          ("input", match input with Some i -> Json.String i | None -> Json.Null);
+          ("span_path", Json.List (List.map (fun i -> Json.Int i) span_path)) ]
+  | Metric { t_us; name; value } ->
+      base "metric"
+        [ ("t_us", Json.Int t_us); ("name", Json.String name); ("value", value) ]
+  | Trace { t_us; node; kind; detail } ->
+      base "trace"
+        [ ("t_us", Json.Int t_us);
+          ("node", Json.Int node);
+          ("kind", Json.String kind);
+          ("detail", Json.String detail) ]
+
+let of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let field name =
+    match Json.member name json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let str name =
+    let* v = field name in
+    match v with
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "field %S: expected string" name)
+  in
+  let int name =
+    let* v = field name in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "field %S: expected int" name)
+  in
+  let attrs () =
+    let* v = field "attrs" in
+    match v with
+    | Json.Obj fields -> Ok fields
+    | _ -> Error "field \"attrs\": expected object"
+  in
+  let* ty = str "type" in
+  let* seq = int "seq" in
+  let* event =
+    match ty with
+    | "run" ->
+        let* schema = str "schema" in
+        let* attrs = attrs () in
+        Ok (Run { schema; attrs })
+    | "span_start" ->
+        let* id = int "id" in
+        let* parent =
+          let* v = field "parent" in
+          match v with
+          | Json.Null -> Ok None
+          | Json.Int p -> Ok (Some p)
+          | _ -> Error "field \"parent\": expected int or null"
+        in
+        let* name = str "name" in
+        let* t_us = int "t_us" in
+        let* attrs = attrs () in
+        Ok (Span_start { id; parent; name; t_us; attrs })
+    | "span_end" ->
+        let* id = int "id" in
+        let* t_us = int "t_us" in
+        let* attrs = attrs () in
+        Ok (Span_end { id; t_us; attrs })
+    | "fault" ->
+        let* t_us = int "t_us" in
+        let* fault_class = str "class" in
+        let* property = str "property" in
+        let* node = int "node" in
+        let* detail = str "detail" in
+        let* input =
+          let* v = field "input" in
+          match v with
+          | Json.Null -> Ok None
+          | Json.String s -> Ok (Some s)
+          | _ -> Error "field \"input\": expected string or null"
+        in
+        let* span_path =
+          let* v = field "span_path" in
+          match v with
+          | Json.List items ->
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  match item with
+                  | Json.Int i -> Ok (i :: acc)
+                  | _ -> Error "span_path: expected ints")
+                (Ok []) items
+              |> fun r ->
+              let* l = r in
+              Ok (List.rev l)
+          | _ -> Error "field \"span_path\": expected list"
+        in
+        Ok (Fault { t_us; fault_class; property; node; detail; input; span_path })
+    | "metric" ->
+        let* t_us = int "t_us" in
+        let* name = str "name" in
+        let* value = field "value" in
+        Ok (Metric { t_us; name; value })
+    | "trace" ->
+        let* t_us = int "t_us" in
+        let* node = int "node" in
+        let* kind = str "kind" in
+        let* detail = str "detail" in
+        Ok (Trace { t_us; node; kind; detail })
+    | other -> Error (Printf.sprintf "unknown event type %S" other)
+  in
+  Ok (seq, event)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let emit t event =
+  match t with
+  | Noop -> ()
+  | Memory m ->
+      Mutex.lock m.m_lock;
+      let seq = m.m_seq in
+      m.m_seq <- seq + 1;
+      m.buf <- (seq, event) :: m.buf;
+      Mutex.unlock m.m_lock
+  | Jsonl j ->
+      Mutex.lock j.j_lock;
+      let seq = j.j_seq in
+      j.j_seq <- seq + 1;
+      output_string j.oc (Json.to_string (to_json ~seq event));
+      output_char j.oc '\n';
+      Mutex.unlock j.j_lock
+
+let events = function
+  | Memory m ->
+      Mutex.lock m.m_lock;
+      let all = m.buf in
+      Mutex.unlock m.m_lock;
+      List.rev all
+  | Noop | Jsonl _ -> []
+
+let flush = function
+  | Jsonl j ->
+      Mutex.lock j.j_lock;
+      Stdlib.flush j.oc;
+      Mutex.unlock j.j_lock
+  | Noop | Memory _ -> ()

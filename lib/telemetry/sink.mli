@@ -1,0 +1,61 @@
+(** Telemetry events and sinks.
+
+    Every observable thing in a run — span boundaries, detected
+    faults, simulator trace records, end-of-run metric values — is one
+    {!event}.  A {!t} receives events: [Noop] discards them (the
+    default; recording must be near-zero-cost when nobody listens),
+    [Memory] buffers them for tests, [Jsonl] writes one JSON object
+    per line in the [dice-telemetry/1] schema.
+
+    Sinks are domain-safe: a mutex serialises emission, and the
+    per-sink sequence number is assigned under that lock, so file
+    order always equals [seq] order even when pool workers emit
+    concurrently.
+
+    Timestamps ([t_us]) are {e simulated} microseconds — wall time
+    appears only in the run-header attributes written by the
+    exporter. *)
+
+type event =
+  | Run of { schema : string; attrs : (string * Json.t) list }
+      (** First line of an artifact: schema version + run metadata. *)
+  | Span_start of {
+      id : int;
+      parent : int option;
+      name : string;
+      t_us : int;
+      attrs : (string * Json.t) list;
+    }
+  | Span_end of { id : int; t_us : int; attrs : (string * Json.t) list }
+  | Fault of {
+      t_us : int;
+      fault_class : string;
+      property : string;
+      node : int;
+      detail : string;
+      input : string option;
+      span_path : int list;  (** root-first chain of enclosing span ids *)
+    }
+  | Metric of { t_us : int; name : string; value : Json.t }
+  | Trace of { t_us : int; node : int; kind : string; detail : string }
+
+type t
+
+val noop : t
+val memory : unit -> t
+
+val jsonl : out_channel -> t
+(** The caller owns the channel; {!flush} before closing it. *)
+
+val is_noop : t -> bool
+val emit : t -> event -> unit
+
+val events : t -> (int * event) list
+(** Buffered [(seq, event)] pairs in ascending [seq] order; [[]] for
+    non-[Memory] sinks. *)
+
+val flush : t -> unit
+
+val to_json : seq:int -> event -> Json.t
+val of_json : Json.t -> (int * event, string) result
+(** Inverse of {!to_json}: decode one line back to [(seq, event)]. *)

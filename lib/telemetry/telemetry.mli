@@ -1,0 +1,106 @@
+(** The observability spine: causal spans, a metrics registry and
+    JSONL run artifacts.
+
+    One process-global sink receives every event.  The default sink is
+    {!Sink.noop} and every recording entry point checks {!enabled}
+    first, so an uninstrumented run pays (almost) nothing — the pin
+    that a disabled sink changes no exploration results is part of the
+    test suite.
+
+    {b Determinism.}  Event timestamps come from the installed
+    {!set_clock} — the orchestrator and the demo wire it to
+    [Netsim.Engine.now], so a given seed yields the same timestamps on
+    every host.  Wall-clock time appears only in the run-header
+    attributes written by {!run_header}.
+
+    {b Domain safety.}  The span context is domain-local
+    ([Domain.DLS]); spans recorded from pool workers keep their causal
+    parent when the submitting code wraps tasks with {!with_path}.
+    Sinks serialise emission internally. *)
+
+module Json = Json
+module Histogram = Histogram
+module Metrics = Metrics
+module Sink = Sink
+module Schema = Schema
+
+val schema_version : string
+(** ["dice-telemetry/1"]. *)
+
+(** {1 Sink management} *)
+
+val set_sink : Sink.t -> unit
+val sink : unit -> Sink.t
+
+val enabled : unit -> bool
+(** [false] iff the installed sink is [Noop]. *)
+
+val set_clock : (unit -> int) -> unit
+(** Install the timestamp source (simulated microseconds).  The
+    default clock returns [0]. *)
+
+val now_us : unit -> int
+
+(** {1 Spans} *)
+
+type span
+(** Handle passed to a {!with_span} body; lets it attach result
+    attributes that are emitted with the closing event.  A no-op
+    handle when telemetry is disabled. *)
+
+val add_attr : span -> (string * Json.t) list -> unit
+
+val with_span :
+  ?attrs:(string * Json.t) list -> string -> (span -> 'a) -> 'a
+(** [with_span name f] opens a span (parent = innermost span open on
+    this domain), runs [f], closes the span — also on exception, with
+    an [error] attribute.  When disabled, [f] runs with no allocation
+    beyond its closure. *)
+
+val span_path : unit -> int list
+(** Ids of the spans currently open on this domain, root first. *)
+
+val with_path : int list -> (unit -> 'a) -> 'a
+(** Run [f] under the given span path — the bridge for pool workers:
+    capture [span_path ()] before submitting a task, wrap the task
+    body with [with_path], and spans or faults recorded inside keep
+    their causal chain even though they execute on another domain. *)
+
+(** {1 Events} *)
+
+val run_header : ?attrs:(string * Json.t) list -> unit -> unit
+(** Emit the artifact's first line: schema id, caller attributes, and
+    a [wall_unix] timestamp (the only wall-clock value in the file). *)
+
+val fault :
+  ?t_us:int ->
+  fault_class:string ->
+  property:string ->
+  node:int ->
+  detail:string ->
+  input:string option ->
+  unit ->
+  unit
+(** Emit a fault record carrying the current span path, linking the
+    detection to the round / cut / exploration / replay that produced
+    it.  [t_us] defaults to the clock (pass the fault's own detection
+    time when it differs). *)
+
+val trace_event : t_us:int -> node:int -> kind:string -> detail:string -> unit
+(** Simulator trace record ([Netsim.Trace] routes through this so sim
+    events and spans land in one timeline). *)
+
+val metrics_snapshot : unit -> unit
+(** Emit one [metric] event per registered metric — call once at end
+    of run before closing the sink. *)
+
+(** {1 Exporter conveniences} *)
+
+val with_jsonl :
+  ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_jsonl path f]: open [path], install a JSONL sink, emit the
+    run header, run [f], then append a metrics snapshot, restore the
+    previous sink and close the file (also on exception). *)
+
+val report : Format.formatter -> unit -> unit
+(** Human-readable end-of-run report over the metrics registry. *)

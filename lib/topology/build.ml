@@ -11,7 +11,7 @@ let deploy ?(seed = 42) ?(config_of = Gao_rexford.config_of)
     ?(sparrow_nodes = []) graph =
   let engine = Netsim.Engine.create ~seed () in
   let trace = Netsim.Trace.create () in
-  let net = Netsim.Network.create ~trace engine in
+  let net = Netsim.Network.create ~trace ~label:"live" engine in
   let link_rng = Netsim.Rng.split (Netsim.Engine.rng engine) in
   List.iter
     (fun id -> Netsim.Network.add_node net id (fun ~src:_ _ -> ()))

@@ -17,4 +17,5 @@ let () =
       ("dice", Test_dice.suite);
       ("parallel", Test_parallel.suite);
       ("churn", Test_churn.suite);
-      ("misc", Test_misc.suite) ]
+      ("misc", Test_misc.suite);
+      ("telemetry", Test_telemetry.suite) ]

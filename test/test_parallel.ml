@@ -150,18 +150,16 @@ let solver_cache_hit_rate () =
   Concolic.Solver.clear_cache ();
   Concolic.Solver.reset_stats ();
   List.iter (fun c -> ignore (Concolic.Solver.solve c)) batch;
-  let misses_after_first =
-    Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_misses
-  in
+  let misses_after_first = (Concolic.Solver.stats ()).Concolic.Solver.cache_misses in
   List.iter (fun c -> ignore (Concolic.Solver.solve c)) batch;
   (* Permutations of a set share the entry: order canonicalization. *)
   List.iter (fun c -> ignore (Concolic.Solver.solve (List.rev c))) batch;
-  let hits = Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_hits in
+  let hits = (Concolic.Solver.stats ()).Concolic.Solver.cache_hits in
   check Alcotest.int "first pass is all misses" (List.length batch) misses_after_first;
   check Alcotest.int "repeat passes are all hits" (2 * List.length batch) hits;
   check Alcotest.int "no extra solves"
     misses_after_first
-    (Atomic.get Concolic.Solver.stats.Concolic.Solver.cache_misses)
+    (Concolic.Solver.stats ()).Concolic.Solver.cache_misses
 
 let solver_stats_race_free () =
   (* Concurrent solves from pool workers must not lose increments. *)
@@ -178,10 +176,10 @@ let solver_stats_race_free () =
                [ Eq (Var x, Const (i mod 17)); Lt (Var x, Const 4096) ])
            (List.init n Fun.id)));
   Concolic.Solver.set_cache_enabled true;
+  let st = Concolic.Solver.stats () in
   let total =
-    Atomic.get Concolic.Solver.stats.Concolic.Solver.solved_sat
-    + Atomic.get Concolic.Solver.stats.Concolic.Solver.solved_unsat
-    + Atomic.get Concolic.Solver.stats.Concolic.Solver.solved_unknown
+    st.Concolic.Solver.solved_sat + st.Concolic.Solver.solved_unsat
+    + st.Concolic.Solver.solved_unknown
   in
   check Alcotest.int "every solve counted exactly once" n total
 

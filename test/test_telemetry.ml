@@ -1,0 +1,356 @@
+(* The flight recorder: histogram semantics, JSONL codec round-trips,
+   span causality (sequential and across pool domains), artifact
+   validation, and the pin that a disabled sink changes nothing. *)
+
+let check = Alcotest.check
+
+let with_memory_sink f =
+  let sink = Telemetry.Sink.memory () in
+  Telemetry.set_sink sink;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_sink Telemetry.Sink.noop)
+    (fun () -> f sink)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_bucket_boundaries () =
+  let h = Telemetry.Histogram.create ~buckets:[| 1.; 10.; 100. |] "t" in
+  List.iter (Telemetry.Histogram.observe h) [ 0.5; 1.0; 1.5; 10.0; 10.1; 1000. ];
+  (* Bucket rule is [v <= le]: boundary values land in their bucket,
+     not the next one; values above the last edge go to overflow. *)
+  (match Telemetry.Histogram.buckets h with
+  | [ (le1, n1); (le10, n2); (le100, n3); (inf, n4) ] ->
+      check (Alcotest.float 0.) "first edge" 1. le1;
+      check Alcotest.int "v <= 1" 2 n1;
+      check (Alcotest.float 0.) "second edge" 10. le10;
+      check Alcotest.int "1 < v <= 10" 2 n2;
+      check (Alcotest.float 0.) "third edge" 100. le100;
+      check Alcotest.int "10 < v <= 100" 1 n3;
+      check Alcotest.bool "last bucket is +inf" true (inf = infinity);
+      check Alcotest.int "overflow" 1 n4
+  | l -> Alcotest.failf "expected 4 buckets, got %d" (List.length l));
+  check Alcotest.int "count" 6 (Telemetry.Histogram.count h)
+
+let percentile_edges () =
+  let h = Telemetry.Histogram.create "p" in
+  List.iter (Telemetry.Histogram.observe h) [ 3.; 1.; 4.; 2. ];
+  let p q = Telemetry.Histogram.percentile h q in
+  (* Nearest-rank with the rank clamped into [1, n]: p=0 is exactly the
+     minimum and p=1 exactly the maximum (the old ceil-only formula
+     indexed rank 0 at p=0). *)
+  check (Alcotest.float 0.) "p=0 is the minimum" 1. (p 0.);
+  check (Alcotest.float 0.) "p=1 is the maximum" 4. (p 1.);
+  check (Alcotest.float 0.) "p50 nearest-rank" 2. (p 0.5);
+  check (Alcotest.float 0.) "p99 on 4 samples" 4. (p 0.99);
+  (try
+     ignore (p 1.5);
+     Alcotest.fail "p > 1 must raise"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (p nan);
+     Alcotest.fail "NaN p must raise"
+   with Invalid_argument _ -> ())
+
+let percentile_empty_is_nan () =
+  let h = Telemetry.Histogram.create "e" in
+  check Alcotest.bool "empty histogram percentile is NaN" true
+    (Float.is_nan (Telemetry.Histogram.percentile h 0.5));
+  (* The same contract surfaces through the Netsim.Stats shim. *)
+  let s = Netsim.Stats.create () in
+  check Alcotest.bool "stats shim: no samples -> NaN" true
+    (Float.is_nan (Netsim.Stats.percentile s "missing" 0.5));
+  Netsim.Stats.observe s "d" 7.;
+  check (Alcotest.float 0.) "stats shim: p=0 is min" 7.
+    (Netsim.Stats.percentile s "d" 0.)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events =
+  let open Telemetry.Sink in
+  let open Telemetry.Json in
+  [ Run { schema = Telemetry.Schema.version; attrs = [ ("seed", Int 42) ] };
+    Span_start
+      { id = 1; parent = None; name = "round";
+        t_us = 70_000_000;
+        attrs = [ ("index", Int 0); ("label", String "a \"quoted\" one") ] };
+    Span_start
+      { id = 2; parent = Some 1; name = "cut"; t_us = 70_000_001; attrs = [] };
+    Fault
+      { t_us = 70_000_002; fault_class = "operator-mistake";
+        property = "origin-authenticity"; node = 11;
+        detail = "hijacked\nprefix"; input = Some "nlri_a=10";
+        span_path = [ 1; 2 ] };
+    Fault
+      { t_us = 70_000_003; fault_class = "programming-error";
+        property = "handler-crash"; node = -1; detail = "boom"; input = None;
+        span_path = [] };
+    Metric { t_us = 70_000_004; name = "solver.sat"; value = Int 21 };
+    Metric
+      { t_us = 70_000_005; name = "net.live.node_downtime_us";
+        value = Obj [ ("count", Int 0); ("p50", Null); ("frac", Float 0.25) ] };
+    Trace { t_us = 70_000_006; node = 3; kind = "churn"; detail = "node down" };
+    Span_end { id = 2; t_us = 70_000_007; attrs = [ ("ok", Bool true) ] };
+    Span_end { id = 1; t_us = 70_000_008; attrs = [] } ]
+
+let jsonl_roundtrip () =
+  List.iteri
+    (fun seq ev ->
+      let line = Telemetry.Json.to_string (Telemetry.Sink.to_json ~seq ev) in
+      match Telemetry.Json.of_string line with
+      | Error e -> Alcotest.failf "line %d failed to parse: %s (%s)" seq e line
+      | Ok j -> (
+          match Telemetry.Sink.of_json j with
+          | Error e -> Alcotest.failf "line %d failed to decode: %s (%s)" seq e line
+          | Ok (seq', ev') ->
+              check Alcotest.int "seq survives" seq seq';
+              (* Compare via re-encoding: event has functional values
+                 nowhere, but Json.equal gives order-insensitive
+                 object comparison for free. *)
+              check Alcotest.bool
+                (Printf.sprintf "event %d round-trips" seq)
+                true
+                (Telemetry.Json.equal
+                   (Telemetry.Sink.to_json ~seq ev)
+                   (Telemetry.Sink.to_json ~seq:seq' ev'))))
+    sample_events
+
+let json_parser_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Telemetry.Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" s)
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let span_names_and_parents sink =
+  let spans =
+    List.filter_map
+      (fun (_, ev) ->
+        match ev with
+        | Telemetry.Sink.Span_start { id; parent; name; _ } ->
+            Some (id, parent, name)
+        | _ -> None)
+      (Telemetry.Sink.events sink)
+  in
+  (* (name, parent-name) pairs: stable across interleavings and id
+     assignment order. *)
+  List.map
+    (fun (_, parent, name) ->
+      let pname =
+        match parent with
+        | None -> "<root>"
+        | Some pid -> (
+            match List.find_opt (fun (id, _, _) -> id = pid) spans with
+            | Some (_, _, n) -> n
+            | None -> "<missing>")
+      in
+      (name, pname))
+    spans
+
+let span_nesting () =
+  let pairs =
+    with_memory_sink (fun sink ->
+        Telemetry.with_span "outer" (fun _ ->
+            Telemetry.with_span "inner" (fun _ -> ());
+            Telemetry.with_span "inner" (fun _ -> ()));
+        span_names_and_parents sink)
+  in
+  check
+    Alcotest.(list (pair string string))
+    "nesting recorded"
+    [ ("outer", "<root>"); ("inner", "outer"); ("inner", "outer") ]
+    pairs
+
+let span_closes_on_exception () =
+  with_memory_sink (fun sink ->
+      (try Telemetry.with_span "bomb" (fun _ -> failwith "boom")
+       with Failure _ -> ());
+      let starts, ends =
+        List.fold_left
+          (fun (s, e) (_, ev) ->
+            match ev with
+            | Telemetry.Sink.Span_start _ -> (s + 1, e)
+            | Telemetry.Sink.Span_end { attrs; _ } ->
+                check Alcotest.bool "error attr present" true
+                  (List.mem_assoc "error" attrs);
+                (s, e + 1)
+            | _ -> (s, e))
+          (0, 0) (Telemetry.Sink.events sink)
+      in
+      check Alcotest.int "span started" 1 starts;
+      check Alcotest.int "span closed despite raise" 1 ends)
+
+(* Spans recorded from pool workers (via with_path) carry the same
+   causal chain as a sequential run: equal (name, parent) multisets,
+   only the interleaving may differ. *)
+let spans_seq_eq_par () =
+  let work record =
+    Telemetry.with_span "batch" (fun _ ->
+        let path = Telemetry.span_path () in
+        record path (List.init 8 (fun i -> i)))
+  in
+  let seq_pairs =
+    with_memory_sink (fun sink ->
+        work (fun _path items ->
+            List.iter
+              (fun i ->
+                Telemetry.with_span "item" (fun sp ->
+                    Telemetry.add_attr sp [ ("i", Telemetry.Json.Int i) ]))
+              items);
+        span_names_and_parents sink)
+  in
+  let par_pairs =
+    with_memory_sink (fun sink ->
+        Parallel.Pool.with_pool ~domains:4 (fun pool ->
+            work (fun path items ->
+                ignore
+                  (Parallel.Pool.map_list pool
+                     (fun i ->
+                       Telemetry.with_path path (fun () ->
+                           Telemetry.with_span "item" (fun sp ->
+                               Telemetry.add_attr sp
+                                 [ ("i", Telemetry.Json.Int i) ])))
+                     items)));
+        span_names_and_parents sink)
+  in
+  let sort = List.sort compare in
+  check
+    Alcotest.(list (pair string string))
+    "same span causality, sequential or pooled" (sort seq_pairs)
+    (sort par_pairs);
+  check Alcotest.int "one batch + 8 items" 9 (List.length par_pairs)
+
+(* ------------------------------------------------------------------ *)
+(* Validator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lines_of_events events =
+  List.mapi
+    (fun seq ev -> Telemetry.Json.to_string (Telemetry.Sink.to_json ~seq ev))
+    events
+
+let validator_accepts_valid () =
+  match Telemetry.Schema.validate_lines (lines_of_events sample_events) with
+  | Ok stats ->
+      check Alcotest.int "lines" (List.length sample_events)
+        stats.Telemetry.Schema.v_lines;
+      check Alcotest.int "spans" 2 stats.Telemetry.Schema.v_spans;
+      check Alcotest.int "faults" 2 stats.Telemetry.Schema.v_faults
+  | Error msgs -> Alcotest.failf "valid artifact rejected: %s" (List.hd msgs)
+
+let validator_rejects_broken () =
+  let open Telemetry.Sink in
+  let run = Run { schema = Telemetry.Schema.version; attrs = [] } in
+  let span ?parent id =
+    Span_start { id; parent; name = "s"; t_us = 0; attrs = [] }
+  in
+  let close id = Span_end { id; t_us = 1; attrs = [] } in
+  let cases =
+    [ ("unclosed span", lines_of_events [ run; span 1 ]);
+      ("duplicate span id", lines_of_events [ run; span 1; span 1; close 1 ]);
+      ("end without start", lines_of_events [ run; close 7 ]);
+      ("missing header", lines_of_events [ span 1; close 1 ]);
+      ( "fault references unknown span",
+        lines_of_events
+          [ run;
+            Fault
+              { t_us = 0; fault_class = "c"; property = "p"; node = 0;
+                detail = "d"; input = None; span_path = [ 99 ] } ] );
+      ("unparseable line", [ "{\"type\":\"run\""; "" ]);
+      ( "seq not increasing",
+        (* Hand-number both lines 0. *)
+        let l = Telemetry.Json.to_string (Telemetry.Sink.to_json ~seq:0 run) in
+        [ l; l ] ) ]
+  in
+  List.iter
+    (fun (what, lines) ->
+      match Telemetry.Schema.validate_lines lines with
+      | Ok _ -> Alcotest.failf "validator accepted artifact with %s" what
+      | Error msgs -> check Alcotest.bool what true (msgs <> []))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Determinism pin: recording must never change what DiCE finds        *)
+(* ------------------------------------------------------------------ *)
+
+let exploration_fingerprint (x : Dice.Explorer.exploration) =
+  ( x.Dice.Explorer.x_inputs,
+    x.Dice.Explorer.x_distinct_paths,
+    x.Dice.Explorer.x_shadow_runs,
+    List.map
+      (fun (f : Dice.Fault.t) ->
+        (Dice.Fault.class_to_string f.Dice.Fault.f_class,
+         f.Dice.Fault.f_property, f.Dice.Fault.f_node))
+      x.Dice.Explorer.x_faults )
+
+let explore_once () =
+  let params =
+    { Topology.Generate.default_params with n_tier1 = 1; n_transit = 2; n_stub = 3 }
+  in
+  let graph = Topology.Generate.generate ~params (Netsim.Rng.create 5) in
+  let build = Topology.Build.deploy graph in
+  Topology.Build.start_all build;
+  assert (Topology.Build.converge build);
+  Dice.Inject.apply build
+    (Dice.Inject.Prefix_hijack { at = 5; victim = 1 });
+  Topology.Build.run_for build (Netsim.Time.span_sec 10.);
+  let gt = Dice.Checks.ground_truth_of_graph graph in
+  let cut =
+    Snapshot.Cut.create
+      ~speakers:(fun id -> Topology.Build.speaker build id)
+      build.Topology.Build.net
+  in
+  let params =
+    { Dice.Explorer.default_params with
+      Dice.Explorer.limits =
+        { Concolic.Engine.max_inputs = 24; max_branches = 32; solver_nodes = 10_000 };
+      fuzz_extra = 6;
+      shadow_budget = 15_000 }
+  in
+  Dice.Explorer.explore_node ~params ~build ~cut ~gt ~node:2 ()
+
+let disabled_sink_changes_nothing () =
+  (* Memoized solver answers could mask divergence; drop them. *)
+  Concolic.Solver.clear_cache ();
+  Telemetry.set_sink Telemetry.Sink.noop;
+  let baseline = exploration_fingerprint (explore_once ()) in
+  Concolic.Solver.clear_cache ();
+  let recorded =
+    with_memory_sink (fun sink ->
+        let fp = exploration_fingerprint (explore_once ()) in
+        check Alcotest.bool "recording actually happened" true
+          (Telemetry.Sink.events sink <> []);
+        fp)
+  in
+  check Alcotest.bool "recording changes no exploration result" true
+    (baseline = recorded)
+
+let suite =
+  [ Alcotest.test_case "histogram: bucket boundaries" `Quick
+      histogram_bucket_boundaries;
+    Alcotest.test_case "histogram: percentile edges p=0 and p=1" `Quick
+      percentile_edges;
+    Alcotest.test_case "histogram: empty distributions are NaN" `Quick
+      percentile_empty_is_nan;
+    Alcotest.test_case "jsonl: every event round-trips" `Quick jsonl_roundtrip;
+    Alcotest.test_case "jsonl: parser rejects garbage" `Quick
+      json_parser_rejects_garbage;
+    Alcotest.test_case "spans: nesting and parents" `Quick span_nesting;
+    Alcotest.test_case "spans: closed with error attr on raise" `Quick
+      span_closes_on_exception;
+    Alcotest.test_case "spans: pool workers keep the causal chain" `Quick
+      spans_seq_eq_par;
+    Alcotest.test_case "validator: accepts a well-formed artifact" `Quick
+      validator_accepts_valid;
+    Alcotest.test_case "validator: rejects broken artifacts" `Quick
+      validator_rejects_broken;
+    Alcotest.test_case "pin: disabled sink changes no exploration results"
+      `Slow disabled_sink_changes_nothing ]
