@@ -51,7 +51,8 @@ let json_escape s =
   Buffer.contents b
 
 let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses
-    ~(orch : Dice.Orchestrator.summary) =
+    ~(orch : Dice.Orchestrator.summary) ~(adv : Dice.Orchestrator.summary)
+    ~adv_counts:(mangled, dropped, duplicated, crashes) =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
@@ -92,13 +93,25 @@ let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses
   add
     "  \"orchestrator\": {\"rounds\": %d, \"ok\": %d, \"degraded\": %d, \
      \"failed\": %d, \"quarantines\": %d, \"leaked_snapshots\": %d, \
-     \"faults\": %d}\n"
+     \"faults\": %d},\n"
     (List.length orch.Dice.Orchestrator.rounds)
     orch.Dice.Orchestrator.ok_rounds orch.Dice.Orchestrator.degraded_rounds
     orch.Dice.Orchestrator.failed_rounds
     (List.length orch.Dice.Orchestrator.quarantines)
     orch.Dice.Orchestrator.leaked_snapshots
     (List.length orch.Dice.Orchestrator.faults);
+  (* Adversarial health: the same deployment under wire-fault injection
+     with a seeded fragile-decode bug.  The trajectory records whether
+     the stack keeps absorbing codec crashes and reporting them as
+     faults instead of failing rounds. *)
+  add
+    "  \"adversary\": {\"rounds\": %d, \"ok\": %d, \"degraded\": %d, \
+     \"failed\": %d, \"mangled\": %d, \"dropped\": %d, \"duplicated\": %d, \
+     \"crashes_absorbed\": %d, \"faults\": %d}\n"
+    (List.length adv.Dice.Orchestrator.rounds)
+    adv.Dice.Orchestrator.ok_rounds adv.Dice.Orchestrator.degraded_rounds
+    adv.Dice.Orchestrator.failed_rounds mangled dropped duplicated crashes
+    (List.length adv.Dice.Orchestrator.faults);
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -168,8 +181,42 @@ let run () =
     orch.Dice.Orchestrator.failed_rounds
     (List.length orch.Dice.Orchestrator.quarantines)
     orch.Dice.Orchestrator.leaked_snapshots;
+  (* Adversarial round: mangle the live wire, seed a fragile decoder,
+     absorb the resulting crashes, and make sure they surface as
+     first-class programming-error faults with zero failed rounds. *)
+  let net = build.Topology.Build.net in
+  Netsim.Network.set_crash_policy net
+    (Netsim.Network.Absorb { restart_after = Some (Netsim.Time.span_sec 2.) });
+  let mangler = Netsim.Mangler.create ~seed:0xAD5E ~rate:0.1 () in
+  Netsim.Mangler.install mangler net;
+  let sp = Topology.Build.speaker build node in
+  sp.Bgp.Speaker.sp_set_bugs
+    { (sp.Bgp.Speaker.sp_bugs ()) with Bgp.Router.fragile_decode = true };
+  let adv_params =
+    { Dice.Explorer.default_params with
+      snapshot_deadline = Some (Netsim.Time.span_sec 30.);
+      mangle_extra = 6;
+      mangle_seed = 0x5EED }
+  in
+  (* Both rounds target the fragile node, and the 20 s inter-round gap
+     spans the 30 s keepalive cadence so live traffic actually crosses
+     the mangled wire. *)
+  let adv =
+    Dice.Orchestrator.run ~params:adv_params
+      ~interval:(Netsim.Time.span_sec 20.) ~nodes:[ node ] ~build ~gt ~rounds:2 ()
+  in
+  Netsim.Mangler.remove net;
+  let ((mangled, dropped, duplicated, _) as _totals) = Netsim.Mangler.totals () in
+  let crashes = List.length (Netsim.Network.crashes net) in
+  Tables.note
+    "adversary: %d mangled / %d dropped / %d duplicated, %d crash(es) absorbed, \
+     %d fault(s), %d failed round(s)\n"
+    mangled dropped duplicated crashes
+    (List.length adv.Dice.Orchestrator.faults)
+    adv.Dice.Orchestrator.failed_rounds;
   Tables.note "collecting micro-benchmark baselines for BENCH.json...\n";
   let micro = Micro.results () in
   write_bench_json ~path:"BENCH.json" ~micro ~runs ~seq_wall:seq.xr_wall
-    ~cache_hits:hits ~cache_misses:misses ~orch;
+    ~cache_hits:hits ~cache_misses:misses ~orch ~adv
+    ~adv_counts:(mangled, dropped, duplicated, crashes);
   Tables.note "wrote BENCH.json\n"

@@ -78,7 +78,33 @@ let start_churn build graph seed rounds =
   Format.printf "%a%!" Netsim.Churn.pp schedule;
   ignore (Netsim.Churn.apply build.Topology.Build.net schedule)
 
-let run topo nodes seed fault rounds churn dot_file telemetry_file report verbose =
+(* Under --adversary: mangle live wire traffic at [rate], absorb (and
+   later restart) routers that die on it, seed a fragile-decode bug on
+   one router so there is a real programming error to surface, and feed
+   the explorer mangled exploration seeds.  At rate 0 the installed
+   mangler draws no randomness and no bug is seeded, so the run is
+   identical to one without --adversary. *)
+let start_adversary build graph seed rate =
+  if rate < 0. || rate > 1. then failwith "mangle rate must be in [0,1]";
+  let net = build.Topology.Build.net in
+  Netsim.Network.set_crash_policy net
+    (Netsim.Network.Absorb { restart_after = Some (Netsim.Time.span_sec 10.) });
+  let m = Netsim.Mangler.create ~seed:(seed lxor 0xAD5E) ~rate () in
+  Netsim.Mangler.install m net;
+  if rate > 0. then begin
+    let ids = Topology.Graph.node_ids graph in
+    let victim = List.nth ids (min 3 (List.length ids - 1)) in
+    let sp = Topology.Build.speaker build victim in
+    sp.Bgp.Speaker.sp_set_bugs
+      { (sp.Bgp.Speaker.sp_bugs ()) with Bgp.Router.fragile_decode = true };
+    Printf.printf
+      "adversary: mangling wire traffic at rate %.3f; seeded fragile-decode bug \
+       at node %d\n%!"
+      rate victim
+  end
+
+let run topo nodes seed fault rounds churn adversary mangle_rate dot_file
+    telemetry_file report verbose =
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -95,17 +121,33 @@ let run topo nodes seed fault rounds churn dot_file telemetry_file report verbos
   let rounds =
     match rounds with Some r -> r | None -> Topology.Graph.size graph
   in
+  if adversary then start_adversary build graph seed mangle_rate;
+  let adversary_on = adversary && mangle_rate > 0. in
   let params =
-    if churn then begin
-      start_churn build graph seed rounds;
+    let base =
+      if churn then begin
+        start_churn build graph seed rounds;
+        Some
+          { Dice.Explorer.default_params with
+            snapshot_deadline = Some (Netsim.Time.span_sec 30.) }
+      end
+      else None
+    in
+    if adversary_on then
+      (* Mangled live traffic can cost the cut a marker (a crashed
+         router drops everything until its restart), so adversarial
+         runs need the deadline too. *)
+      let p = Option.value base ~default:Dice.Explorer.default_params in
       Some
-        { Dice.Explorer.default_params with
-          snapshot_deadline = Some (Netsim.Time.span_sec 30.) }
-    end
-    else None
+        { p with
+          snapshot_deadline = Some (Netsim.Time.span_sec 30.);
+          mangle_extra = 6;
+          mangle_seed = seed lxor 0x5EED }
+    else base
   in
-  Printf.printf "running DiCE for %d exploration rounds%s...\n%!" rounds
-    (if churn then " under churn" else "");
+  Printf.printf "running DiCE for %d exploration rounds%s%s...\n%!" rounds
+    (if churn then " under churn" else "")
+    (if adversary_on then " under adversarial wire faults" else "");
   let explore () = Dice.Orchestrator.run ?params ~build ~gt ~rounds () in
   let summary =
     match telemetry_file with
@@ -123,7 +165,8 @@ let run topo nodes seed fault rounds churn dot_file telemetry_file report verbos
                 ("seed", Telemetry.Json.Int seed);
                 ("fault", Telemetry.Json.String fault);
                 ("rounds", Telemetry.Json.Int rounds);
-                ("churn", Telemetry.Json.Bool churn) ]
+                ("churn", Telemetry.Json.Bool churn);
+                ("adversary", Telemetry.Json.Bool adversary_on) ]
             explore
         in
         Printf.printf "wrote telemetry to %s\n%!" path;
@@ -198,6 +241,24 @@ let churn =
   in
   Arg.(value & flag & info [ "churn" ] ~doc)
 
+let adversary =
+  let doc =
+    "Inject adversarial wire faults while DiCE runs: mangle live BGP \
+     traffic byte-by-byte (bit flips, truncation, length/marker \
+     corruption, duplication, garbage) at --mangle-rate, seed a \
+     fragile-decode bug on one router, absorb-and-restart routers that \
+     die on malformed input, and feed the explorer mangled exploration \
+     seeds.  Composes with --churn and --telemetry."
+  in
+  Arg.(value & flag & info [ "adversary" ] ~doc)
+
+let mangle_rate =
+  let doc =
+    "Per-message probability of a wire fault under --adversary.  At 0 \
+     the run is bit-identical to one without --adversary."
+  in
+  Arg.(value & opt float 0.05 & info [ "mangle-rate" ] ~docv:"RATE" ~doc)
+
 let dot_file =
   let doc = "Write a Graphviz .dot rendering of the annotated topology." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
@@ -234,12 +295,13 @@ let cmd =
       `Pre "  dice_demo -f hijack             # detect a prefix hijack";
       `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel";
       `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash";
+      `Pre "  dice_demo --adversary           # mangle the wire, catch the codec crash";
       `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder" ]
   in
   Cmd.v
     (Cmd.info "dice_demo" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ dot_file
-      $ telemetry_file $ report $ verbose)
+      const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ adversary
+      $ mangle_rate $ dot_file $ telemetry_file $ report $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,102 @@
+(* Standalone differential fuzzer for the BGP wire codec.
+
+   Two corpora per run:
+   - raw random byte strings (envelope fuzzing);
+   - valid encoded messages corrupted by every {!Netsim.Mangler} corpus
+     kind (structured fuzzing: reaches deep attribute parsing that raw
+     bytes almost never frame correctly).
+
+   The contract under test is totality: [Bgp.Wire.decode] must return
+   [Ok] or [Error] on every input — any escaped exception, and any
+   reserved codec-crash error report, is a decoder bug.  Failing
+   buffers are written to a corpus directory (one file each, hex name)
+   and the process exits nonzero so CI can archive them.
+
+   Usage: fuzz_wire [CASES] [SEED] [CORPUS_DIR]
+   Defaults: 10000 cases, seed 1, corpus dir "fuzz-corpus". *)
+
+let hex s =
+  String.concat ""
+    (List.map
+       (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length s) (String.get s)))
+
+let failures : (string * string) list ref = ref []
+
+let record ~why buf = failures := (why, buf) :: !failures
+
+let classify buf =
+  match Bgp.Wire.decode buf with
+  | Ok _ -> ()
+  | Error e when Bgp.Wire.is_codec_crash e ->
+      record ~why:("codec-crash: " ^ e.Bgp.Wire.reason) buf
+  | Error _ -> ()
+  | exception exn -> record ~why:("escaped: " ^ Printexc.to_string exn) buf
+
+let random_bytes rng =
+  let len = Netsim.Rng.int rng 96 in
+  String.init len (fun _ -> Char.chr (Netsim.Rng.int rng 256))
+
+(* A pool of well-formed messages to corrupt: every message type, plus
+   UPDATEs with withdrawn routes, unknown attributes and fat paths. *)
+let seed_messages =
+  let ip = Bgp.Ipv4.of_string_exn in
+  let p = Bgp.Prefix.of_string_exn in
+  let attrs ?unknown path =
+    Bgp.Attr.make ~origin:Bgp.Attr.Igp
+      ~as_path:[ Bgp.As_path.Seq path ]
+      ?unknown ~next_hop:(ip "10.0.0.1") ()
+  in
+  [ Bgp.Msg.Keepalive;
+    Bgp.Msg.Open { version = 4; my_as = 65001; hold_time = 90; bgp_id = ip "10.0.0.1" };
+    Bgp.Msg.Notification { code = 6; subcode = 0; data = "cease" };
+    Bgp.Msg.Update { withdrawn = []; attrs = Some (attrs [ 65001 ]); nlri = [ p "192.0.2.0/24" ] };
+    Bgp.Msg.Update
+      { withdrawn = [ p "198.51.100.0/24" ];
+        attrs = Some (attrs [ 65001; 65002; 65003 ]);
+        nlri = [ p "192.0.2.0/25"; p "192.0.2.128/25" ] };
+    Bgp.Msg.Update
+      { withdrawn = [];
+        attrs =
+          Some
+            (attrs
+               ~unknown:[ { Bgp.Attr.u_type = 99; u_flags = 0xC0; u_value = "\x01\x02" } ]
+               [ 65001 ]);
+        nlri = [ p "203.0.113.0/24" ] };
+    Bgp.Msg.Update { withdrawn = [ p "0.0.0.0/0" ]; attrs = None; nlri = [] } ]
+
+let mangled_case rng =
+  let raw =
+    Bgp.Wire.encode (List.nth seed_messages (Netsim.Rng.int rng (List.length seed_messages)))
+  in
+  let kinds = Netsim.Mangler.corpus_kinds in
+  let kind = List.nth kinds (Netsim.Rng.int rng (List.length kinds)) in
+  Netsim.Mangler.mutate rng kind raw
+
+let () =
+  let arg n default = if Array.length Sys.argv > n then Sys.argv.(n) else default in
+  let cases = int_of_string (arg 1 "10000") in
+  let seed = int_of_string (arg 2 "1") in
+  let corpus_dir = arg 3 "fuzz-corpus" in
+  let rng = Netsim.Rng.create seed in
+  for _ = 1 to cases do
+    classify (random_bytes rng);
+    classify (mangled_case rng)
+  done;
+  match !failures with
+  | [] ->
+      Printf.printf "fuzz_wire: %d raw + %d mangled cases, decode total, 0 failures\n"
+        cases cases
+  | fs ->
+      (try Unix.mkdir corpus_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iteri
+        (fun i (why, buf) ->
+          let path = Filename.concat corpus_dir (Printf.sprintf "fail-%03d.bin" i) in
+          let oc = open_out_bin path in
+          output_string oc buf;
+          close_out oc;
+          Printf.eprintf "fuzz_wire: FAIL %s -> %s (%s)\n" path (hex buf) why)
+        fs;
+      Printf.eprintf "fuzz_wire: %d failing buffer(s) written to %s/\n" (List.length fs)
+        corpus_dir;
+      exit 1

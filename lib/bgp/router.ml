@@ -5,11 +5,12 @@ type bugs = {
   invert_med : bool;
   crash_community : Community.t option;
   prepend_overflow : bool;
+  fragile_decode : bool;
 }
 
 let no_bugs =
   { skip_loop_check = false; invert_med = false; crash_community = None;
-    prepend_overflow = false }
+    prepend_overflow = false; fragile_decode = false }
 
 exception Crash of string
 
@@ -467,17 +468,46 @@ let process_raw t ~from_node raw =
   match Config.find_neighbor t.cfg peer with
   | None -> Netsim.Stats.incr t.stats "rx_unknown_peer"
   | Some n -> (
-      match Wire.decode raw with
-      | Ok msg ->
+      (* A decode that crashed (codec bug) is a programming error, not
+         a protocol error: let it kill the router so the explorer (or
+         the network's crash policy) detects it.  [fragile_decode]
+         seeds the same class of bug artificially — the router dies on
+         any malformed input instead of handling it. *)
+      let crash_check (e : Wire.error) =
+        if Wire.is_codec_crash e then raise (Crash e.Wire.reason);
+        if t.bug_flags.fragile_decode then
+          raise (Crash (Printf.sprintf "fragile decode: %s" e.Wire.reason))
+      in
+      let reject (e : Wire.error) =
+        Netsim.Stats.incr t.stats "rx_malformed";
+        trace t "decode-error" (Format.asprintf "%a" Wire.pp_error e);
+        send_msg t peer
+          (Msg.Notification { code = e.Wire.code; subcode = e.Wire.subcode; data = "" });
+        drive t n Fsm.Manual_stop
+      in
+      match Wire.decode_graceful raw with
+      | Wire.Msg msg ->
           Netsim.Stats.incr t.stats ("rx_" ^ String.lowercase_ascii (Msg.kind msg));
           drive t n (Fsm.Msg_received msg);
           reset_hold_timer t n
-      | Error e ->
-          Netsim.Stats.incr t.stats "rx_malformed";
-          trace t "decode-error" (Format.asprintf "%a" Wire.pp_error e);
-          send_msg t peer
-            (Msg.Notification { code = e.Wire.code; subcode = e.Wire.subcode; data = "" });
-          drive t n Fsm.Manual_stop)
+      | Wire.Treat_as_withdraw { withdrawn; nlri; err } ->
+          crash_check err;
+          if (session t peer).Fsm.state = Fsm.Established then begin
+            (* RFC 7606: the attributes are unusable but the prefixes
+               are known — withdraw them all and keep the session. *)
+            Netsim.Stats.incr t.stats "rx_treat_as_withdraw";
+            trace t "treat-as-withdraw" (Format.asprintf "%a" Wire.pp_error err);
+            process_update t n
+              { Msg.withdrawn = withdrawn @ nlri; attrs = None; nlri = [] };
+            reset_hold_timer t n
+          end
+          else
+            (* An UPDATE outside Established is an FSM violation no
+               matter how its attributes parse. *)
+            reject err
+      | Wire.Reset err ->
+          crash_check err;
+          reject err)
 
 let inject_update t ~from u =
   match Config.find_neighbor t.cfg from with

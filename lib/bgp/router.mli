@@ -26,6 +26,9 @@ type bugs = {
   crash_community : Community.t option;
       (** raise on routes carrying this community (crash bug) *)
   prepend_overflow : bool;  (** 8-bit wraparound of the prepend count *)
+  fragile_decode : bool;
+      (** die ({!Crash}) on any malformed input instead of handling it
+          — the BIRD-style UPDATE-parser crash the paper demonstrates *)
 }
 
 val no_bugs : bugs

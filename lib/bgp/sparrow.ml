@@ -305,17 +305,37 @@ let process_raw t ~from_node raw =
   match peer_of t addr with
   | None -> Netsim.Stats.incr t.stats "rx_unknown_peer"
   | Some p -> (
-      match Wire.decode raw with
-      | Ok msg ->
+      let crash_check (e : Wire.error) =
+        if Wire.is_codec_crash e then raise (Router.Crash e.Wire.reason);
+        if t.bugs.Router.fragile_decode then
+          raise (Router.Crash (Printf.sprintf "fragile decode: %s" e.Wire.reason))
+      in
+      let reject (e : Wire.error) =
+        Netsim.Stats.incr t.stats "rx_malformed";
+        send t addr
+          (Msg.Notification { code = e.Wire.code; subcode = e.Wire.subcode; data = "" });
+        session_down t addr p
+      in
+      match Wire.decode_graceful raw with
+      | Wire.Msg msg ->
           Netsim.Stats.incr t.stats ("rx_" ^ String.lowercase_ascii (Msg.kind msg));
           handle_msg t addr p msg;
           (* Any message from a live peer resets the hold watchdog. *)
           if p.p_phase <> Down then arm_hold t p
-      | Error e ->
-          Netsim.Stats.incr t.stats "rx_malformed";
-          send t addr
-            (Msg.Notification { code = e.Wire.code; subcode = e.Wire.subcode; data = "" });
-          session_down t addr p)
+      | Wire.Treat_as_withdraw { withdrawn; nlri; err } ->
+          crash_check err;
+          if p.p_phase <> Down then begin
+            (* RFC 7606, same as Router: unusable attributes, known
+               prefixes — withdraw them all, keep the session. *)
+            Netsim.Stats.incr t.stats "rx_treat_as_withdraw";
+            handle_update t p
+              { Msg.withdrawn = withdrawn @ nlri; attrs = None; nlri = [] };
+            arm_hold t p
+          end
+          else reject err
+      | Wire.Reset err ->
+          crash_check err;
+          reject err)
 
 let inject_update t ~from u =
   match peer_of t from with

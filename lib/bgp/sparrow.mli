@@ -13,8 +13,9 @@
     - radix tries and per-peer association lists instead of persistent
       maps; its own decision-process implementation;
     - one UPDATE per prefix on the wire (no attribute batching);
-    - supports only the [crash_community] and [skip_loop_check] seeded
-      bugs ({!Router.bugs} flags it does not model are ignored). *)
+    - supports only the [crash_community], [skip_loop_check] and
+      [fragile_decode] seeded bugs ({!Router.bugs} flags it does not
+      model are ignored). *)
 
 type t
 

@@ -361,7 +361,12 @@ let decode_attrs value ~has_nlri =
          ~communities:p.p_communities ~unknown:(List.rev p.p_unknown) ~next_hop ())
   end
 
-let decode_update body =
+(* The UPDATE envelope: withdrawn routes, the raw attribute bytes, and
+   the NLRI.  Failures here mean the affected prefixes cannot be
+   determined, so RFC 7606 mandates a session reset; failures inside
+   the attribute bytes (parsed later) are scoped to this UPDATE's
+   prefixes and are eligible for treat-as-withdraw. *)
+let decode_update_envelope body =
   let code = E.update_message in
   let c = { buf = body; pos = 0; stop = String.length body } in
   let wlen = u16 c ~code ~subcode:E.malformed_attribute_list "withdrawn length" in
@@ -374,6 +379,10 @@ let decode_update body =
   let alen = u16 c ~code ~subcode:E.malformed_attribute_list "attributes length" in
   let abytes = take c alen ~code ~subcode:E.malformed_attribute_list "attributes" in
   let nlri = get_prefixes c ~code ~subcode:E.invalid_network_field in
+  (withdrawn, abytes, nlri)
+
+let decode_update body =
+  let withdrawn, abytes, nlri = decode_update_envelope body in
   let attrs = decode_attrs abytes ~has_nlri:(nlri <> []) in
   Msg.Update { withdrawn; attrs; nlri }
 
@@ -401,28 +410,87 @@ let decode_notification body =
   let data = take c (remaining c) ~code ~subcode:E.bad_length "data" in
   Msg.Notification { code = ecode; subcode; data }
 
+(* Header validation.  Cursor-arithmetic audit: every byte access below
+   and in the body decoders goes through [u8]/[u16]/[u32]/[take], all
+   of which bounds-check via [need] before touching [buf]; [get_prefix]
+   masks its accumulated address to 32 bits before [Ipv4.of_int32_exn];
+   a declared [len] that disagrees with the real buffer length is
+   rejected here before any body decoder runs.  The only failure mode
+   of the strict decoders is therefore [Fail]. *)
+let decode_header buf =
+  let c = { buf; pos = 0; stop = String.length buf } in
+  let code = E.message_header in
+  for _ = 1 to 16 do
+    if u8 c ~code ~subcode:E.bad_marker "marker" <> 0xFF then
+      fail code E.bad_marker "marker byte not 0xFF"
+  done;
+  let len = u16 c ~code ~subcode:E.bad_length "length" in
+  if len <> String.length buf then
+    fail code E.bad_length "length field %d but buffer has %d bytes" len
+      (String.length buf);
+  if len < header_length || len > max_length then
+    fail code E.bad_length "length %d outside [19,4096]" len;
+  let typ = u8 c ~code ~subcode:E.bad_type "type" in
+  let body = take c (remaining c) ~code ~subcode:E.bad_length "body" in
+  (typ, body)
+
+let decode_body typ body =
+  let code = E.message_header in
+  match typ with
+  | 1 -> decode_open body
+  | 2 -> decode_update body
+  | 3 -> decode_notification body
+  | 4 ->
+      if body = "" then Msg.Keepalive
+      else fail code E.bad_length "KEEPALIVE with a body"
+  | t -> fail code E.bad_type "unknown message type %d" t
+
+(* A decoder escaping with anything but [Fail] is a codec bug — the
+   class of programming error DiCE is built to detect.  We convert it
+   into a structured error with the reserved code 0 (no RFC 4271
+   notification code is 0) so callers can classify it, instead of
+   letting it tear down the simulation. *)
+let crash_error exn =
+  { code = 0; subcode = 0; reason = "codec crash: " ^ Printexc.to_string exn }
+
+let is_codec_crash e = e.code = 0
+
+type graceful =
+  | Msg of Msg.t
+  | Treat_as_withdraw of {
+      withdrawn : Prefix.t list;
+      nlri : Prefix.t list;
+      err : error;
+    }
+  | Reset of error
+
+let decode_graceful buf =
+  match decode_header buf with
+  | exception Fail e -> Reset e
+  | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+  | exception e -> Reset (crash_error e)
+  | 2, body -> (
+      (* RFC 7606: errors confined to the path attributes of an UPDATE
+         whose NLRI fields parse are downgraded to treat-as-withdraw;
+         errors in the envelope still reset the session. *)
+      match decode_update_envelope body with
+      | exception Fail e -> Reset e
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e -> Reset (crash_error e)
+      | withdrawn, abytes, nlri -> (
+          match decode_attrs abytes ~has_nlri:(nlri <> []) with
+          | attrs -> Msg (Msg.Update { withdrawn; attrs; nlri })
+          | exception Fail err -> Treat_as_withdraw { withdrawn; nlri; err }
+          | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+          | exception e -> Treat_as_withdraw { withdrawn; nlri; err = crash_error e }))
+  | typ, body -> (
+      match decode_body typ body with
+      | m -> Msg m
+      | exception Fail e -> Reset e
+      | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
+      | exception e -> Reset (crash_error e))
+
 let decode buf =
-  try
-    let c = { buf; pos = 0; stop = String.length buf } in
-    let code = E.message_header in
-    for _ = 1 to 16 do
-      if u8 c ~code ~subcode:E.bad_marker "marker" <> 0xFF then
-        fail code E.bad_marker "marker byte not 0xFF"
-    done;
-    let len = u16 c ~code ~subcode:E.bad_length "length" in
-    if len <> String.length buf then
-      fail code E.bad_length "length field %d but buffer has %d bytes" len
-        (String.length buf);
-    if len < header_length || len > max_length then
-      fail code E.bad_length "length %d outside [19,4096]" len;
-    let typ = u8 c ~code ~subcode:E.bad_type "type" in
-    let body = take c (remaining c) ~code ~subcode:E.bad_length "body" in
-    match typ with
-    | 1 -> Ok (decode_open body)
-    | 2 -> Ok (decode_update body)
-    | 3 -> Ok (decode_notification body)
-    | 4 ->
-        if body = "" then Ok Msg.Keepalive
-        else fail code E.bad_length "KEEPALIVE with a body"
-    | t -> fail code E.bad_type "unknown message type %d" t
-  with Fail e -> Error e
+  match decode_graceful buf with
+  | Msg m -> Ok m
+  | Treat_as_withdraw { err; _ } | Reset err -> Error err

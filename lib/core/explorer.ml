@@ -1,6 +1,8 @@
 type params = {
   limits : Concolic.Engine.limits;
   fuzz_extra : int;
+  mangle_extra : int;
+  mangle_seed : int;
   peers_per_node : int;
   shadow_budget : int;
   check_convergence : bool;
@@ -12,6 +14,8 @@ let default_params =
   { limits =
       { Concolic.Engine.max_inputs = 48; max_branches = 48; solver_nodes = 20_000 };
     fuzz_extra = 12;
+    mangle_extra = 0;
+    mangle_seed = 0;
     peers_per_node = 1;
     shadow_budget = 30_000;
     check_convergence = true;
@@ -27,6 +31,7 @@ type exploration = {
   x_digests : Privacy.digest list;
   x_inputs : int;
   x_shadow_runs : int;
+  x_mangled : int;
   x_distinct_paths : int;
   x_crashes : int;
   x_snapshot_span : Netsim.Time.span;
@@ -85,7 +90,7 @@ let bugs_of_build build =
     | Some bugs -> bugs
     | None -> Bgp.Router.no_bugs
 
-let verdicts_to_results ~self ~now ?input ~checker_class verdicts =
+let verdicts_to_results ~self ~now ?input ~checker_class verdicts : Fault.t list * Privacy.digest list =
   List.fold_left
     (fun (faults, digests) (v : Checks.verdict) ->
       if v.Checks.v_node = self then
@@ -133,16 +138,17 @@ let baseline_results ~params ~bugs_of ~baseline ~snapshot ~node ~now =
           (faults_acc @ List.rev faults, digests_acc @ List.rev digests))
         ([], []) checkers
 
-(* Replay one derived input over its own fresh clone and run the
+(* Replay one raw byte string over its own fresh clone and run the
    per-input property checkers.  Self-contained and free of shared
    mutable state, so it is the unit of parallelism: the shadow owns its
    engine, network and speakers, and everything reachable from
-   [snapshot] / [view] / [per_input] is immutable. *)
-let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~now
-    input =
+   [snapshot] / [per_input] is immutable.  [crash_property] classifies
+   a [Crash] escaping the shadow: "handler-crash" for concretized
+   concolic inputs, "codec-crash" for mangled wire bytes. *)
+let replay_raw ~params ~bugs_of ~per_input ~snapshot ~node ~peer_addr ~now ?input
+    ~crash_property raw =
   Telemetry.with_span "shadow_replay" (fun _sp ->
   let t0 = Unix.gettimeofday () in
-  let raw = Sym_handler.concretize view input in
   let shadow = Snapshot.Store.spawn ~bugs_of snapshot in
   let target = Snapshot.Store.speaker shadow node in
   let crash_faults =
@@ -152,7 +158,7 @@ let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~n
     with
     | () -> []
     | exception Bgp.Router.Crash detail ->
-        [ Fault.make ~input ~at:now ~node ~property:"handler-crash"
+        [ Fault.make ?input ~at:now ~node ~property:crash_property
             Fault.Programming_error detail ]
   in
   (* Observe system-wide consequences. *)
@@ -175,18 +181,25 @@ let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~n
     List.fold_left
       (fun (faults_acc, digests_acc) (cls, v) ->
         let faults, digests =
-          verdicts_to_results ~self:node ~now ~input ~checker_class:cls [ v ]
+          verdicts_to_results ~self:node ~now ?input ~checker_class:cls [ v ]
         in
         (faults_acc @ faults, digests_acc @ digests))
       (crash_faults, []) verdicts
   in
   (faults, digests, Unix.gettimeofday () -. t0))
 
+let replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~now
+    input =
+  replay_raw ~params ~bugs_of ~per_input ~snapshot ~node ~peer_addr ~now ~input
+    ~crash_property:"handler-crash"
+    (Sym_handler.concretize view input)
+
 type peer_result = {
   pr_faults : Fault.t list;  (* deduped, canonical input order *)
   pr_digests : Privacy.digest list;
   pr_result : Sym_handler.outcome Concolic.Engine.result;
   pr_shadow_runs : int;
+  pr_mangled : int;
   pr_work_seconds : float;  (* summed task time, incl. concolic derivation *)
 }
 
@@ -236,8 +249,38 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
   let per_input =
     List.filter (fun (c : Checks.checker) -> c.Checks.scope = Checks.Per_input) suite
   in
-  let replay =
-    replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr ~now
+  (* Mangled exploration seeds: concretize derived inputs to wire bytes
+     and corrupt them with the adversary's byte-level corpus, cycling
+     through the fault kinds so each one is exercised.  Deterministic:
+     the stream is keyed only by [mangle_seed], the node and the peer. *)
+  let mangled =
+    if params.mangle_extra <= 0 || inputs = [] then []
+    else begin
+      let mrng =
+        Netsim.Rng.create
+          (params.mangle_seed
+          lxor (node * 0x9E3779B1)
+          lxor Bgp.Ipv4.to_int peer_addr)
+      in
+      let kinds = Array.of_list Netsim.Mangler.corpus_kinds in
+      let base = Array.of_list inputs in
+      List.init params.mangle_extra (fun i ->
+          let kind = kinds.(i mod Array.length kinds) in
+          let input = base.(i mod Array.length base) in
+          let raw = Sym_handler.concretize view input in
+          Netsim.Mangler.mutate mrng kind raw)
+    end
+  in
+  let tasks =
+    List.map (fun i -> `Input i) inputs @ List.map (fun raw -> `Mangled raw) mangled
+  in
+  let replay = function
+    | `Input input ->
+        replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node ~peer_addr
+          ~now input
+    | `Mangled raw ->
+        replay_raw ~params ~bugs_of ~per_input ~snapshot ~node ~peer_addr ~now
+          ~crash_property:"codec-crash" raw
   in
   let replayed =
     match pool with
@@ -247,9 +290,9 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
            so its shadow_replay spans and faults keep their parent. *)
         let path = Telemetry.span_path () in
         Parallel.Pool.map_list p
-          (fun input -> Telemetry.with_path path (fun () -> replay input))
-          inputs
-    | Some _ | None -> List.map replay inputs
+          (fun task -> Telemetry.with_path path (fun () -> replay task))
+          tasks
+    | Some _ | None -> List.map replay tasks
   in
   let faults =
     crash_faults @ List.concat_map (fun (faults, _, _) -> faults) replayed
@@ -260,17 +303,20 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
   in
   Telemetry.add_attr sp
     [ ("inputs", Telemetry.Json.Int (List.length inputs));
+      ("mangled", Telemetry.Json.Int (List.length mangled));
       ("paths", Telemetry.Json.Int result.Concolic.Engine.distinct_paths) ];
   { pr_faults = Fault.dedupe faults;
     pr_digests = digests;
     pr_result = result;
-    pr_shadow_runs = List.length inputs;
+    pr_shadow_runs = List.length tasks;
+    pr_mangled = List.length mangled;
     pr_work_seconds = work })
 
 (* Exploration-level accounting; the per-round story lives in spans,
    these registry totals feed the end-of-run report and BENCH.json. *)
 let m_inputs = lazy (Telemetry.Metrics.counter "explorer.inputs")
 let m_shadow_runs = lazy (Telemetry.Metrics.counter "explorer.shadow_runs")
+let m_mangled = lazy (Telemetry.Metrics.counter "explorer.mangled_inputs")
 let m_crashes = lazy (Telemetry.Metrics.counter "explorer.crashes")
 let m_faults = lazy (Telemetry.Metrics.counter "explorer.faults")
 let m_snapshot_span =
@@ -332,12 +378,14 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
     let paths = sum (fun pr -> pr.pr_result.Concolic.Engine.distinct_paths) in
     let crashes = sum (fun pr -> List.length pr.pr_result.Concolic.Engine.crashes) in
     let shadows = sum (fun pr -> pr.pr_shadow_runs) in
+    let mangled = sum (fun pr -> pr.pr_mangled) in
     let work =
       List.fold_left (fun acc pr -> acc +. pr.pr_work_seconds) 0. merged
     in
     let deduped = Fault.dedupe faults in
     Telemetry.Metrics.add (Lazy.force m_inputs) inputs;
     Telemetry.Metrics.add (Lazy.force m_shadow_runs) shadows;
+    Telemetry.Metrics.add (Lazy.force m_mangled) mangled;
     Telemetry.Metrics.add (Lazy.force m_crashes) crashes;
     Telemetry.Metrics.add (Lazy.force m_faults) (List.length deduped);
     Telemetry.Histogram.observe
@@ -355,6 +403,7 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
       x_digests = digests;
       x_inputs = inputs;
       x_shadow_runs = shadows;
+      x_mangled = mangled;
       x_distinct_paths = paths;
       x_crashes = crashes;
       x_snapshot_span = span;
@@ -377,6 +426,7 @@ let pp_exploration ppf x =
     "@[<v>node %d: %d inputs, %d paths, %d shadow runs, %d crashes, snapshot %dus, %.2fs wall"
     x.x_node x.x_inputs x.x_distinct_paths x.x_shadow_runs x.x_crashes
     x.x_snapshot_span x.x_wall_seconds;
+  if x.x_mangled > 0 then Format.fprintf ppf " (%d mangled)" x.x_mangled;
   if x.x_partial then begin
     let nodes, chans = coverage x in
     Format.fprintf ppf

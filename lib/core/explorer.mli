@@ -16,6 +16,12 @@
 type params = {
   limits : Concolic.Engine.limits;
   fuzz_extra : int;  (** grammar-fuzzed inputs on top of concolic ones *)
+  mangle_extra : int;
+      (** byte-level mangled wire inputs on top of everything else:
+          derived inputs are concretized and corrupted with the
+          {!Netsim.Mangler} corpus, exercising the codec's error paths
+          and surfacing decode crashes; 0 (the default) adds none *)
+  mangle_seed : int;  (** seed for the mangled-input streams *)
   peers_per_node : int;  (** explore the first k sessions of the node *)
   shadow_budget : int;  (** event budget per shadow run *)
   check_convergence : bool;
@@ -40,6 +46,7 @@ type exploration = {
   x_digests : Privacy.digest list;  (** remote check results *)
   x_inputs : int;  (** concolic executions of the instrumented handler *)
   x_shadow_runs : int;  (** clones subjected to inputs *)
+  x_mangled : int;  (** of which mangled wire-byte inputs *)
   x_distinct_paths : int;
   x_crashes : int;
   x_snapshot_span : Netsim.Time.span;  (** sim time to collect the cut *)

@@ -52,29 +52,45 @@ type summary = {
   leaked_snapshots : int;
 }
 
-let summarize ?(quarantines = []) ?(leaked_snapshots = 0) rounds =
+let summarize ?(quarantines = []) ?(leaked_snapshots = 0) ?(live_faults = []) rounds =
   let explorations = List.filter_map round_exploration rounds in
   let faults =
-    Fault.dedupe (List.concat_map (fun x -> x.Explorer.x_faults) explorations)
+    Fault.dedupe
+      (live_faults @ List.concat_map (fun x -> x.Explorer.x_faults) explorations)
   in
   (* Earliest detection per class: minimum [f_detected_at] across every
      fault of every round (not first-in-list-order). *)
   let first_detection =
+    let consider ~round acc (f : Fault.t) =
+      let cls = f.Fault.f_class in
+      match List.assoc_opt cls acc with
+      | Some (t, _) when Netsim.Time.(t <= f.Fault.f_detected_at) -> acc
+      | Some _ | None ->
+          (cls, (f.Fault.f_detected_at, round)) :: List.remove_assoc cls acc
+    in
+    (* A live fault (e.g. a router dying on mangled traffic) happens
+       between explorations; attribute it to the round in progress at
+       its detection time. *)
+    let round_of_time at =
+      let n =
+        List.fold_left
+          (fun n r ->
+            if Netsim.Time.(r.rd_started_at <= at) then max n (r.rd_index + 1) else n)
+          0 rounds
+      in
+      max 1 n
+    in
     List.fold_left
       (fun acc r ->
         match round_exploration r with
         | None -> acc
-        | Some x ->
-            List.fold_left
-              (fun acc (f : Fault.t) ->
-                let cls = f.Fault.f_class in
-                match List.assoc_opt cls acc with
-                | Some (t, _) when Netsim.Time.(t <= f.Fault.f_detected_at) -> acc
-                | Some _ | None ->
-                    (cls, (f.Fault.f_detected_at, r.rd_index + 1))
-                    :: List.remove_assoc cls acc)
-              acc x.Explorer.x_faults)
+        | Some x -> List.fold_left (consider ~round:(r.rd_index + 1)) acc x.Explorer.x_faults)
       [] rounds
+    |> fun acc ->
+    List.fold_left
+      (fun acc (f : Fault.t) ->
+        consider ~round:(round_of_time f.Fault.f_detected_at) acc f)
+      acc live_faults
     |> List.map (fun (c, (t, n)) -> (c, t, n))
     |> List.sort (fun (_, t1, _) (_, t2, _) -> Netsim.Time.compare t1 t2)
   in
@@ -99,6 +115,18 @@ let make_cut build =
   Snapshot.Cut.create
     ~speakers:(fun id -> Topology.Build.speaker build id)
     build.Topology.Build.net
+
+(* A router that died on live traffic (e.g. mangled bytes) and was
+   absorbed by the network's crash policy is a first-class
+   programming-error detection, not an infrastructure hiccup. *)
+let live_crash_faults build =
+  List.map
+    (fun (c : Netsim.Network.crash) ->
+      Fault.make ~at:c.Netsim.Network.cr_at ~node:c.Netsim.Network.cr_node
+        ~property:"node-crash" Fault.Programming_error
+        (Printf.sprintf "handler died on message from node %d: %s"
+           c.Netsim.Network.cr_src c.Netsim.Network.cr_exn))
+    (Netsim.Network.crashes build.Topology.Build.net)
 
 let m_rounds_ok = lazy (Telemetry.Metrics.counter "orchestrator.rounds_ok")
 let m_rounds_degraded = lazy (Telemetry.Metrics.counter "orchestrator.rounds_degraded")
@@ -240,7 +268,8 @@ let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
   in
   Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
   summarize ~quarantines:(List.rev sched.s_events)
-    ~leaked_snapshots:(Snapshot.Cut.active cut) result
+    ~leaked_snapshots:(Snapshot.Cut.active cut)
+    ~live_faults:(live_crash_faults build) result
 
 let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
     ?(supervisor = default_supervisor) ?max_rounds ~build ~gt ~expect () =
@@ -252,8 +281,10 @@ let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nod
   let finish acc =
     Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
     summarize ~quarantines:(List.rev sched.s_events)
-      ~leaked_snapshots:(Snapshot.Cut.active cut) acc
+      ~leaked_snapshots:(Snapshot.Cut.active cut)
+      ~live_faults:(live_crash_faults build) acc
   in
+  let crashes_seen = ref (List.length (Netsim.Network.crashes build.Topology.Build.net)) in
   let rec go i acc =
     if i >= max_rounds then (finish (List.rev acc), None)
     else begin
@@ -271,7 +302,15 @@ let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nod
               x.Explorer.x_faults
         | None -> false
       in
-      if hit then (finish (List.rev (round :: acc)), Some round)
+      (* A live crash absorbed during this round also counts as a
+         detection of the programming-error class. *)
+      let hit_live =
+        let n = List.length (Netsim.Network.crashes build.Topology.Build.net) in
+        let grew = n > !crashes_seen in
+        crashes_seen := n;
+        grew && expect = Fault.Programming_error
+      in
+      if hit || hit_live then (finish (List.rev (round :: acc)), Some round)
       else go (i + 1) (round :: acc)
     end
   in
@@ -293,6 +332,18 @@ let pp_summary ppf s =
      Format.fprintf ppf "solver cache: %d/%d hits (%.0f%%)@ "
        st.Concolic.Solver.cache_hits solves
        (100. *. float_of_int st.Concolic.Solver.cache_hits /. float_of_int solves));
+  (let mangled, dropped, duplicated, _passed = Netsim.Mangler.totals () in
+   if mangled + dropped + duplicated > 0 then begin
+     Format.fprintf ppf "adversary: %d message(s) mangled, %d dropped, %d duplicated"
+       mangled dropped duplicated;
+     (match Netsim.Mangler.kind_counts () with
+     | [] -> ()
+     | kinds ->
+         Format.fprintf ppf " (%s)"
+           (String.concat ", "
+              (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) kinds)));
+     Format.fprintf ppf "@ "
+   end);
   List.iter
     (fun q ->
       Format.fprintf ppf "quarantined node %d after round %d (until round %d)@ "

@@ -13,7 +13,10 @@
     about [1 - (1 - loss) ^ max_retries]; configured loss beyond that is
     understated.  With the default [max_retries = 8], a [loss] of 0.5
     is truncated with probability [0.5^8 ≈ 0.4%]; raise [max_retries]
-    when simulating very lossy links whose tail delays matter.
+    when simulating very lossy links whose tail delays matter.  Every
+    truncated streak bumps the registry counter
+    [link.retransmit_cap_hits], so the understatement is observable per
+    run.
 
     Actual unavailability (messages that never arrive) is modelled one
     level up, by {!Network.set_link_down} / {!Network.set_node_down}. *)

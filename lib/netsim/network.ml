@@ -4,6 +4,15 @@ type 'msg envelope = Data of 'msg | Control of control
 
 type link_policy = Drop_while_down | Queue_while_down
 
+type crash_policy = Propagate | Absorb of { restart_after : Time.span option }
+
+type crash = {
+  cr_node : int;
+  cr_src : int;
+  cr_at : Time.t;
+  cr_exn : string;
+}
+
 type 'msg channel = {
   link : Link.t;
   chan_rng : Rng.t;
@@ -31,6 +40,7 @@ type net_metrics = {
   nm_dropped : Telemetry.Metrics.counter;
   nm_node_downs : Telemetry.Metrics.counter;
   nm_link_downs : Telemetry.Metrics.counter;
+  nm_handler_crashes : Telemetry.Metrics.counter;
   nm_node_downtime : Telemetry.Histogram.t;
   nm_link_downtime : Telemetry.Histogram.t;
 }
@@ -45,6 +55,7 @@ let net_metrics label =
     nm_dropped = Telemetry.Metrics.counter (name "dropped");
     nm_node_downs = Telemetry.Metrics.counter (name "node_downs");
     nm_link_downs = Telemetry.Metrics.counter (name "link_downs");
+    nm_handler_crashes = Telemetry.Metrics.counter (name "handler_crashes");
     nm_node_downtime =
       Telemetry.Metrics.histogram ~buckets:downtime_buckets (name "node_downtime_us");
     nm_link_downtime =
@@ -59,6 +70,9 @@ type 'msg t = {
   net_rng : Rng.t;
   mutable control_handler : self:int -> src:int -> control -> unit;
   mutable tap : (dst:int -> src:int -> 'msg -> unit) option;
+  mutable transform : (src:int -> dst:int -> 'msg -> 'msg list) option;
+  mutable crash_policy : crash_policy;
+  mutable crash_log : crash list;  (* newest first *)
   mutable sent : int;
   mutable delivered : int;
   mutable flying : int;
@@ -75,6 +89,9 @@ let create ?trace ?label eng =
     net_rng = Rng.split (Engine.rng eng);
     control_handler = (fun ~self:_ ~src:_ _ -> ());
     tap = None;
+    transform = None;
+    crash_policy = Propagate;
+    crash_log = [];
     sent = 0;
     delivered = 0;
     flying = 0;
@@ -187,13 +204,35 @@ let deliver t ~src ~dst env =
   else
     match env with
     | Control c -> t.control_handler ~self:dst ~src c
-    | Data m ->
+    | Data m -> (
         t.delivered <- t.delivered + 1;
         bump t (fun mt -> Telemetry.Metrics.incr mt.nm_delivered);
         (match t.tap with Some f -> f ~dst ~src m | None -> ());
         emit_lazy ~level:Trace.Debug t ~node:dst ~kind:"deliver" (fun () ->
             Printf.sprintf "from %d" src);
-        dst_node.handler ~src m
+        match t.crash_policy with
+        | Propagate -> dst_node.handler ~src m
+        | Absorb { restart_after } -> (
+            try dst_node.handler ~src m with
+            | (Stack_overflow | Out_of_memory) as e -> raise e
+            | e ->
+                (* The node died processing input: record it as a
+                   first-class event, take the node down (its timers
+                   keep firing but it is silent, like a crashed
+                   process), and optionally respawn it. *)
+                let detail = Printexc.to_string e in
+                t.crash_log <-
+                  { cr_node = dst; cr_src = src; cr_at = Engine.now t.eng;
+                    cr_exn = detail }
+                  :: t.crash_log;
+                bump t (fun mt -> Telemetry.Metrics.incr mt.nm_handler_crashes);
+                emit t ~node:dst ~kind:"crash"
+                  (Printf.sprintf "handler died on message from %d: %s" src detail);
+                set_node_down t dst;
+                match restart_after with
+                | Some d ->
+                    ignore (Engine.schedule t.eng ~after:d (fun () -> set_node_up t dst))
+                | None -> ()))
 
 let schedule_delivery t ~src ~dst ch env =
   let now = Engine.now t.eng in
@@ -282,12 +321,20 @@ let send t ~src ~dst msg =
   bump t (fun m -> Telemetry.Metrics.incr m.nm_sent);
   emit_lazy ~level:Trace.Debug t ~node:src ~kind:"send" (fun () ->
       Printf.sprintf "to %d" dst);
-  transmit t ~src ~dst (Data msg)
+  (* The wire transform only sees application data — control markers
+     belong to the snapshot algorithm and must stay intact. *)
+  match t.transform with
+  | None -> transmit t ~src ~dst (Data msg)
+  | Some f -> List.iter (fun m -> transmit t ~src ~dst (Data m)) (f ~src ~dst msg)
 
 let send_control t ~src ~dst c = transmit t ~src ~dst (Control c)
 
 let set_control_handler t f = t.control_handler <- f
 let set_delivery_tap t tap = t.tap <- tap
+let set_transform t f = t.transform <- f
+let set_crash_policy t p = t.crash_policy <- p
+let crash_policy t = t.crash_policy
+let crashes t = List.rev t.crash_log
 
 let nodes t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.node_tbl [] |> List.sort Int.compare

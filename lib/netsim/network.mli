@@ -28,6 +28,26 @@ type link_policy =
       (** traffic is held back and redelivered, in order, when the link
           comes back up *)
 
+(** What happens when a destination handler raises during delivery. *)
+type crash_policy =
+  | Propagate
+      (** the exception escapes through the engine to the caller
+          (default — a handler bug aborts the simulation run) *)
+  | Absorb of { restart_after : Time.span option }
+      (** the exception is caught: the crash is recorded (see
+          {!crashes}), the node is taken down as if it had churned, and
+          — when [restart_after] is set — brought back up that much
+          later.  [Stack_overflow] and [Out_of_memory] always
+          propagate. *)
+
+(** One absorbed handler death. *)
+type crash = {
+  cr_node : int;  (** the node whose handler raised *)
+  cr_src : int;  (** sender of the fatal message *)
+  cr_at : Time.t;
+  cr_exn : string;  (** [Printexc.to_string] of the exception *)
+}
+
 type 'msg t
 
 (** [create ?trace ?label eng] builds an empty network.
@@ -62,6 +82,22 @@ val send_control : 'msg t -> src:int -> dst:int -> control -> unit
 
 val set_control_handler : 'msg t -> (self:int -> src:int -> control -> unit) -> unit
 val set_delivery_tap : 'msg t -> (dst:int -> src:int -> 'msg -> unit) option -> unit
+
+val set_transform : 'msg t -> (src:int -> dst:int -> 'msg -> 'msg list) option -> unit
+(** Install (or clear) a wire transform applied by {!send} before a
+    data message enters the channel: the message is replaced by the
+    returned list — [[]] drops it, two elements duplicate it, and a
+    mutated singleton corrupts it.  Control markers are never
+    transformed.  See {!Mangler} for a declarative, deterministically
+    seeded fault-injection transform. *)
+
+val set_crash_policy : 'msg t -> crash_policy -> unit
+(** Default {!Propagate}. *)
+
+val crash_policy : 'msg t -> crash_policy
+
+val crashes : 'msg t -> crash list
+(** Handler deaths absorbed so far, oldest first. *)
 
 (** {1 Failure injection} *)
 

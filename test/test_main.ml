@@ -17,5 +17,6 @@ let () =
       ("dice", Test_dice.suite);
       ("parallel", Test_parallel.suite);
       ("churn", Test_churn.suite);
+      ("mangler", Test_mangler.suite);
       ("misc", Test_misc.suite);
       ("telemetry", Test_telemetry.suite) ]

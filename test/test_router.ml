@@ -136,11 +136,10 @@ let loop_prevention () =
         (Bgp.Router.loc_rib r))
     routers
 
-let malformed_input_resets_session () =
-  let eng, net, routers = chain 2 in
-  ignore net;
-  let r1 = List.nth routers 1 in
-  (* Corrupt UPDATE delivered to r1 from node 0: NOTIFICATION + reset. *)
+(* A corrupted UPDATE that still frames correctly.  The bad byte is the
+   ORIGIN value (offset 26 = 19 header + 2 withdrawn-len + 2 attr-len +
+   flags/type/len), a path-attribute error: RFC 7606 semantics. *)
+let corrupt_origin_update () =
   let attrs =
     Bgp.Attr.make ~origin:Bgp.Attr.Igp
       ~as_path:[ Bgp.As_path.Seq [ 1000 ] ]
@@ -148,16 +147,49 @@ let malformed_input_resets_session () =
   in
   let raw =
     Bgp.Wire.encode
-      (Bgp.Msg.Update { withdrawn = []; attrs = Some attrs; nlri = [ p "203.0.113.0/24" ] })
+      (Bgp.Msg.Update
+         { withdrawn = []; attrs = Some attrs; nlri = [ p "192.0.0.0/24" ] })
   in
   let b = Bytes.of_string raw in
   Bytes.set b 26 '\xee' (* invalid ORIGIN *);
+  Bytes.to_string b
+
+let malformed_update_treated_as_withdraw () =
+  let eng, net, routers = chain 2 in
+  ignore net;
+  let r1 = List.nth routers 1 in
+  (* r1 learned 192.0.0.0/24 from node 0 during convergence. *)
+  Alcotest.(check bool) "prefix learned" true
+    (Bgp.Prefix.Map.mem (p "192.0.0.0/24") (Bgp.Router.loc_rib r1));
+  Bgp.Router.process_raw r1 ~from_node:0 (corrupt_origin_update ());
+  (* Attribute error on an Established session: withdraw the NLRI,
+     count it, keep the session up (treat-as-withdraw). *)
+  check (Alcotest.option (Alcotest.testable Bgp.Fsm.pp_state ( = )))
+    "session stays Established" (Some Bgp.Fsm.Established)
+    (Bgp.Router.session_state r1 (Bgp.Router.addr_of_node 0));
+  check Alcotest.int "treat-as-withdraw counted" 1
+    (Netsim.Stats.get (Bgp.Router.stats r1) "rx_treat_as_withdraw");
+  check Alcotest.int "not counted as malformed" 0
+    (Netsim.Stats.get (Bgp.Router.stats r1) "rx_malformed");
+  Alcotest.(check bool) "affected prefix withdrawn" false
+    (Bgp.Prefix.Map.mem (p "192.0.0.0/24") (Bgp.Router.loc_rib r1));
+  ignore eng
+
+let corrupt_header_resets_session () =
+  let eng, net, routers = chain 2 in
+  ignore net;
+  let r1 = List.nth routers 1 in
+  (* Header corruption is not recoverable: NOTIFICATION + reset. *)
+  let b = Bytes.of_string (corrupt_origin_update ()) in
+  Bytes.set b 0 '\x00' (* break the marker *);
   Bgp.Router.process_raw r1 ~from_node:0 (Bytes.to_string b);
   check (Alcotest.option (Alcotest.testable Bgp.Fsm.pp_state ( = )))
     "session reset to Idle" (Some Bgp.Fsm.Idle)
     (Bgp.Router.session_state r1 (Bgp.Router.addr_of_node 0));
   check Alcotest.int "malformed counted" 1
     (Netsim.Stats.get (Bgp.Router.stats r1) "rx_malformed");
+  check Alcotest.int "no treat-as-withdraw" 0
+    (Netsim.Stats.get (Bgp.Router.stats r1) "rx_treat_as_withdraw");
   ignore eng
 
 let state_is_persistent () =
@@ -241,7 +273,8 @@ let suite =
     ("router: auto restart", `Quick, session_restarts_automatically);
     ("router: no-export respected", `Quick, no_export_respected);
     ("router: loop prevention", `Quick, loop_prevention);
-    ("router: malformed input resets session", `Quick, malformed_input_resets_session);
+    ("router: malformed attrs treated as withdraw", `Quick, malformed_update_treated_as_withdraw);
+    ("router: corrupt header resets session", `Quick, corrupt_header_resets_session);
     ("router: state is persistent", `Quick, state_is_persistent);
     ("router: hold timer reaps dead peer", `Quick, hold_timer_tears_down_dead_peer);
     ("router: dead peer recovers", `Quick, dead_peer_recovers);

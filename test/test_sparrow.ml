@@ -60,12 +60,9 @@ let mixed_demo27_converges () =
     (Topology.Build.converge build);
   check Alcotest.int "full reachability" (27 * 27) (Topology.Build.total_loc_routes build)
 
-let sparrow_rejects_malformed () =
-  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 2 in
-  assert (Topology.Build.converge build);
-  let sp1 = Topology.Build.speaker build 1 in
-  (* Corrupted UPDATE: Sparrow must answer with a NOTIFICATION and drop
-     the session, like the reference implementation. *)
+(* A corrupted UPDATE that still frames correctly: the bad byte is the
+   ORIGIN value, a path-attribute error (RFC 7606 territory). *)
+let corrupt_origin_update () =
   let attrs =
     Bgp.Attr.make ~origin:Bgp.Attr.Igp
       ~as_path:[ Bgp.As_path.Seq [ Topology.Gao_rexford.asn_of_node 0 ] ]
@@ -77,6 +74,30 @@ let sparrow_rejects_malformed () =
   in
   let b = Bytes.of_string raw in
   Bytes.set b 26 '\xee';
+  Bytes.to_string b
+
+let sparrow_treats_malformed_as_withdraw () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 2 in
+  assert (Topology.Build.converge build);
+  let sp1 = Topology.Build.speaker build 1 in
+  (* Attribute error on a live session: Sparrow must withdraw the NLRI
+     and keep the session, like the reference implementation. *)
+  sp1.Bgp.Speaker.sp_process_raw ~from_node:0 (corrupt_origin_update ());
+  check Alcotest.int "treat-as-withdraw counted" 1
+    (Netsim.Stats.get (sp1.Bgp.Speaker.sp_stats ()) "rx_treat_as_withdraw");
+  check Alcotest.int "not counted as malformed" 0
+    (Netsim.Stats.get (sp1.Bgp.Speaker.sp_stats ()) "rx_malformed");
+  check (Alcotest.list Alcotest.int) "session survives" [ 0 ]
+    (List.map Bgp.Router.node_of_addr (sp1.Bgp.Speaker.sp_established ()))
+
+let sparrow_corrupt_header_drops_session () =
+  let _, build = deploy_line ~sparrow_nodes:[ 1 ] 2 in
+  assert (Topology.Build.converge build);
+  let sp1 = Topology.Build.speaker build 1 in
+  (* Header corruption cannot be localized to an attribute: Sparrow
+     answers with a NOTIFICATION and drops the session. *)
+  let b = Bytes.of_string (corrupt_origin_update ()) in
+  Bytes.set b 0 '\x00' (* break the marker *);
   sp1.Bgp.Speaker.sp_process_raw ~from_node:0 (Bytes.to_string b);
   check Alcotest.int "malformed counted" 1
     (Netsim.Stats.get (sp1.Bgp.Speaker.sp_stats ()) "rx_malformed");
@@ -300,7 +321,8 @@ let suite =
     ("mixed: chain converges", `Quick, mixed_chain_converges);
     ("mixed: withdrawal crosses implementations", `Quick, mixed_withdrawal_propagates);
     ("mixed: 27-AS demo converges", `Slow, mixed_demo27_converges);
-    ("sparrow: rejects malformed input", `Quick, sparrow_rejects_malformed);
+    ("sparrow: malformed attrs treated as withdraw", `Quick, sparrow_treats_malformed_as_withdraw);
+    ("sparrow: corrupt header drops session", `Quick, sparrow_corrupt_header_drops_session);
     ("sparrow: capture/respawn", `Quick, sparrow_capture_respawn);
     ("mixed: checks clean when healthy", `Slow, sparrow_decision_matches_spec);
     ("mixed: shadows preserve implementations", `Quick, heterogeneous_shadow_preserves_impls);

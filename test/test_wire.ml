@@ -241,10 +241,61 @@ let roundtrip_prop =
       | Error _ -> false)
 
 let decode_never_crashes =
-  QCheck.Test.make ~name:"wire: decode never raises on fuzz bytes" ~count:1000
-    QCheck.(string_of_size (QCheck.Gen.int_bound 64))
+  QCheck.Test.make ~name:"wire: decode never raises on fuzz bytes" ~count:10_000
+    QCheck.(string_of_size (QCheck.Gen.int_bound 128))
     (fun s ->
       match Bgp.Wire.decode s with Ok _ | Error _ -> true)
+
+(* Mangled valid messages: run every corpus fault kind over random
+   well-formed UPDATEs.  Decode must stay total and must never report
+   the reserved codec-crash error — that code only exists for decoder
+   bugs caught at the boundary. *)
+let mangled_corpus_graceful =
+  QCheck.Test.make
+    ~name:"wire: mangled valid messages decode gracefully" ~count:2_000
+    QCheck.(pair arb_update (int_bound 0xFFFF))
+    (fun (u, seed) ->
+      let raw = Bgp.Wire.encode (Bgp.Msg.Update u) in
+      let rng = Netsim.Rng.create seed in
+      List.for_all
+        (fun kind ->
+          let s = Netsim.Mangler.mutate rng kind raw in
+          match Bgp.Wire.decode s with
+          | Ok _ -> true
+          | Error e -> not (Bgp.Wire.is_codec_crash e))
+        Netsim.Mangler.corpus_kinds)
+
+(* --- decode_graceful: RFC 7606 dispositions --- *)
+
+let graceful_valid_is_msg () =
+  match Bgp.Wire.decode_graceful (update_raw ()) with
+  | Bgp.Wire.Msg (Bgp.Msg.Update _) -> ()
+  | _ -> Alcotest.fail "expected Msg (Update _)"
+
+let graceful_attr_error_is_withdraw () =
+  (* Invalid ORIGIN is a path-attribute error: the session survives and
+     the affected NLRI is handed back for withdrawal. *)
+  match Bgp.Wire.decode_graceful (patch (update_raw ()) 26 0xEE) with
+  | Bgp.Wire.Treat_as_withdraw { withdrawn; nlri; err } ->
+      check Alcotest.int "error code" Bgp.Msg.Error.update_message err.Bgp.Wire.code;
+      check (Alcotest.list Alcotest.string) "affected nlri" [ "192.0.2.0/24" ]
+        (List.map Bgp.Prefix.to_string nlri);
+      check Alcotest.int "no withdrawn routes in message" 0 (List.length withdrawn)
+  | Bgp.Wire.Msg _ -> Alcotest.fail "corrupted ORIGIN decoded as a message"
+  | Bgp.Wire.Reset _ -> Alcotest.fail "attribute error must not reset"
+
+let graceful_header_error_is_reset () =
+  match Bgp.Wire.decode_graceful (patch (update_raw ()) 3 0x00) with
+  | Bgp.Wire.Reset err ->
+      check Alcotest.int "error code" Bgp.Msg.Error.message_header err.Bgp.Wire.code
+  | _ -> Alcotest.fail "marker corruption must reset the session"
+
+let strict_decode_still_rejects_attr_errors () =
+  (* The strict entry point is unchanged: any error, attribute or
+     envelope, is an [Error]. *)
+  let e = decode_err (patch (update_raw ()) 26 0xEE) in
+  check Alcotest.int "code" Bgp.Msg.Error.update_message e.Bgp.Wire.code;
+  Alcotest.(check bool) "not a codec crash" false (Bgp.Wire.is_codec_crash e)
 
 (* Single-byte mutations of valid messages either decode to *some*
    message or fail with a well-formed notification code — never an
@@ -278,5 +329,10 @@ let suite =
     ("error: truncated buffer", `Quick, truncated);
     ("update: pure withdrawal", `Quick, pure_withdrawal);
     ("update: unknown transitive attribute", `Quick, unknown_transitive_attr);
+    ("graceful: valid message is Msg", `Quick, graceful_valid_is_msg);
+    ("graceful: attribute error is treat-as-withdraw", `Quick, graceful_attr_error_is_withdraw);
+    ("graceful: header error is reset", `Quick, graceful_header_error_is_reset);
+    ("graceful: strict decode still rejects", `Quick, strict_decode_still_rejects_attr_errors);
     qtest roundtrip_prop;
-    qtest decode_never_crashes ]
+    qtest decode_never_crashes;
+    qtest mangled_corpus_graceful ]
