@@ -30,9 +30,8 @@ let make_graph topo nodes seed =
       failwith
         (Printf.sprintf "unknown topology %S (demo27|gadget|random|@file.topo)" other)
 
-let inject_scenario build fault =
-  let scenario =
-    match fault with
+let scenario_of_fault fault =
+  match fault with
     | "none" -> None
     | "hijack" -> Some (Dice.Inject.Prefix_hijack { at = 21; victim = 11 })
     | "martian" -> Some (Dice.Inject.Bogus_netmask { at = 12 })
@@ -49,7 +48,8 @@ let inject_scenario build fault =
           (Printf.sprintf
              "unknown fault %S (none|hijack|martian|dispute|loop-bug|med-bug|crash-bug)"
              other)
-  in
+
+let inject_scenario build scenario =
   match scenario with
   | None -> ()
   | Some s ->
@@ -58,20 +58,22 @@ let inject_scenario build fault =
 
 (* Under --churn: crash-and-restore ~20% of the nodes and flap ~20% of
    the links across the whole run, while cuts get a deadline so a lost
-   marker aborts into a Partial instead of stalling the round. *)
-let start_churn build graph seed rounds =
+   marker aborts into a Partial instead of stalling the round.  The
+   schedule is built separately from being armed so --corpus can store
+   it in the run's scenario. *)
+let churn_schedule graph seed rounds =
   let links =
     List.map (fun (e : Topology.Graph.edge) -> (e.Topology.Graph.a, e.Topology.Graph.b))
       graph.Topology.Graph.edges
   in
-  let schedule =
-    Netsim.Churn.random
-      ~rng:(Netsim.Rng.create (seed lxor 0xC4A0))
-      ~nodes:(Topology.Graph.node_ids graph)
-      ~links ~start:(Netsim.Time.span_sec 5.)
-      ~duration:(Netsim.Time.span_sec (float_of_int rounds *. 10.))
-      ()
-  in
+  Netsim.Churn.random
+    ~rng:(Netsim.Rng.create (seed lxor 0xC4A0))
+    ~nodes:(Topology.Graph.node_ids graph)
+    ~links ~start:(Netsim.Time.span_sec 5.)
+    ~duration:(Netsim.Time.span_sec (float_of_int rounds *. 10.))
+    ()
+
+let start_churn build schedule =
   Printf.printf "churn schedule: %d node crash(es), %d link flap(s)\n%!"
     (Netsim.Churn.node_crashes schedule)
     (Netsim.Churn.link_downs schedule);
@@ -100,11 +102,50 @@ let start_adversary build graph seed rate =
     Printf.printf
       "adversary: mangling wire traffic at rate %.3f; seeded fragile-decode bug \
        at node %d\n%!"
-      rate victim
+      rate victim;
+    Some victim
   end
+  else None
 
-let run topo nodes seed fault rounds churn adversary mangle_rate dot_file
-    telemetry_file report verbose =
+(* Under --corpus: describe this very run as a replayable triage
+   scenario, so every live detection can be confirmed headlessly,
+   delta-minimized and filed. *)
+let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
+    ~churned =
+  let scenario_topo =
+    match topo with
+    | "demo27" -> Some Triage.Scenario.Demo27
+    | "gadget" -> Some Triage.Scenario.Gadget
+    | "random" ->
+        let stub = max 1 (nodes / 2) in
+        let transit = max 1 (nodes - stub - 2) in
+        let t1 = max 1 (nodes - stub - transit) in
+        Some
+          (Triage.Scenario.Random
+             { r_seed = seed; r_tier1 = t1; r_transit = transit; r_stub = stub })
+    | _ -> None  (* @file topologies have no self-contained description *)
+  in
+  Option.map
+    (fun dp_topo ->
+      Triage.Scenario.Deploy
+        { Triage.Scenario.dp_topo;
+          dp_keep = None;
+          dp_seed = seed;
+          dp_inject = inject;
+          dp_settle_sec = 10.;
+          dp_churn = Option.value churn_sched ~default:[];
+          dp_mangle = mangle;
+          dp_mode =
+            Triage.Scenario.Explore
+              { Triage.Scenario.default_exploration with
+                Triage.Scenario.ex_rounds = rounds;
+                ex_mangle_extra = (if mangle <> None then 6 else 0);
+                ex_mangle_seed = (if mangle <> None then seed lxor 0x5EED else 0);
+                ex_deadline_sec = (if churned then Some 30. else None) } })
+    scenario_topo
+
+let run topo nodes seed fault rounds churn adversary mangle_rate corpus_dir
+    dot_file telemetry_file report verbose =
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -115,23 +156,25 @@ let run topo nodes seed fault rounds churn adversary mangle_rate dot_file
   Printf.printf "live: %d routes, %d sessions established\n%!"
     (Topology.Build.total_loc_routes build)
     (Topology.Build.established_sessions build);
-  inject_scenario build fault;
+  let inject = scenario_of_fault fault in
+  inject_scenario build inject;
   Topology.Build.run_for build (Netsim.Time.span_sec 10.);
   let gt = Dice.Checks.ground_truth_of_graph graph in
   let rounds =
     match rounds with Some r -> r | None -> Topology.Graph.size graph
   in
-  if adversary then start_adversary build graph seed mangle_rate;
+  let fragile = if adversary then start_adversary build graph seed mangle_rate else None in
   let adversary_on = adversary && mangle_rate > 0. in
+  let churn_sched = if churn then Some (churn_schedule graph seed rounds) else None in
   let params =
     let base =
-      if churn then begin
-        start_churn build graph seed rounds;
-        Some
-          { Dice.Explorer.default_params with
-            snapshot_deadline = Some (Netsim.Time.span_sec 30.) }
-      end
-      else None
+      match churn_sched with
+      | Some sched ->
+          start_churn build sched;
+          Some
+            { Dice.Explorer.default_params with
+              snapshot_deadline = Some (Netsim.Time.span_sec 30.) }
+      | None -> None
     in
     if adversary_on then
       (* Mangled live traffic can cost the cut a marker (a crashed
@@ -145,10 +188,40 @@ let run topo nodes seed fault rounds churn adversary mangle_rate dot_file
           mangle_seed = seed lxor 0x5EED }
     else base
   in
+  let collector =
+    match corpus_dir with
+    | None -> None
+    | Some dir -> (
+        let mangle =
+          if adversary_on then
+            Some
+              { Triage.Scenario.mg_seed = seed lxor 0xAD5E;
+                mg_rate = mangle_rate;
+                mg_kinds = [];
+                mg_schedule = [];
+                mg_fragile_node = fragile }
+          else None
+        in
+        match
+          scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched
+            ~mangle ~churned:(churn || adversary_on)
+        with
+        | None ->
+            print_endline
+              "warning: --corpus needs a self-contained topology \
+               (demo27|gadget|random); detections will not be filed";
+            None
+        | Some scenario ->
+            Printf.printf "corpus: filing minimized repros into %s\n%!" dir;
+            Some
+              (Triage.Auto.collector ~max_tests:60 ~corpus_dir:dir ~scenario
+                 ~graph ()))
+  in
+  let on_fault = Option.map Triage.Auto.hook collector in
   Printf.printf "running DiCE for %d exploration rounds%s%s...\n%!" rounds
     (if churn then " under churn" else "")
     (if adversary_on then " under adversarial wire faults" else "");
-  let explore () = Dice.Orchestrator.run ?params ~build ~gt ~rounds () in
+  let explore () = Dice.Orchestrator.run ?params ?on_fault ~build ~gt ~rounds () in
   let summary =
     match telemetry_file with
     | None -> explore ()
@@ -195,6 +268,31 @@ let run topo nodes seed fault rounds churn adversary mangle_rate dot_file
   | faults ->
       Printf.printf "%d fault(s) detected:\n" (List.length faults);
       List.iter (fun f -> Format.printf "  %a@." Dice.Fault.pp f) faults);
+  (match collector with
+  | None -> ()
+  | Some c -> (
+      match Triage.Auto.filed c with
+      | [] -> print_endline "corpus: no detections to file."
+      | filed ->
+          List.iter
+            (fun (fd : Triage.Auto.filed) ->
+              match (fd.Triage.Auto.fd_entry, fd.Triage.Auto.fd_result) with
+              | Some entry, Some r ->
+                  Printf.printf "corpus: filed %s (size %d -> %d, hits %d)\n%!"
+                    (Triage.Signature.to_string fd.Triage.Auto.fd_signature)
+                    r.Triage.Minimize.r_original_size
+                    r.Triage.Minimize.r_minimized_size
+                    entry.Triage.Corpus.e_hits
+              | Some entry, None ->
+                  Printf.printf "corpus: filed %s (unminimized, hits %d)\n%!"
+                    (Triage.Signature.to_string fd.Triage.Auto.fd_signature)
+                    entry.Triage.Corpus.e_hits
+              | None, _ ->
+                  Printf.printf
+                    "corpus: %s detected live but not reproduced headlessly; \
+                     not filed\n%!"
+                    (Triage.Signature.to_string fd.Triage.Auto.fd_signature))
+            filed));
   if report then begin
     print_newline ();
     print_endline "telemetry report:";
@@ -259,6 +357,17 @@ let mangle_rate =
   in
   Arg.(value & opt float 0.05 & info [ "mangle-rate" ] ~docv:"RATE" ~doc)
 
+let corpus_dir =
+  let doc =
+    "File every detection into the regression corpus at $(docv) \
+     (dice-corpus/1): each newly-seen fault signature is confirmed by a \
+     headless replay of this very run's scenario, delta-minimized, and \
+     stored as a deterministic repro (replay with `dice_triage replay \
+     $(docv)`).  Composes with --churn, --adversary and --telemetry; \
+     requires a self-contained topology (demo27|gadget|random)."
+  in
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+
 let dot_file =
   let doc = "Write a Graphviz .dot rendering of the annotated topology." in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
@@ -296,12 +405,13 @@ let cmd =
       `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel";
       `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash";
       `Pre "  dice_demo --adversary           # mangle the wire, catch the codec crash";
-      `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder" ]
+      `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder";
+      `Pre "  dice_demo -f hijack --corpus dice-corpus  # auto-minimize + file repros" ]
   in
   Cmd.v
     (Cmd.info "dice_demo" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ adversary
-      $ mangle_rate $ dot_file $ telemetry_file $ report $ verbose)
+      $ mangle_rate $ corpus_dir $ dot_file $ telemetry_file $ report $ verbose)
 
 let () = exit (Cmd.eval cmd)

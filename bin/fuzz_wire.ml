@@ -9,8 +9,11 @@
    The contract under test is totality: [Bgp.Wire.decode] must return
    [Ok] or [Error] on every input — any escaped exception, and any
    reserved codec-crash error report, is a decoder bug.  Failing
-   buffers are written to a corpus directory (one file each, hex name)
-   and the process exits nonzero so CI can archive them.
+   buffers are byte-minimized with the triage delta debugger and filed
+   into a dice-corpus/1 directory (one entry per stable signature, the
+   same schema the orchestrated triage pipeline writes), so
+   [dice_triage replay CORPUS_DIR] reproduces them; the process exits
+   nonzero so CI can archive the corpus.
 
    Usage: fuzz_wire [CASES] [SEED] [CORPUS_DIR]
    Defaults: 10000 cases, seed 1, corpus dir "fuzz-corpus". *)
@@ -88,15 +91,30 @@ let () =
       Printf.printf "fuzz_wire: %d raw + %d mangled cases, decode total, 0 failures\n"
         cases cases
   | fs ->
-      (try Unix.mkdir corpus_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      List.iteri
-        (fun i (why, buf) ->
-          let path = Filename.concat corpus_dir (Printf.sprintf "fail-%03d.bin" i) in
-          let oc = open_out_bin path in
-          output_string oc buf;
-          close_out oc;
-          Printf.eprintf "fuzz_wire: FAIL %s -> %s (%s)\n" path (hex buf) why)
+      List.iter
+        (fun (why, buf) ->
+          let scenario = Triage.Scenario.Wire buf in
+          match (Triage.Scenario.run scenario).Triage.Scenario.o_signatures with
+          | [] ->
+              (* Should be unreachable: [classify] and [Scenario.run]
+                 agree on what a wire failure is. *)
+              Printf.eprintf "fuzz_wire: FAIL %s (%s) -- unclassifiable\n" (hex buf) why
+          | sg :: _ ->
+              let r =
+                Triage.Minimize.run ~max_tests:2000 ~target:sg scenario
+              in
+              let entry =
+                Triage.Corpus.add ~dir:corpus_dir sg r.Triage.Minimize.r_minimized
+              in
+              Printf.eprintf
+                "fuzz_wire: FAIL %s (%s)\n  minimized %d -> %d bytes, filed %s (hits %d)\n"
+                (hex buf) why r.Triage.Minimize.r_original_size
+                r.Triage.Minimize.r_minimized_size
+                (Filename.concat corpus_dir (Triage.Corpus.filename_of sg))
+                entry.Triage.Corpus.e_hits)
         fs;
-      Printf.eprintf "fuzz_wire: %d failing buffer(s) written to %s/\n" (List.length fs)
-        corpus_dir;
+      Printf.eprintf
+        "fuzz_wire: %d failing buffer(s) filed into %s/ (dice-corpus/1; replay \
+         with `dice_triage replay %s`)\n"
+        (List.length fs) corpus_dir corpus_dir;
       exit 1

@@ -417,6 +417,71 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
       Parallel.Pool.with_pool ~domains:params.domains (fun p -> go (Some p))
   | None -> go None
 
+(* Headless single-shot replay for the triage minimizer: one snapshot,
+   the baseline (state) checkers, and optionally one recorded concolic
+   input against one session — no concolic derivation, no fuzzing, no
+   fan-out.  This is what a delta-minimized repro runs instead of the
+   full exploration haystack. *)
+let replay_direct ?(params = default_params) ~build ~cut ~gt ~node
+    ?(peer_index = 0) ?input () =
+  Telemetry.with_span "direct_replay"
+    ~attrs:[ ("node", Telemetry.Json.Int node) ]
+  @@ fun _sp ->
+  let cut_result =
+    take_snapshot ?deadline:params.snapshot_deadline ~build ~cut ~node ()
+  in
+  let snapshot = Snapshot.Cut.snapshot_of cut_result in
+  let now = Netsim.Engine.now build.Topology.Build.engine in
+  let bugs_of = bugs_of_build build in
+  let suite = Checks.standard_suite gt in
+  let baseline =
+    List.filter (fun (c : Checks.checker) -> c.Checks.scope = Checks.Baseline) suite
+  in
+  let base_faults, _ =
+    baseline_results ~params ~bugs_of ~baseline ~snapshot ~node ~now
+  in
+  (* The exploration path checks convergence on every shadow replay; a
+     direct repro must too, or minimized policy-conflict scenarios
+     would stop detecting. *)
+  let conv_faults =
+    if not params.check_convergence then []
+    else begin
+      let probe = Snapshot.Store.spawn ~bugs_of snapshot in
+      let verdicts = Checks.convergence ~budget:params.shadow_budget probe in
+      let faults, _ =
+        verdicts_to_results ~self:node ~now ~checker_class:Fault.Policy_conflict
+          verdicts
+      in
+      faults
+    end
+  in
+  let input_faults =
+    match input with
+    | None -> []
+    | Some input -> (
+        let cfg = (Topology.Build.speaker build node).Bgp.Speaker.sp_config () in
+        match List.nth_opt cfg.Bgp.Config.neighbors peer_index with
+        | None -> []
+        | Some (peer : Bgp.Config.neighbor) ->
+            let per_input =
+              List.filter
+                (fun (c : Checks.checker) -> c.Checks.scope = Checks.Per_input)
+                suite
+            in
+            let probe = Snapshot.Store.spawn ~bugs_of snapshot in
+            let view =
+              Sym_handler.view_of_speaker
+                (Snapshot.Store.speaker probe node)
+                ~peer:peer.Bgp.Config.addr
+            in
+            let faults, _digests, _dt =
+              replay_input ~params ~bugs_of ~per_input ~view ~snapshot ~node
+                ~peer_addr:peer.Bgp.Config.addr ~now input
+            in
+            faults)
+  in
+  Fault.dedupe (base_faults @ conv_faults @ input_faults)
+
 let coverage x =
   ( List.length x.x_snapshot.Snapshot.Cut.checkpoints,
     List.length x.x_snapshot.Snapshot.Cut.channels )

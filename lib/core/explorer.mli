@@ -83,6 +83,25 @@ val explore_node :
     out over it (and the caller is responsible for its lifetime); when
     absent and [params.domains > 1], a pool is created for this call. *)
 
+val replay_direct :
+  ?params:params ->
+  build:Topology.Build.t ->
+  cut:Snapshot.Cut.t ->
+  gt:Checks.ground_truth ->
+  node:int ->
+  ?peer_index:int ->
+  ?input:Concolic.Ctx.input ->
+  unit ->
+  Fault.t list
+(** Headless single-shot replay for delta-minimized repros: take a
+    snapshot from [node], run the baseline checkers against the
+    unperturbed clone, and — when [input] is given — subject one fresh
+    clone to that single concolic input over session [peer_index]
+    (default 0, out-of-range yields no input faults).  Returns the
+    deduplicated faults.  No concolic derivation, no fuzzing, no
+    parallel fan-out: the cheap acceptance test the minimizer runs
+    after every shrink step. *)
+
 val coverage : exploration -> int * int
 (** [(nodes checkpointed, channels in the cut)] — how much of the
     deployment the snapshot actually covered. *)

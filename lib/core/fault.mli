@@ -7,6 +7,7 @@
 type fault_class = Operator_mistake | Policy_conflict | Programming_error
 
 val class_to_string : fault_class -> string
+val class_of_string : string -> fault_class option
 
 type t = {
   f_class : fault_class;
@@ -26,9 +27,24 @@ val make :
   string ->
   t
 
+val normalize_detail : string -> string
+(** Erase run-specific payload from a detail string: digit runs become
+    ['#'] and ['#'] groups joined only by separator characters collapse
+    into one, so the same root cause produces the same normalized
+    detail on every replay (the basis of {!Signature} stability). *)
+
+val root : t -> string
+(** ["class|property|node"] — the replay-independent deduplication key.
+    Coarser than a {!Signature.t} (no role, no detail): two reports are
+    the same root cause iff they name the same violated property at the
+    same node. *)
+
 val same_root : t -> t -> bool
-(** Same class, property and node — used to deduplicate reports across
-    explored inputs. *)
+(** [root] equality — used to deduplicate reports across explored
+    inputs. *)
 
 val dedupe : t list -> t list
+(** One representative per {!root}: the {e earliest} [f_detected_at]
+    (first occurrence wins ties), in first-appearance order. *)
+
 val pp : Format.formatter -> t -> unit

@@ -41,6 +41,7 @@ let default_supervisor =
 type summary = {
   rounds : round list;
   faults : Fault.t list;
+  signatures : (Signature.t * int) list;
   first_detection : (Fault.fault_class * Netsim.Time.t * int) list;
   total_inputs : int;
   total_shadow_runs : int;
@@ -52,45 +53,71 @@ type summary = {
   leaked_snapshots : int;
 }
 
-let summarize ?(quarantines = []) ?(leaked_snapshots = 0) ?(live_faults = []) rounds =
+let summarize ?(quarantines = []) ?(leaked_snapshots = 0) ?(live_faults = []) ~graph
+    rounds =
   let explorations = List.filter_map round_exploration rounds in
   let faults =
     Fault.dedupe
       (live_faults @ List.concat_map (fun x -> x.Explorer.x_faults) explorations)
   in
-  (* Earliest detection per class: minimum [f_detected_at] across every
-     fault of every round (not first-in-list-order). *)
+  (* A live fault (e.g. a router dying on mangled traffic) happens
+     between explorations; attribute it to the round in progress at
+     its detection time. *)
+  let round_of_time at =
+    let n =
+      List.fold_left
+        (fun n r ->
+          if Netsim.Time.(r.rd_started_at <= at) then max n (r.rd_index + 1) else n)
+        0 rounds
+    in
+    max 1 n
+  in
+  (* Signature-keyed detection aggregation: every report of every round
+     collapses onto its stable fingerprint, carrying a hit count and
+     the earliest detection (time, round).  [first_detection] is the
+     per-class projection of this table. *)
+  let by_sig : (string, Signature.t * int * Netsim.Time.t * int) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let sig_order = ref [] in
+  let consider ~round (f : Fault.t) =
+    let sg = Signature.of_fault ~graph f in
+    let key = Signature.to_string sg in
+    match Hashtbl.find_opt by_sig key with
+    | None ->
+        Hashtbl.add by_sig key (sg, 1, f.Fault.f_detected_at, round);
+        sig_order := key :: !sig_order
+    | Some (sg, n, t, r) ->
+        let t, r =
+          if Netsim.Time.(f.Fault.f_detected_at < t) then
+            (f.Fault.f_detected_at, round)
+          else (t, r)
+        in
+        Hashtbl.replace by_sig key (sg, n + 1, t, r)
+  in
+  List.iter
+    (fun r ->
+      match round_exploration r with
+      | None -> ()
+      | Some x ->
+          List.iter (consider ~round:(r.rd_index + 1)) x.Explorer.x_faults)
+    rounds;
+  List.iter
+    (fun (f : Fault.t) ->
+      consider ~round:(round_of_time f.Fault.f_detected_at) f)
+    live_faults;
+  let sig_entries =
+    List.rev_map (fun key -> Hashtbl.find by_sig key) !sig_order
+  in
+  let signatures = List.map (fun (sg, n, _, _) -> (sg, n)) sig_entries in
   let first_detection =
-    let consider ~round acc (f : Fault.t) =
-      let cls = f.Fault.f_class in
-      match List.assoc_opt cls acc with
-      | Some (t, _) when Netsim.Time.(t <= f.Fault.f_detected_at) -> acc
-      | Some _ | None ->
-          (cls, (f.Fault.f_detected_at, round)) :: List.remove_assoc cls acc
-    in
-    (* A live fault (e.g. a router dying on mangled traffic) happens
-       between explorations; attribute it to the round in progress at
-       its detection time. *)
-    let round_of_time at =
-      let n =
-        List.fold_left
-          (fun n r ->
-            if Netsim.Time.(r.rd_started_at <= at) then max n (r.rd_index + 1) else n)
-          0 rounds
-      in
-      max 1 n
-    in
     List.fold_left
-      (fun acc r ->
-        match round_exploration r with
-        | None -> acc
-        | Some x -> List.fold_left (consider ~round:(r.rd_index + 1)) acc x.Explorer.x_faults)
-      [] rounds
-    |> fun acc ->
-    List.fold_left
-      (fun acc (f : Fault.t) ->
-        consider ~round:(round_of_time f.Fault.f_detected_at) acc f)
-      acc live_faults
+      (fun acc (sg, _, t, r) ->
+        let cls = sg.Signature.sg_class in
+        match List.assoc_opt cls acc with
+        | Some (t0, _) when Netsim.Time.(t0 <= t) -> acc
+        | Some _ | None -> (cls, (t, r)) :: List.remove_assoc cls acc)
+      [] sig_entries
     |> List.map (fun (c, (t, n)) -> (c, t, n))
     |> List.sort (fun (_, t1, _) (_, t2, _) -> Netsim.Time.compare t1 t2)
   in
@@ -98,6 +125,7 @@ let summarize ?(quarantines = []) ?(leaked_snapshots = 0) ?(live_faults = []) ro
   let sum f = List.fold_left (fun a x -> a + f x) 0 explorations in
   { rounds;
     faults;
+    signatures;
     first_detection;
     total_inputs = sum (fun x -> x.Explorer.x_inputs);
     total_shadow_runs = sum (fun x -> x.Explorer.x_shadow_runs);
@@ -251,9 +279,29 @@ let node_list nodes build =
   | Some l -> l
   | None -> Topology.Graph.node_ids build.Topology.Build.graph
 
+(* The [?on_fault] hook fires once per newly-seen fault root, as soon
+   as the round that detected it completes — this is where the triage
+   layer plugs in auto-minimization and corpus filing without the core
+   depending on it. *)
+let make_notifier on_fault =
+  match on_fault with
+  | None -> fun _ -> ()
+  | Some f ->
+      let seen = Hashtbl.create 16 in
+      fun faults ->
+        List.iter
+          (fun fault ->
+            let k = Fault.root fault in
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.add seen k ();
+              f fault
+            end)
+          faults
+
 let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
-    ?(supervisor = default_supervisor) ~build ~gt ~rounds () =
+    ?(supervisor = default_supervisor) ?on_fault ~build ~gt ~rounds () =
   install_clock build;
+  let notify = make_notifier on_fault in
   let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
   let result =
@@ -264,25 +312,33 @@ let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
             sched.s_nodes.(slot)
         in
         sched_record sched ~round_index:i ~slot r.rd_outcome;
+        (match round_exploration r with
+        | Some x -> notify x.Explorer.x_faults
+        | None -> ());
         r)
   in
   Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
+  let live_faults = live_crash_faults build in
+  notify live_faults;
   summarize ~quarantines:(List.rev sched.s_events)
-    ~leaked_snapshots:(Snapshot.Cut.active cut)
-    ~live_faults:(live_crash_faults build) result
+    ~leaked_snapshots:(Snapshot.Cut.active cut) ~live_faults
+    ~graph:build.Topology.Build.graph result
 
 let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
-    ?(supervisor = default_supervisor) ?max_rounds ~build ~gt ~expect () =
+    ?(supervisor = default_supervisor) ?max_rounds ?on_fault ~build ~gt ~expect () =
   install_clock build;
+  let notify = make_notifier on_fault in
   let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
   let n = Array.length sched.s_nodes in
   let max_rounds = Option.value max_rounds ~default:(2 * n) in
   let finish acc =
     Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
+    let live_faults = live_crash_faults build in
+    notify live_faults;
     summarize ~quarantines:(List.rev sched.s_events)
-      ~leaked_snapshots:(Snapshot.Cut.active cut)
-      ~live_faults:(live_crash_faults build) acc
+      ~leaked_snapshots:(Snapshot.Cut.active cut) ~live_faults
+      ~graph:build.Topology.Build.graph acc
   in
   let crashes_seen = ref (List.length (Netsim.Network.crashes build.Topology.Build.net)) in
   let rec go i acc =
@@ -294,6 +350,9 @@ let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nod
           sched.s_nodes.(slot)
       in
       sched_record sched ~round_index:i ~slot round.rd_outcome;
+      (match round_exploration round with
+      | Some x -> notify x.Explorer.x_faults
+      | None -> ());
       let hit =
         match round_exploration round with
         | Some x ->
@@ -352,4 +411,8 @@ let pp_summary ppf s =
   if s.leaked_snapshots > 0 then
     Format.fprintf ppf "WARNING: %d snapshot(s) still active@ " s.leaked_snapshots;
   List.iter (fun f -> Format.fprintf ppf "%a@ " Fault.pp f) s.faults;
+  List.iter
+    (fun (sg, hits) ->
+      Format.fprintf ppf "signature %a (x%d)@ " Signature.pp sg hits)
+    s.signatures;
   Format.fprintf ppf "@]"

@@ -65,10 +65,15 @@ val default_supervisor : supervisor
 type summary = {
   rounds : round list;
   faults : Fault.t list;  (** deduplicated across rounds *)
+  signatures : (Signature.t * int) list;
+      (** every distinct stable fingerprint detected during the run
+          (derived with the deployment's graph, so roles are
+          canonicalized), with its hit count across rounds; in
+          first-detection order *)
   first_detection : (Fault.fault_class * Netsim.Time.t * int) list;
       (** per detected class: the {e earliest} simulated detection time
-          across all rounds, and the (1-based) round that achieved it;
-          sorted by detection time *)
+          across all signatures of that class, and the (1-based) round
+          that achieved it; sorted by detection time *)
   total_inputs : int;
   total_shadow_runs : int;
   total_wall_seconds : float;
@@ -87,6 +92,7 @@ val run :
   ?interval:Netsim.Time.span ->
   ?nodes:int list ->
   ?supervisor:supervisor ->
+  ?on_fault:(Fault.t -> unit) ->
   build:Topology.Build.t ->
   gt:Checks.ground_truth ->
   rounds:int ->
@@ -97,8 +103,12 @@ val run :
     when given, parallelizes each round's shadow replays (and, for
     [peers_per_node > 1], the per-session explorations) over the
     caller's domain pool; the default path stays sequential and
-    deterministic.  Rounds never propagate exploration exceptions — see
-    the supervision notes above. *)
+    deterministic.  [on_fault] fires once per newly-seen fault root as
+    soon as the detecting round completes (live crash faults fire at
+    end of run) — the hook the triage layer uses to auto-minimize and
+    file detections without the core depending on it.  Rounds never
+    propagate exploration exceptions — see the supervision notes
+    above. *)
 
 val run_until_detection :
   ?params:Explorer.params ->
@@ -107,6 +117,7 @@ val run_until_detection :
   ?nodes:int list ->
   ?supervisor:supervisor ->
   ?max_rounds:int ->
+  ?on_fault:(Fault.t -> unit) ->
   build:Topology.Build.t ->
   gt:Checks.ground_truth ->
   expect:Fault.fault_class ->

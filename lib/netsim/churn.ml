@@ -82,6 +82,40 @@ let link_downs sched =
          match e.ev with Link_down _ | Partition _ -> true | _ -> false)
        sched)
 
+let event_nodes = function
+  | Node_down n | Node_up n -> [ n ]
+  | Link_down (a, b) | Link_up (a, b) -> [ a; b ]
+  | Partition (xs, ys) -> xs @ ys
+  | Heal -> []
+
+let involved_nodes sched =
+  List.sort_uniq Int.compare (List.concat_map (fun e -> event_nodes e.ev) sched)
+
+let restrict ~nodes sched =
+  let keep n = List.mem n nodes in
+  List.filter_map
+    (fun e ->
+      match e.ev with
+      | Node_down n | Node_up n -> if keep n then Some e else None
+      | Link_down (a, b) | Link_up (a, b) ->
+          if keep a && keep b then Some e else None
+      | Partition (xs, ys) -> (
+          (* A partition survives pruning as the partition of whatever
+             remains on each side; one empty side means no cut at all. *)
+          match (List.filter keep xs, List.filter keep ys) with
+          | [], _ | _, [] -> None
+          | xs', ys' -> Some { e with ev = Partition (xs', ys') })
+      | Heal -> Some e)
+    sched
+
+let event_equal a b =
+  match (a, b) with
+  | Partition (xs, ys), Partition (xs', ys') ->
+      List.equal Int.equal xs xs' && List.equal Int.equal ys ys'
+  | _ -> a = b
+
+let entry_equal a b = a.at = b.at && event_equal a.ev b.ev
+
 let pp_event ppf = function
   | Node_down n -> Format.fprintf ppf "node %d down" n
   | Node_up n -> Format.fprintf ppf "node %d up" n

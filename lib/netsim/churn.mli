@@ -60,6 +60,18 @@ val node_crashes : schedule -> int
 val link_downs : schedule -> int
 (** Number of [Link_down] (or [Partition]) entries. *)
 
+val involved_nodes : schedule -> int list
+(** Sorted ids of every node any entry references. *)
+
+val restrict : nodes:int list -> schedule -> schedule
+(** Drop entries that reference nodes outside [nodes]; partitions are
+    narrowed to the surviving members (and dropped when a side empties).
+    Used by the triage minimizer so a pruned topology carries a pruned
+    schedule instead of silently-skipped events. *)
+
+val event_equal : event -> event -> bool
+val entry_equal : entry -> entry -> bool
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> schedule -> unit
 

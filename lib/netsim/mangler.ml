@@ -26,6 +26,9 @@ let kind_name = function
   | Garbage_append -> "garbage_append"
   | Drop -> "drop"
 
+let kind_of_string s =
+  List.find_opt (fun k -> String.equal (kind_name k) s) all_kinds
+
 (* BGP framing constants the targeted mutations aim at; [mutate] stays
    total on arbitrary strings regardless. *)
 let marker_len = 16

@@ -41,6 +41,10 @@ val corpus_kinds : kind list
 
 val kind_name : kind -> string
 
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_name} — lets schedules round-trip through the
+    triage corpus' JSON form. *)
+
 val mutate : Rng.t -> kind -> string -> string
 (** [mutate rng kind s] is one byte-level mutation of [s].  Total on
     any string including the empty one; [Duplicate] and [Drop] return

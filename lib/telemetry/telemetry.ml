@@ -20,6 +20,7 @@ let enabled () = Atomic.get enabled_flag
 
 let clock : (unit -> int) Atomic.t = Atomic.make (fun () -> 0)
 let set_clock f = Atomic.set clock f
+let current_clock () = Atomic.get clock
 let now_us () = (Atomic.get clock) ()
 
 (* ------------------------------------------------------------------ *)

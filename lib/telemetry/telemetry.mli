@@ -39,6 +39,12 @@ val set_clock : (unit -> int) -> unit
 (** Install the timestamp source (simulated microseconds).  The
     default clock returns [0]. *)
 
+val current_clock : unit -> unit -> int
+(** The installed timestamp source — save it before running a nested
+    simulation (which installs its own clock) and re-install it after,
+    so an outer run's timeline survives inner headless replays (the
+    triage minimizer does this). *)
+
 val now_us : unit -> int
 
 (** {1 Spans} *)

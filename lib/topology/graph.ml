@@ -94,6 +94,20 @@ let role_of t ~self ~neighbor =
       if a = self then Some Provider (* neighbor provides transit to us *)
       else Some Customer
 
+let induced t keep =
+  let kept = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id t.nodes) then
+        invalid_arg (Printf.sprintf "Graph.induced: unknown node %d" id);
+      Hashtbl.replace kept id ())
+    keep;
+  if Hashtbl.length kept = 0 then invalid_arg "Graph.induced: empty node set";
+  make
+    ~nodes:(List.filter (fun (id, _) -> Hashtbl.mem kept id) t.nodes)
+    ~edges:
+      (List.filter (fun e -> Hashtbl.mem kept e.a && Hashtbl.mem kept e.b) t.edges)
+
 let is_connected t =
   match node_ids t with
   | [] -> true

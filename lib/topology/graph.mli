@@ -38,5 +38,12 @@ type role = Customer | Provider | Peer
 val role_of : t -> self:int -> neighbor:int -> role option
 val role_to_string : role -> string
 
+val induced : t -> int list -> t
+(** Subgraph on the given node set: node ids, tiers and surviving edges
+    are preserved (so per-node identities — ASN, prefix — are stable
+    under pruning).  Duplicates in the list are ignored.  The result
+    may be disconnected.
+    @raise Invalid_argument on an empty set or an unknown node. *)
+
 val is_connected : t -> bool
 val tier_to_string : tier -> string

@@ -1,0 +1,57 @@
+type filed = {
+  fd_fault : Dice.Fault.t;
+  fd_signature : Dice.Signature.t;
+  fd_result : Minimize.result option;  (* None when minimization was off *)
+  fd_entry : Corpus.entry option;  (* None when the replay never confirmed *)
+}
+
+type t = {
+  corpus_dir : string;
+  scenario : Scenario.t;
+  graph : Topology.Graph.t;
+  minimize : bool;
+  max_tests : int;
+  mutable seen : string list;  (* signature strings already processed *)
+  mutable filed : filed list;  (* newest first *)
+}
+
+let collector ?(minimize = true) ?(max_tests = Minimize.default_max_tests)
+    ~corpus_dir ~scenario ~graph () =
+  { corpus_dir; scenario; graph; minimize; max_tests; seen = []; filed = [] }
+
+let file_fault t (f : Dice.Fault.t) =
+  let sg = Dice.Signature.of_fault ~graph:t.graph f in
+  let key = Dice.Signature.to_string sg in
+  if List.mem key t.seen then None
+  else begin
+    t.seen <- key :: t.seen;
+    let filed =
+      (* Confirm the scenario reproduces the signature headlessly before
+         spending the minimization budget; a non-reproducing detection
+         (which a fully seeded scenario should never yield) is recorded
+         but not filed. *)
+      if not (Scenario.detects t.scenario sg) then
+        { fd_fault = f; fd_signature = sg; fd_result = None; fd_entry = None }
+      else if t.minimize then begin
+        let r =
+          Minimize.run ~max_tests:t.max_tests ?hint_input:f.Dice.Fault.f_input
+            ~target:sg t.scenario
+        in
+        let entry = Corpus.add ~dir:t.corpus_dir sg r.Minimize.r_minimized in
+        { fd_fault = f; fd_signature = sg; fd_result = Some r; fd_entry = Some entry }
+      end
+      else
+        let entry = Corpus.add ~dir:t.corpus_dir sg t.scenario in
+        { fd_fault = f; fd_signature = sg; fd_result = None; fd_entry = Some entry }
+    in
+    t.filed <- filed :: t.filed;
+    Some filed
+  end
+
+let hook t f = ignore (file_fault t f)
+
+let filed t = List.rev t.filed
+
+let file_summary t (summary : Dice.Orchestrator.summary) =
+  List.iter (fun f -> ignore (file_fault t f)) summary.Dice.Orchestrator.faults;
+  filed t

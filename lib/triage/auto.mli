@@ -1,0 +1,46 @@
+(** Auto-triage: live detections → minimized repros → corpus entries.
+
+    A {!t} wraps the scenario a live run was launched from.  Wire its
+    {!hook} into {!Dice.Orchestrator.run}'s [?on_fault] and every newly
+    detected fault is (1) fingerprinted against the deployment graph,
+    (2) confirmed by one headless replay of the scenario, (3) shrunk by
+    {!Minimize.run} using the detection's own concolic input as a hint,
+    and (4) filed into the corpus — all while the live run keeps going
+    (nested replays save/restore the telemetry clock, see
+    {!Scenario.run}). *)
+
+type filed = {
+  fd_fault : Dice.Fault.t;
+  fd_signature : Dice.Signature.t;
+  fd_result : Minimize.result option;  (** [None] when minimization was off *)
+  fd_entry : Corpus.entry option;
+      (** [None] when the headless replay never confirmed the signature
+          (nothing was filed) *)
+}
+
+type t
+
+val collector :
+  ?minimize:bool ->
+  ?max_tests:int ->
+  corpus_dir:string ->
+  scenario:Scenario.t ->
+  graph:Topology.Graph.t ->
+  unit ->
+  t
+(** [scenario] must describe the run the faults come from (same
+    topology, seed, schedules) — it is what gets minimized and stored.
+    Each distinct signature is processed once per collector. *)
+
+val hook : t -> Dice.Fault.t -> unit
+(** The function to pass as [?on_fault]. *)
+
+val file_fault : t -> Dice.Fault.t -> filed option
+(** Process one fault now; [None] if its signature was already seen. *)
+
+val file_summary : t -> Dice.Orchestrator.summary -> filed list
+(** After-the-fact filing: push every fault of a finished run through
+    the collector, then return everything it has filed so far. *)
+
+val filed : t -> filed list
+(** In processing order. *)

@@ -1,0 +1,209 @@
+module J = Telemetry.Json
+
+let schema_version = "dice-corpus/1"
+
+type entry = {
+  e_signature : Dice.Signature.t;
+  e_scenario : Scenario.t;
+  e_first_seen : float;  (* unix seconds *)
+  e_last_seen : float;
+  e_hits : int;
+  e_env : (string * string) list;
+}
+
+let env_fingerprint () =
+  [ ("ocaml", Sys.ocaml_version);
+    ("os", Sys.os_type);
+    ("word_size", string_of_int Sys.word_size) ]
+
+let filename_of sg =
+  Digest.to_hex (Digest.string (Dice.Signature.to_string sg)) ^ ".json"
+
+let path_of dir sg = Filename.concat dir (filename_of sg)
+
+(* ------------------------------------------------------------------ *)
+(* Codec — [validate] is the single schema gate: the CLI, the fuzzer   *)
+(* unification and the CI replay job all load entries through it.      *)
+(* ------------------------------------------------------------------ *)
+
+let entry_to_json e =
+  J.Obj
+    [ ("schema", J.String schema_version);
+      ("signature", J.String (Dice.Signature.to_string e.e_signature));
+      ("scenario", Scenario.to_json e.e_scenario);
+      ("first_seen", J.Float e.e_first_seen);
+      ("last_seen", J.Float e.e_last_seen);
+      ("hits", J.Int e.e_hits);
+      ("env", J.Obj (List.map (fun (k, v) -> (k, J.String v)) e.e_env)) ]
+
+let ( let* ) = Result.bind
+
+let str_field name j =
+  match J.member name j with
+  | Some (J.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let num_field name j =
+  match J.member name j with
+  | Some (J.Float f) -> Ok f
+  | Some (J.Int n) -> Ok (float_of_int n)
+  | Some _ -> Error (Printf.sprintf "field %S is not a number" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let validate j =
+  let* schema = str_field "schema" j in
+  if not (String.equal schema schema_version) then
+    Error (Printf.sprintf "schema %S, want %S" schema schema_version)
+  else
+    let* sg_s = str_field "signature" j in
+    let* e_signature = Dice.Signature.of_string sg_s in
+    let* scenario_j =
+      match J.member "scenario" j with
+      | Some v -> Ok v
+      | None -> Error "missing field \"scenario\""
+    in
+    let* e_scenario = Scenario.of_json scenario_j in
+    let* e_first_seen = num_field "first_seen" j in
+    let* e_last_seen = num_field "last_seen" j in
+    let* e_hits =
+      match J.member "hits" j with
+      | Some (J.Int n) when n >= 1 -> Ok n
+      | Some _ -> Error "field \"hits\" is not a positive int"
+      | None -> Error "missing field \"hits\""
+    in
+    let e_env =
+      match J.member "env" j with
+      | Some (J.Obj fields) ->
+          List.filter_map
+            (function k, J.String v -> Some (k, v) | _ -> None)
+            fields
+      | _ -> []
+    in
+    Ok { e_signature; e_scenario; e_first_seen; e_last_seen; e_hits; e_env }
+
+let entry_of_string s =
+  let* j = J.of_string s in
+  validate j
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  (* tmp + rename so a crashed writer never leaves a torn entry *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let load_entry path =
+  match entry_of_string (read_file path) with
+  | r -> r
+  | exception Sys_error e -> Error e
+
+let add ~dir ?now sg scenario =
+  ensure_dir dir;
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  let path = path_of dir sg in
+  let entry =
+    match if Sys.file_exists path then load_entry path |> Result.to_option else None with
+    | Some prev ->
+        (* Keep the smaller repro across runs: minimization only ever
+           tightens the corpus. *)
+        let scenario =
+          if Scenario.size scenario < Scenario.size prev.e_scenario then scenario
+          else prev.e_scenario
+        in
+        { prev with
+          e_scenario = scenario;
+          e_last_seen = now;
+          e_hits = prev.e_hits + 1;
+          e_env = env_fingerprint () }
+    | None ->
+        { e_signature = sg;
+          e_scenario = scenario;
+          e_first_seen = now;
+          e_last_seen = now;
+          e_hits = 1;
+          e_env = env_fingerprint () }
+  in
+  write_file path (J.to_string (entry_to_json entry) ^ "\n");
+  entry
+
+let files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+
+let load ~dir = List.map (fun path -> (path, load_entry path)) (files dir)
+
+let find ~dir sg =
+  let path = path_of dir sg in
+  if Sys.file_exists path then load_entry path |> Result.to_option else None
+
+let remove ~dir sg =
+  let path = path_of dir sg in
+  if Sys.file_exists path then begin
+    Sys.remove path;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Confirmed of Dice.Signature.t list
+      (** the stored signature was detected again; the list holds any
+          {e other} signatures the replay reported alongside it *)
+  | Vanished of Dice.Signature.t list
+      (** replay ran but reported different (possibly zero) signatures *)
+  | Replay_error of string  (** the scenario could not be replayed *)
+
+let replay e =
+  let o = Scenario.run e.e_scenario in
+  match o.Scenario.o_error with
+  | Some err -> Replay_error err
+  | None ->
+      let mine, others =
+        List.partition (Dice.Signature.equal e.e_signature) o.Scenario.o_signatures
+      in
+      if mine <> [] then Confirmed others else Vanished o.Scenario.o_signatures
+
+let pp_verdict ppf = function
+  | Confirmed _ -> Format.pp_print_string ppf "confirmed"
+  | Vanished [] -> Format.pp_print_string ppf "vanished (no signature detected)"
+  | Vanished sgs ->
+      Format.fprintf ppf "vanished (detected instead: %s)"
+        (String.concat ", " (List.map Dice.Signature.to_string sgs))
+  | Replay_error e -> Format.fprintf ppf "replay error: %s" e
+
+let gc ~dir =
+  List.filter_map
+    (fun (path, r) ->
+      let drop reason =
+        Sys.remove path;
+        Some (path, reason)
+      in
+      match r with
+      | Error e -> drop (Printf.sprintf "invalid entry: %s" e)
+      | Ok entry -> (
+          match replay entry with
+          | Confirmed _ -> None
+          | v -> drop (Format.asprintf "%a" pp_verdict v)))
+    (load ~dir)

@@ -1,0 +1,377 @@
+module J = Telemetry.Json
+
+type step = { st_stage : string; st_before : int; st_after : int; st_tests : int }
+
+type result = {
+  r_signature : Dice.Signature.t;
+  r_original : Scenario.t;
+  r_minimized : Scenario.t;
+  r_original_size : int;
+  r_minimized_size : int;
+  r_steps : step list;
+  r_tests : int;
+}
+
+let default_max_tests = 200
+
+(* ------------------------------------------------------------------ *)
+(* Budgeted ddmin (Zeller & Hildebrandt)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Split [items] into [n] contiguous chunks of near-equal length. *)
+let chunks n items =
+  let len = List.length items in
+  let base = len / n and extra = len mod n in
+  let rec go i rest acc =
+    if i = n then List.rev acc
+    else
+      let k = base + if i < extra then 1 else 0 in
+      let rec take k rest front =
+        if k = 0 then (List.rev front, rest)
+        else match rest with
+          | [] -> (List.rev front, [])
+          | x :: tl -> take (k - 1) tl (x :: front)
+      in
+      let chunk, rest = take k rest [] in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 items [] |> List.filter (fun c -> c <> [])
+
+let indices items = List.mapi (fun i _ -> i) items
+
+(* [ddmin ~test items]: a locally-minimal sublist of [items] for which
+   [test] holds, assuming [test items] holds.  Works over positions so
+   duplicate elements are handled structurally; the search order is
+   fixed, so a pure [test] makes the result deterministic. *)
+let ddmin ~test items =
+  if items = [] || test [] then []
+  else
+    let select idxs = List.filteri (fun i _ -> List.mem i idxs) items in
+    let rec go idxs n =
+      let len = List.length idxs in
+      if len <= 1 then idxs
+      else
+        let parts = chunks (min n len) idxs in
+        match List.find_opt (fun part -> test (select part)) parts with
+        | Some part -> go part 2
+        | None -> (
+            let complements =
+              if List.length parts <= 2 then []
+              else
+                List.map
+                  (fun part -> List.filter (fun i -> not (List.mem i part)) idxs)
+                  parts
+            in
+            match List.find_opt (fun c -> test (select c)) complements with
+            | Some c -> go c (max (n - 1) 2)
+            | None -> if n < len then go idxs (min len (2 * n)) else idxs)
+    in
+    select (go (indices items) 2)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario surgery helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let nodes_of_inject = function
+  | None -> []
+  | Some (Dice.Inject.Prefix_hijack { at; victim }) -> [ at; victim ]
+  | Some (Dice.Inject.Bogus_netmask { at }) -> [ at ]
+  | Some (Dice.Inject.Policy_dispute { cycle; victim }) -> victim :: cycle
+  | Some (Dice.Inject.Loop_check_bug { at }) -> [ at ]
+  | Some (Dice.Inject.Inverted_med_bug { at }) -> [ at ]
+  | Some (Dice.Inject.Crash_bug { at; _ }) -> [ at ]
+
+let restrict_mangle keep m =
+  let fragile =
+    match m.Scenario.mg_fragile_node with
+    | Some n when List.mem n keep -> Some n
+    | _ -> None
+  in
+  { m with Scenario.mg_fragile_node = fragile }
+
+let with_keep d keep =
+  { d with
+    Scenario.dp_keep = Some keep;
+    dp_churn = Netsim.Churn.restrict ~nodes:keep d.Scenario.dp_churn;
+    dp_mangle = Option.map (restrict_mangle keep) d.Scenario.dp_mangle }
+
+let sorted_uniq l = List.sort_uniq compare l
+
+(* ------------------------------------------------------------------ *)
+(* The staged pipeline                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  target : Dice.Signature.t;
+  mutable tests : int;
+  max_tests : int;
+  mutable current : Scenario.t;
+  mutable steps : step list;
+}
+
+let check st candidate =
+  if st.tests >= st.max_tests then false
+  else begin
+    st.tests <- st.tests + 1;
+    Scenario.detects candidate st.target
+  end
+
+(* Run one named stage: [f] proposes and validates candidates via
+   [check], returning the (possibly unchanged) scenario. *)
+let stage st name f =
+  let before_size = Scenario.size st.current in
+  let before_tests = st.tests in
+  Telemetry.with_span "triage.minimize.stage"
+    ~attrs:[ ("stage", J.String name); ("size_before", J.Int before_size) ]
+    (fun sp ->
+      let next = f st.current in
+      if not (Scenario.equal next st.current) then st.current <- next;
+      let after_size = Scenario.size st.current in
+      Telemetry.add_attr sp
+        [ ("size_after", J.Int after_size);
+          ("tests", J.Int (st.tests - before_tests)) ];
+      st.steps <-
+        { st_stage = name;
+          st_before = before_size;
+          st_after = after_size;
+          st_tests = st.tests - before_tests }
+        :: st.steps)
+
+(* --- stage: Explore -> Direct ------------------------------------- *)
+
+let direct_candidates d (target : Dice.Signature.t) hint_input =
+  let graph = Scenario.graph_of d in
+  let ids = Topology.Graph.node_ids graph in
+  (* Detection node first: baseline faults surface from any explorer
+     node's snapshot, but the manifesting node is the cheapest guess. *)
+  let ordered =
+    if target.Dice.Signature.sg_node >= 0 && List.mem target.Dice.Signature.sg_node ids
+    then
+      target.Dice.Signature.sg_node
+      :: List.filter (fun n -> n <> target.Dice.Signature.sg_node) ids
+    else ids
+  in
+  List.concat_map
+    (fun node ->
+      let base = Scenario.Direct { dr_node = node; dr_peer = 0; dr_input = None } in
+      match hint_input with
+      | None -> [ base ]
+      | Some input ->
+          [ Scenario.Direct { dr_node = node; dr_peer = 0; dr_input = Some input };
+            base ])
+    ordered
+
+let to_direct st hint_input s =
+  match s with
+  | Scenario.Wire _ -> s
+  | Scenario.Deploy d -> (
+      match d.Scenario.dp_mode with
+      | Scenario.Direct _ -> s
+      | Scenario.Explore _ ->
+          let candidates = direct_candidates d st.target hint_input in
+          let found =
+            List.find_opt
+              (fun mode ->
+                check st (Scenario.Deploy { d with Scenario.dp_mode = mode }))
+              candidates
+          in
+          (match found with
+          | Some mode -> Scenario.Deploy { d with Scenario.dp_mode = mode }
+          | None -> s))
+
+(* --- stage: topology ddmin ----------------------------------------- *)
+
+let shrink_topology st s =
+  match s with
+  | Scenario.Wire _ -> s
+  | Scenario.Deploy d ->
+      let graph = Scenario.graph_of d in
+      let ids = Topology.Graph.node_ids graph in
+      let essential =
+        sorted_uniq
+          (List.filter
+             (fun n -> List.mem n ids)
+             ((if st.target.Dice.Signature.sg_node >= 0 then
+                 [ st.target.Dice.Signature.sg_node ]
+               else [])
+             @ nodes_of_inject d.Scenario.dp_inject
+             @ (match d.Scenario.dp_mode with
+               | Scenario.Direct { dr_node; _ } -> [ dr_node ]
+               | Scenario.Explore { ex_nodes; _ } -> ex_nodes)))
+      in
+      let optional = List.filter (fun n -> not (List.mem n essential)) ids in
+      let test subset =
+        let keep = sorted_uniq (essential @ subset) in
+        keep <> [] && check st (Scenario.Deploy (with_keep d keep))
+      in
+      let kept_optional = ddmin ~test optional in
+      let keep = sorted_uniq (essential @ kept_optional) in
+      if List.length keep < List.length ids then Scenario.Deploy (with_keep d keep)
+      else s
+
+(* --- stage: churn ddmin -------------------------------------------- *)
+
+let shrink_churn st s =
+  match s with
+  | Scenario.Wire _ | Scenario.Deploy { dp_churn = []; _ } -> s
+  | Scenario.Deploy d ->
+      let test entries =
+        check st (Scenario.Deploy { d with Scenario.dp_churn = entries })
+      in
+      let kept = ddmin ~test d.Scenario.dp_churn in
+      Scenario.Deploy { d with Scenario.dp_churn = kept }
+
+(* --- stage: mangler ------------------------------------------------- *)
+
+let shrink_mangle st s =
+  match s with
+  | Scenario.Wire _ | Scenario.Deploy { dp_mangle = None; _ } -> s
+  | Scenario.Deploy ({ dp_mangle = Some m; _ } as d) ->
+      if check st (Scenario.Deploy { d with Scenario.dp_mangle = None }) then
+        Scenario.Deploy { d with Scenario.dp_mangle = None }
+      else begin
+        let test entries =
+          check st
+            (Scenario.Deploy
+               { d with Scenario.dp_mangle = Some { m with Scenario.mg_schedule = entries } })
+        in
+        let kept = ddmin ~test m.Scenario.mg_schedule in
+        Scenario.Deploy
+          { d with Scenario.dp_mangle = Some { m with Scenario.mg_schedule = kept } }
+      end
+
+(* --- stage: input ddmin --------------------------------------------- *)
+
+let shrink_input st s =
+  match s with
+  | Scenario.Deploy
+      ({ dp_mode = Scenario.Direct ({ dr_input = Some input; _ } as dr); _ } as d) ->
+      let rebuild input =
+        Scenario.Deploy
+          { d with
+            Scenario.dp_mode =
+              Scenario.Direct
+                { dr with dr_input = (match input with [] -> None | i -> Some i) } }
+      in
+      let test bindings = check st (rebuild bindings) in
+      let kept = ddmin ~test input in
+      rebuild kept
+  | _ -> s
+
+(* --- stage: settle shrink ------------------------------------------- *)
+
+let shrink_settle st s =
+  match s with
+  | Scenario.Wire _ -> s
+  | Scenario.Deploy d ->
+      if d.Scenario.dp_settle_sec <= 0. then s
+      else
+        let candidates =
+          [ 0.; d.Scenario.dp_settle_sec /. 8.; d.Scenario.dp_settle_sec /. 2. ]
+        in
+        let found =
+          List.find_opt
+            (fun sec ->
+              sec < d.Scenario.dp_settle_sec
+              && check st (Scenario.Deploy { d with Scenario.dp_settle_sec = sec }))
+            candidates
+        in
+        (match found with
+        | Some sec -> Scenario.Deploy { d with Scenario.dp_settle_sec = sec }
+        | None -> s)
+
+(* --- stage: exploration narrowing (fallback when Direct failed) ----- *)
+
+let shrink_explore st s =
+  match s with
+  | Scenario.Deploy ({ dp_mode = Scenario.Explore e; _ } as d) ->
+      let try_mode e' =
+        check st (Scenario.Deploy { d with Scenario.dp_mode = Scenario.Explore e' })
+      in
+      let e =
+        (* One round on the manifesting node beats a full sweep. *)
+        let narrowed =
+          if st.target.Dice.Signature.sg_node >= 0 then
+            { e with
+              Scenario.ex_rounds = 1;
+              ex_nodes = [ st.target.Dice.Signature.sg_node ] }
+          else { e with Scenario.ex_rounds = 1 }
+        in
+        if try_mode narrowed then narrowed else e
+      in
+      let e =
+        let lean = { e with Scenario.ex_fuzz_extra = 0; ex_mangle_extra = 0 } in
+        if (e.Scenario.ex_fuzz_extra > 0 || e.Scenario.ex_mangle_extra > 0)
+           && try_mode lean
+        then lean
+        else e
+      in
+      let e =
+        let halved = { e with Scenario.ex_max_inputs = max 1 (e.Scenario.ex_max_inputs / 2) } in
+        if halved.Scenario.ex_max_inputs < e.Scenario.ex_max_inputs && try_mode halved
+        then halved
+        else e
+      in
+      Scenario.Deploy { d with Scenario.dp_mode = Scenario.Explore e }
+  | _ -> s
+
+(* --- stage: wire byte ddmin ----------------------------------------- *)
+
+let shrink_wire st s =
+  match s with
+  | Scenario.Deploy _ -> s
+  | Scenario.Wire bytes ->
+      let chars = List.init (String.length bytes) (String.get bytes) in
+      let test kept =
+        check st (Scenario.Wire (String.init (List.length kept) (List.nth kept)))
+      in
+      let kept = ddmin ~test chars in
+      Scenario.Wire (String.init (List.length kept) (List.nth kept))
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(max_tests = default_max_tests) ?hint_input ~target scenario =
+  Telemetry.with_span "triage.minimize"
+    ~attrs:
+      [ ("signature", J.String (Dice.Signature.to_string target));
+        ("original_size", J.Int (Scenario.size scenario)) ]
+    (fun sp ->
+      let st = { target; tests = 0; max_tests; current = scenario; steps = [] } in
+      (match scenario with
+      | Scenario.Wire _ -> stage st "wire-bytes" (shrink_wire st)
+      | Scenario.Deploy _ ->
+          stage st "to-direct" (to_direct st hint_input);
+          stage st "topology" (shrink_topology st);
+          stage st "churn" (shrink_churn st);
+          stage st "mangle" (shrink_mangle st);
+          stage st "input" (shrink_input st);
+          stage st "explore" (shrink_explore st);
+          stage st "settle" (shrink_settle st));
+      let minimized = st.current in
+      let r =
+        { r_signature = target;
+          r_original = scenario;
+          r_minimized = minimized;
+          r_original_size = Scenario.size scenario;
+          r_minimized_size = Scenario.size minimized;
+          r_steps = List.rev st.steps;
+          r_tests = st.tests }
+      in
+      Telemetry.add_attr sp
+        [ ("minimized_size", J.Int r.r_minimized_size);
+          ("tests", J.Int r.r_tests) ];
+      r)
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>minimized %s@ size %d -> %d in %d replays@ "
+    (Dice.Signature.to_string r.r_signature)
+    r.r_original_size r.r_minimized_size r.r_tests;
+  List.iter
+    (fun s ->
+      if s.st_after <> s.st_before then
+        Format.fprintf ppf "  %-10s %d -> %d (%d tests)@ " s.st_stage s.st_before
+          s.st_after s.st_tests)
+    r.r_steps;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,70 @@
+(** Delta-debugging scenario minimizer.
+
+    Shrinks a detecting {!Scenario.t} while preserving detection of one
+    target {!Dice.Signature.t}: a candidate step is accepted iff a
+    fresh headless replay of the candidate still reports the exact same
+    signature ({!Scenario.detects}).  Every replay is deterministic, so
+    minimizing the same scenario against the same signature twice gives
+    byte-identical results.
+
+    The pipeline is staged cheapest-reduction-first:
+
+    + [to-direct] — replace a full orchestrated exploration with a
+      single snapshot-and-replay from one node (the dominant cost
+      saving; uses the detecting input as a hint when the caller has
+      one);
+    + [topology] — ddmin over the removable node set (the inject
+      targets and the manifesting node are pinned), rebuilding churn
+      and mangler schedules for the pruned graph;
+    + [churn], [mangle], [input] — ddmin over schedule entries and
+      concolic input bindings (the mangler is dropped wholesale first
+      when detection survives without it);
+    + [explore] — if the scenario is still exploration-based, narrow
+      rounds/nodes/budgets;
+    + [settle] — shrink the settle window.
+
+    Wire scenarios get plain byte-level ddmin.
+
+    Each stage emits a [triage.minimize.stage] telemetry span with
+    [size_before]/[size_after]/[tests] attributes under one enclosing
+    [triage.minimize] span. *)
+
+type step = {
+  st_stage : string;
+  st_before : int;  (** {!Scenario.size} before the stage *)
+  st_after : int;
+  st_tests : int;  (** replays the stage spent *)
+}
+
+type result = {
+  r_signature : Dice.Signature.t;
+  r_original : Scenario.t;
+  r_minimized : Scenario.t;
+  r_original_size : int;
+  r_minimized_size : int;
+  r_steps : step list;  (** in execution order *)
+  r_tests : int;  (** total replays *)
+}
+
+val default_max_tests : int
+(** 200. *)
+
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list
+(** The generic engine, exposed for tests: a locally-minimal sublist
+    satisfying [test], assuming the full list does.  [test []] is
+    always probed first. *)
+
+val run :
+  ?max_tests:int ->
+  ?hint_input:Concolic.Ctx.input ->
+  target:Dice.Signature.t ->
+  Scenario.t ->
+  result
+(** Minimize [scenario] against [target].  [max_tests] caps the total
+    number of replays across all stages (budget exhausted = remaining
+    candidates rejected, so the result is always a valid detecting
+    scenario — at worst the original).  [hint_input] seeds the
+    [to-direct] stage with the concolic input that triggered the
+    original detection ({!Dice.Fault.t.f_input}). *)
+
+val pp_result : Format.formatter -> result -> unit

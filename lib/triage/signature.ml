@@ -1,0 +1,4 @@
+(* Re-export so triage users (the CLI, tests) can say
+   [Triage.Signature] without also depending on the core library's
+   module path. *)
+include Dice.Signature

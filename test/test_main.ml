@@ -19,4 +19,5 @@ let () =
       ("churn", Test_churn.suite);
       ("mangler", Test_mangler.suite);
       ("misc", Test_misc.suite);
+      ("triage", Test_triage.suite);
       ("telemetry", Test_telemetry.suite) ]
