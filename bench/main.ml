@@ -1,10 +1,14 @@
 (* Benchmark and experiment entry point.
 
    Usage:
-     dune exec bench/main.exe              # everything
-     dune exec bench/main.exe -- f1 t3     # selected sections
-     dune exec bench/main.exe -- micro     # micro-benchmarks only
-     dune exec bench/main.exe -- par       # parallel exploration + BENCH.json *)
+     dune exec bench/main.exe                         # everything cheap
+     dune exec bench/main.exe -- f1 t3                # selected sections
+     dune exec bench/main.exe -- micro                # micro-benchmarks only
+     dune exec bench/main.exe -- par                  # parallel exploration
+     dune exec bench/main.exe -- scale --config lite  # scale workload
+
+   The scale section is opt-in (never part of the default run): lite is
+   a ~2 minute CI smoke, full is the ~10 minute 1k-router headline. *)
 
 let sections =
   [ ("f1", Experiments.f1); ("f2", Experiments.f2); ("t1", Experiments.t1);
@@ -13,17 +17,29 @@ let sections =
     ("micro", Micro.run); ("par", Par.run) ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ :: [] | [] -> List.map fst sections
+  let config = ref "lite" in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--config" :: c :: rest ->
+        config := c;
+        parse acc rest
+    | "--config" :: [] ->
+        prerr_endline "--config needs an argument";
+        exit 1
+    | s :: rest -> parse (s :: acc) rest
   in
+  let requested =
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | args -> args
+  in
+  let all = sections @ [ ("scale", fun () -> Scale.run ~config:!config ()) ] in
   List.iter
     (fun name ->
-      match List.assoc_opt name sections with
+      match List.assoc_opt name all with
       | Some f -> f ()
       | None ->
           Printf.eprintf "unknown section %S; available: %s\n" name
-            (String.concat " " (List.map fst sections));
+            (String.concat " " (List.map fst all));
           exit 1)
     requested

@@ -34,88 +34,81 @@ let explore_with ~domains ~build ~gt ~node =
     xr_paths = x.Dice.Explorer.x_distinct_paths;
     xr_faults = List.length x.Dice.Explorer.x_faults }
 
-(* Minimal JSON emission: the structure is flat and the strings are
-   benchmark names, so hand-rolling beats growing a dependency. *)
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON construction goes through Telemetry.Json + Benchio so the
+   [scale] section's results in an existing BENCH.json survive a [par]
+   rewrite (and vice versa). *)
+module Json = Telemetry.Json
+
+let micro_fields micro =
+  let field pick (name, ns, words) =
+    Option.map (fun v -> (name, Json.Float (Benchio.round2 v))) (pick ns words)
+  in
+  ( Json.Obj (List.filter_map (field (fun ns _ -> ns)) micro),
+    Json.Obj (List.filter_map (field (fun _ words -> words)) micro) )
 
 let write_bench_json ~path ~micro ~runs ~seq_wall ~cache_hits ~cache_misses
     ~(orch : Dice.Orchestrator.summary) ~(adv : Dice.Orchestrator.summary)
     ~adv_counts:(mangled, dropped, duplicated, crashes) =
-  let b = Buffer.create 4096 in
-  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  add "{\n";
-  add "  \"schema\": \"dice-bench/1\",\n";
-  (* Interpreting speedup needs the hardware context: on a 1-core host
-     the fan-out cannot beat sequential no matter how parallel it is. *)
-  add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
-  add "  \"topology\": {\"name\": \"demo27\", \"nodes\": 27},\n";
-  add "  \"micro_ns_per_op\": {\n";
-  let named = List.filter_map (fun (n, v) -> Option.map (fun v -> (n, v)) v) micro in
-  List.iteri
-    (fun i (name, ns) ->
-      add "    \"%s\": %.2f%s\n" (json_escape name) ns
-        (if i = List.length named - 1 then "" else ","))
-    named;
-  add "  },\n";
-  add "  \"exploration\": [\n";
-  List.iteri
-    (fun i r ->
-      add
-        "    {\"domains\": %d, \"wall_s\": %.4f, \"work_s\": %.4f, \"inputs\": %d, \
-         \"shadow_runs\": %d, \"distinct_paths\": %d, \"faults\": %d, \
-         \"shadows_per_s\": %.1f, \"speedup_vs_seq\": %.3f}%s\n"
-        r.xr_domains r.xr_wall r.xr_work r.xr_inputs r.xr_shadow_runs r.xr_paths
-        r.xr_faults
-        (float_of_int r.xr_shadow_runs /. r.xr_wall)
-        (seq_wall /. r.xr_wall)
-        (if i = List.length runs - 1 then "" else ","))
-    runs;
-  add "  ],\n";
-  add "  \"solver_cache\": {\"hits\": %d, \"misses\": %d, \"hit_rate\": %.4f},\n"
-    cache_hits cache_misses
-    (let total = cache_hits + cache_misses in
-     if total = 0 then 0. else float_of_int cache_hits /. float_of_int total);
-  (* Supervision health of a short orchestrator run: a regression that
-     starts failing or quarantining rounds shows up in the trajectory
-     even when raw throughput is unchanged. *)
-  add
-    "  \"orchestrator\": {\"rounds\": %d, \"ok\": %d, \"degraded\": %d, \
-     \"failed\": %d, \"quarantines\": %d, \"leaked_snapshots\": %d, \
-     \"faults\": %d},\n"
-    (List.length orch.Dice.Orchestrator.rounds)
-    orch.Dice.Orchestrator.ok_rounds orch.Dice.Orchestrator.degraded_rounds
-    orch.Dice.Orchestrator.failed_rounds
-    (List.length orch.Dice.Orchestrator.quarantines)
-    orch.Dice.Orchestrator.leaked_snapshots
-    (List.length orch.Dice.Orchestrator.faults);
-  (* Adversarial health: the same deployment under wire-fault injection
-     with a seeded fragile-decode bug.  The trajectory records whether
-     the stack keeps absorbing codec crashes and reporting them as
-     faults instead of failing rounds. *)
-  add
-    "  \"adversary\": {\"rounds\": %d, \"ok\": %d, \"degraded\": %d, \
-     \"failed\": %d, \"mangled\": %d, \"dropped\": %d, \"duplicated\": %d, \
-     \"crashes_absorbed\": %d, \"faults\": %d}\n"
-    (List.length adv.Dice.Orchestrator.rounds)
-    adv.Dice.Orchestrator.ok_rounds adv.Dice.Orchestrator.degraded_rounds
-    adv.Dice.Orchestrator.failed_rounds mangled dropped duplicated crashes
-    (List.length adv.Dice.Orchestrator.faults);
-  add "}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc
+  let micro_ns, micro_words = micro_fields micro in
+  let xrun r =
+    Json.Obj
+      [ ("domains", Json.Int r.xr_domains);
+        ("wall_s", Json.Float (Benchio.round2 r.xr_wall));
+        ("work_s", Json.Float (Benchio.round2 r.xr_work));
+        ("inputs", Json.Int r.xr_inputs);
+        ("shadow_runs", Json.Int r.xr_shadow_runs);
+        ("distinct_paths", Json.Int r.xr_paths);
+        ("faults", Json.Int r.xr_faults);
+        ("shadows_per_s",
+         Json.Float (Benchio.round2 (float_of_int r.xr_shadow_runs /. r.xr_wall)));
+        ("speedup_vs_seq", Json.Float (Benchio.round2 (seq_wall /. r.xr_wall))) ]
+  in
+  Benchio.update ~path
+    [ ("schema", Json.String "dice-bench/1");
+      (* Interpreting speedup needs the hardware context: on a 1-core
+         host the fan-out cannot beat sequential no matter how parallel
+         it is. *)
+      ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+      ("topology", Json.Obj [ ("name", Json.String "demo27"); ("nodes", Json.Int 27) ]);
+      ("micro_ns_per_op", micro_ns);
+      ("micro_minor_words_per_op", micro_words);
+      ("exploration", Json.List (List.map xrun runs));
+      ("solver_cache",
+       Json.Obj
+         [ ("hits", Json.Int cache_hits);
+           ("misses", Json.Int cache_misses);
+           ("hit_rate",
+            Json.Float
+              (let total = cache_hits + cache_misses in
+               if total = 0 then 0.
+               else Benchio.round2 (float_of_int cache_hits /. float_of_int total))) ]);
+      (* Supervision health of a short orchestrator run: a regression
+         that starts failing or quarantining rounds shows up in the
+         trajectory even when raw throughput is unchanged. *)
+      ("orchestrator",
+       Json.Obj
+         [ ("rounds", Json.Int (List.length orch.Dice.Orchestrator.rounds));
+           ("ok", Json.Int orch.Dice.Orchestrator.ok_rounds);
+           ("degraded", Json.Int orch.Dice.Orchestrator.degraded_rounds);
+           ("failed", Json.Int orch.Dice.Orchestrator.failed_rounds);
+           ("quarantines", Json.Int (List.length orch.Dice.Orchestrator.quarantines));
+           ("leaked_snapshots", Json.Int orch.Dice.Orchestrator.leaked_snapshots);
+           ("faults", Json.Int (List.length orch.Dice.Orchestrator.faults)) ]);
+      (* Adversarial health: the same deployment under wire-fault
+         injection with a seeded fragile-decode bug.  The trajectory
+         records whether the stack keeps absorbing codec crashes and
+         reporting them as faults instead of failing rounds. *)
+      ("adversary",
+       Json.Obj
+         [ ("rounds", Json.Int (List.length adv.Dice.Orchestrator.rounds));
+           ("ok", Json.Int adv.Dice.Orchestrator.ok_rounds);
+           ("degraded", Json.Int adv.Dice.Orchestrator.degraded_rounds);
+           ("failed", Json.Int adv.Dice.Orchestrator.failed_rounds);
+           ("mangled", Json.Int mangled);
+           ("dropped", Json.Int dropped);
+           ("duplicated", Json.Int duplicated);
+           ("crashes_absorbed", Json.Int crashes);
+           ("faults", Json.Int (List.length adv.Dice.Orchestrator.faults)) ]) ]
 
 let run () =
   Tables.section "PAR: parallel exploration on the 27-node demo topology";

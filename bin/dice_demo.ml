@@ -9,26 +9,48 @@ let setup_logging verbose =
     Logs.set_level (Some Logs.Debug)
   end
 
+(* "gao-rexford:N" — N routers in the canonical Internet-like tiering;
+   bare "gao-rexford" takes N from --nodes. *)
+let gao_rexford_nodes topo nodes =
+  if String.equal topo "gao-rexford" then Some nodes
+  else
+    match String.index_opt topo ':' with
+    | Some i when String.equal (String.sub topo 0 i) "gao-rexford" -> (
+        let arg = String.sub topo (i + 1) (String.length topo - i - 1) in
+        match int_of_string_opt arg with
+        | Some n when n >= 5 -> Some n
+        | Some _ | None ->
+            failwith
+              (Printf.sprintf "gao-rexford:%s: expected a node count >= 5" arg))
+    | Some _ | None -> None
+
 let make_graph topo nodes seed =
-  match topo with
-  | "demo27" -> Topology.Demo27.graph
-  | "gadget" -> Topology.Gadget.embedded ()
-  | file when String.length file > 1 && file.[0] = '@' -> (
-      match Topology.Topo_file.load (String.sub file 1 (String.length file - 1)) with
-      | Ok g -> g
-      | Error msg -> failwith msg)
-  | "random" ->
-      let stub = max 1 (nodes / 2) in
-      let transit = max 1 (nodes - stub - 2) in
-      let t1 = max 1 (nodes - stub - transit) in
-      Topology.Generate.generate
-        ~params:
-          { Topology.Generate.default_params with n_tier1 = t1; n_transit = transit;
-            n_stub = stub }
-        (Netsim.Rng.create seed)
-  | other ->
-      failwith
-        (Printf.sprintf "unknown topology %S (demo27|gadget|random|@file.topo)" other)
+  match gao_rexford_nodes topo nodes with
+  | Some n -> Topology.Gao_rexford.scale_graph ~nodes:n ~seed
+  | None -> (
+      match topo with
+      | "demo27" -> Topology.Demo27.graph
+      | "gadget" -> Topology.Gadget.embedded ()
+      | file when String.length file > 1 && file.[0] = '@' -> (
+          match
+            Topology.Topo_file.load (String.sub file 1 (String.length file - 1))
+          with
+          | Ok g -> g
+          | Error msg -> failwith msg)
+      | "random" ->
+          let stub = max 1 (nodes / 2) in
+          let transit = max 1 (nodes - stub - 2) in
+          let t1 = max 1 (nodes - stub - transit) in
+          Topology.Generate.generate
+            ~params:
+              { Topology.Generate.default_params with n_tier1 = t1;
+                n_transit = transit; n_stub = stub }
+            (Netsim.Rng.create seed)
+      | other ->
+          failwith
+            (Printf.sprintf
+               "unknown topology %S (demo27|gadget|random|gao-rexford[:N]|@file.topo)"
+               other))
 
 let scenario_of_fault fault =
   match fault with
@@ -113,17 +135,24 @@ let start_adversary build graph seed rate =
 let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
     ~churned =
   let scenario_topo =
-    match topo with
-    | "demo27" -> Some Triage.Scenario.Demo27
-    | "gadget" -> Some Triage.Scenario.Gadget
-    | "random" ->
-        let stub = max 1 (nodes / 2) in
-        let transit = max 1 (nodes - stub - 2) in
-        let t1 = max 1 (nodes - stub - transit) in
-        Some
-          (Triage.Scenario.Random
-             { r_seed = seed; r_tier1 = t1; r_transit = transit; r_stub = stub })
-    | _ -> None  (* @file topologies have no self-contained description *)
+    match gao_rexford_nodes topo nodes with
+    | Some n ->
+        (* Same generator and seed as [make_graph], so the replay
+           rebuilds the identical graph. *)
+        let r_tier1, r_transit, r_stub = Topology.Gao_rexford.tiering ~nodes:n in
+        Some (Triage.Scenario.Random { r_seed = seed; r_tier1; r_transit; r_stub })
+    | None -> (
+        match topo with
+        | "demo27" -> Some Triage.Scenario.Demo27
+        | "gadget" -> Some Triage.Scenario.Gadget
+        | "random" ->
+            let stub = max 1 (nodes / 2) in
+            let transit = max 1 (nodes - stub - 2) in
+            let t1 = max 1 (nodes - stub - transit) in
+            Some
+              (Triage.Scenario.Random
+                 { r_seed = seed; r_tier1 = t1; r_transit = transit; r_stub = stub })
+        | _ -> None  (* @file topologies have no self-contained description *))
   in
   Option.map
     (fun dp_topo ->
@@ -309,7 +338,11 @@ let run topo nodes seed fault rounds churn adversary mangle_rate corpus_dir
 open Cmdliner
 
 let topo =
-  let doc = "Topology: demo27 (Figure 1), gadget, random, or @FILE (Topo_file format)." in
+  let doc =
+    "Topology: demo27 (Figure 1), gadget, random, gao-rexford[:N] (N-router \
+     Internet-like tiering, default N from --nodes), or @FILE (Topo_file \
+     format)."
+  in
   Arg.(value & opt string "demo27" & info [ "t"; "topology" ] ~docv:"NAME" ~doc)
 
 let nodes =
@@ -405,6 +438,7 @@ let cmd =
       `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel";
       `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash";
       `Pre "  dice_demo --adversary           # mangle the wire, catch the codec crash";
+      `Pre "  dice_demo -t gao-rexford:200 -r 3  # 200-router Internet-like tiering";
       `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder";
       `Pre "  dice_demo -f hijack --corpus dice-corpus  # auto-minimize + file repros" ]
   in

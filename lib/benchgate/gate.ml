@@ -1,0 +1,119 @@
+module Json = Telemetry.Json
+
+type direction = Lower_is_better | Higher_is_better
+type matcher = Prefix of string | Suffix of string
+
+type rule = {
+  sel : matcher;
+  dir : direction;
+  ratio : float;
+  slack : float;
+}
+
+(* Margins are sized for a noisy shared host measuring with
+   min-of-passes: sub-microsecond micro benches have been observed 2.5x
+   off on a loaded 1-core box even after min-of-3, so they get 2.0x —
+   still strictly below the pre-optimization hot-path costs, which is
+   the regression the gate exists to catch.  Coarser wall-clock
+   families get ~1.6-2x, allocation counts are near-deterministic and
+   get a tight 1.25x.  Suffix rules come first so they beat the family
+   catch-alls. *)
+let default_rules =
+  [ { sel = Suffix ".shadows_per_s"; dir = Higher_is_better; ratio = 1.6; slack = 0.5 };
+    { sel = Suffix ".updates_per_s"; dir = Higher_is_better; ratio = 1.6; slack = 0. };
+    { sel = Suffix ".peak_rss_mb"; dir = Lower_is_better; ratio = 1.5; slack = 32. };
+    { sel = Suffix ".deploy_s"; dir = Lower_is_better; ratio = 2.0; slack = 1. };
+    { sel = Suffix ".converge_s"; dir = Lower_is_better; ratio = 1.8; slack = 2. };
+    { sel = Suffix ".fill_s"; dir = Lower_is_better; ratio = 1.8; slack = 1. };
+    { sel = Suffix ".lpm_ns"; dir = Lower_is_better; ratio = 1.6; slack = 100. };
+    { sel = Suffix ".update_ns"; dir = Lower_is_better; ratio = 1.6; slack = 500. };
+    { sel = Suffix ".update_minor_words"; dir = Lower_is_better; ratio = 1.25;
+      slack = 16. };
+    { sel = Prefix "micro_ns_per_op."; dir = Lower_is_better; ratio = 2.0; slack = 50. };
+    { sel = Prefix "micro_minor_words_per_op."; dir = Lower_is_better; ratio = 1.25;
+      slack = 8. } ]
+
+type verdict = {
+  metric : string;
+  base : float;
+  fresh : float option;
+  limit : float;
+  dir : direction;
+  ok : bool;
+}
+
+let matches metric = function
+  | Prefix p -> String.starts_with ~prefix:p metric
+  | Suffix s -> String.ends_with ~suffix:s metric
+
+let rule_for rules metric = List.find_opt (fun r -> matches metric r.sel) rules
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
+
+(* The gated families.  [micro_*] maps are one level deep (benchmark
+   names contain '/', not nesting); [scale] is config -> metric. *)
+let metrics doc =
+  let field name =
+    match doc with
+    | Json.Obj fields -> (
+        match List.assoc_opt name fields with Some (Json.Obj f) -> f | _ -> [])
+    | _ -> []
+  in
+  let flat prefix =
+    List.filter_map (fun (k, v) ->
+        Option.map (fun x -> (prefix ^ "." ^ k, x)) (number v))
+  in
+  flat "micro_ns_per_op" (field "micro_ns_per_op")
+  @ flat "micro_minor_words_per_op" (field "micro_minor_words_per_op")
+  @ List.concat_map
+      (fun (config, v) ->
+        match v with
+        | Json.Obj inner -> flat ("scale." ^ config) inner
+        | _ -> [])
+      (field "scale")
+
+let judge (rule : rule) ~base ~fresh =
+  match rule.dir with
+  | Lower_is_better ->
+      let limit = (base *. rule.ratio) +. rule.slack in
+      (limit, (match fresh with Some f -> f <= limit | None -> false))
+  | Higher_is_better ->
+      let limit = Float.max 0. ((base /. rule.ratio) -. rule.slack) in
+      (limit, (match fresh with Some f -> f >= limit | None -> false))
+
+let check ?(rules = default_rules) ~baseline ~fresh () =
+  let fresh_metrics = metrics fresh in
+  List.filter_map
+    (fun (metric, base) ->
+      match rule_for rules metric with
+      | None -> None
+      | Some rule ->
+          let fresh = List.assoc_opt metric fresh_metrics in
+          let limit, ok = judge rule ~base ~fresh in
+          Some { metric; base; fresh; limit; dir = rule.dir; ok })
+    (metrics baseline)
+
+let all_ok = List.for_all (fun v -> v.ok)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Json.of_string s
+
+let pp_verdict ppf v =
+  let bound = match v.dir with
+    | Lower_is_better -> "<="
+    | Higher_is_better -> ">="
+  in
+  Format.fprintf ppf "%-5s %-55s base %12.2f  fresh %12s  (need %s %.2f)"
+    (if v.ok then "ok" else "FAIL")
+    v.metric v.base
+    (match v.fresh with Some f -> Printf.sprintf "%.2f" f | None -> "missing")
+    bound v.limit

@@ -1,0 +1,65 @@
+(** Regression gate over BENCH.json.
+
+    Compares a freshly measured BENCH.json against a checked-in
+    baseline, metric by metric, with per-family noise margins.  The
+    comparison logic lives here — as a library — so the thresholds are
+    unit-testable; [bin/bench_check] is a thin CLI over {!check}.
+
+    A metric passes when it is within the rule's margin of the
+    baseline; a gated metric present in the baseline but {e missing}
+    from the fresh file fails (a benchmark silently dropped is itself a
+    regression).  Metrics only the fresh file has are ignored — adding
+    a benchmark must not require regenerating the baseline first. *)
+
+type direction =
+  | Lower_is_better  (** latencies, allocation, memory *)
+  | Higher_is_better  (** throughputs *)
+
+type matcher =
+  | Prefix of string  (** metric path starts with... *)
+  | Suffix of string  (** metric path ends with... *)
+
+type rule = {
+  sel : matcher;
+  dir : direction;
+  ratio : float;
+      (** allowed multiplicative drift: [fresh <= base * ratio] for
+          lower-is-better, [fresh >= base / ratio] for higher. *)
+  slack : float;
+      (** absolute grace added on top of the ratio, so near-zero
+          baselines don't gate on measurement dust. *)
+}
+
+val default_rules : rule list
+(** First match wins.  Covers [micro_ns_per_op.*],
+    [micro_minor_words_per_op.*] and the [scale.*] per-config metrics;
+    workload descriptors (node counts, route totals) match no rule and
+    are not gated. *)
+
+type verdict = {
+  metric : string;
+  base : float;
+  fresh : float option;  (** [None]: gated metric missing from fresh *)
+  limit : float;  (** the bound [fresh] had to satisfy *)
+  dir : direction;
+  ok : bool;
+}
+
+val metrics : Telemetry.Json.t -> (string * float) list
+(** Flattens the gated families of a BENCH.json document into
+    dot-joined [path, value] pairs, e.g.
+    ["micro_ns_per_op.dice/wire/decode-update"] or
+    ["scale.lite.shadows_per_s"]. *)
+
+val check :
+  ?rules:rule list -> baseline:Telemetry.Json.t -> fresh:Telemetry.Json.t ->
+  unit -> verdict list
+(** One verdict per baseline metric that matches a rule, in baseline
+    order. *)
+
+val all_ok : verdict list -> bool
+
+val load : string -> (Telemetry.Json.t, string) result
+(** Read and parse a BENCH.json file. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -77,6 +77,23 @@ let best cfg = function
       in
       Some (List.fold_left pick first rest)
 
+(* [select] is [best] plus the seeded MED-inversion bug: with
+   [invert_med] the sign of the MED comparison flips, so selection
+   prefers the *worst* exit.  Routers and the full-recompute oracle in
+   the test suite share this single entry point, which is what lets a
+   property test pin incremental re-decision against a from-scratch
+   recompute. *)
+let select cfg ?(invert_med = false) = function
+  | [] -> None
+  | candidates when not invert_med -> best cfg candidates
+  | first :: rest ->
+      let pick acc r =
+        let c, step = compare_routes cfg acc r in
+        let c = if step = Med then -c else c in
+        if c <= 0 then acc else r
+      in
+      Some (List.fold_left pick first rest)
+
 let acceptable ~local_as (r : Rib.route) =
   (not (As_path.contains local_as r.attrs.Attr.as_path))
   && not (Ipv4.is_martian r.attrs.Attr.next_hop && not (Rib.is_local r))

@@ -34,6 +34,12 @@ val best : config -> Rib.route list -> Rib.route option
     candidate order; MED's non-transitivity is inherited from the
     protocol, see EXPERIMENTS.md T4). *)
 
+val select : config -> ?invert_med:bool -> Rib.route list -> Rib.route option
+(** [best], optionally with the seeded MED-inversion bug ([invert_med]
+    flips the sign of the MED comparison so selection prefers the worst
+    exit).  The single selection entry point shared by routers and the
+    full-recompute oracle used to pin incremental decision semantics. *)
+
 val acceptable : local_as:int -> Rib.route -> bool
 (** Sanity gate before a route enters the decision process: AS-path
     loop check and martian next-hop check. *)

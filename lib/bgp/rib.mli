@@ -18,13 +18,27 @@ type route = { attrs : Attr.t; source : source }
 
 val is_local : route -> bool
 
-type t = {
+type t = private {
   adj_in : route Prefix.Map.t Ipv4.Map.t;  (** keyed by peer address *)
+  cands : route Ipv4.Map.t Prefix_trie.t;
+      (** [adj_in] transposed: candidate routes per prefix, keyed by
+          peer.  Maintained by the mutators below; what makes
+          {!candidates} — and hence incremental re-decision — one trie
+          walk instead of a fold over every peer's table. *)
   loc : route Prefix.Map.t;  (** selected best per prefix *)
   adj_out : Attr.t Prefix.Map.t Ipv4.Map.t;  (** last advertised, per peer *)
 }
 
 val empty : t
+
+val make :
+  adj_in:route Prefix.Map.t Ipv4.Map.t ->
+  loc:route Prefix.Map.t ->
+  adj_out:Attr.t Prefix.Map.t Ipv4.Map.t ->
+  t
+(** Build a RIB from explicit tables, reconstructing the candidate
+    index (for codecs and alternate implementations that assemble the
+    record wholesale). *)
 
 (* --- Adj-RIB-In --- *)
 
@@ -32,11 +46,24 @@ val adj_in_set : Ipv4.t -> Prefix.t -> route -> t -> t
 val adj_in_del : Ipv4.t -> Prefix.t -> t -> t
 val adj_in_get : Ipv4.t -> Prefix.t -> t -> route option
 val adj_in_peer : Ipv4.t -> t -> route Prefix.Map.t
+
+val adj_in_update : Ipv4.t -> Prefix.t -> route option -> t -> t * bool
+(** [adj_in_update peer prefix route t] sets ([Some]) or deletes
+    ([None]) the peer's entry and reports whether the prefix's
+    candidate set actually changed.  [false] means the decision process
+    can skip the prefix entirely: re-announcements importing to an
+    identical route and withdrawals of never-advertised prefixes are
+    no-ops. *)
+
 val drop_peer : Ipv4.t -> t -> t
 (** Remove a peer's Adj-RIB-In and Adj-RIB-Out (session down). *)
 
 val candidates : Prefix.t -> t -> route list
-(** All Adj-RIB-In entries for the prefix, over all peers. *)
+(** All Adj-RIB-In entries for the prefix, over all peers.  One trie
+    walk plus a fold over the (typically small) per-prefix peer map —
+    independent of table size and peer count. *)
+
+val has_candidates : Prefix.t -> t -> bool
 
 val prefixes_from_peer : Ipv4.t -> t -> Prefix.t list
 

@@ -218,20 +218,9 @@ let local_route t prefix =
 let decision_config t : Decision.config =
   { always_compare_med = t.cfg.Config.always_compare_med }
 
-(* The invert_med bug flips the sign of the MED comparison: route
-   selection then prefers the *worst* exit. *)
 let best_route t candidates =
-  let cfg = decision_config t in
-  match candidates with
-  | [] -> None
-  | _ when not t.bug_flags.invert_med -> Decision.best cfg candidates
-  | first :: rest ->
-      let pick acc r =
-        let c, step = Decision.compare_routes cfg acc r in
-        let c = if step = Decision.Med then -c else c in
-        if c <= 0 then acc else r
-      in
-      Some (List.fold_left pick first rest)
+  Decision.select (decision_config t) ~invert_med:t.bug_flags.invert_med
+    candidates
 
 let run_decision t prefixes =
   let changed = ref [] in
@@ -301,27 +290,31 @@ let import_route t (n : Config.neighbor) prefix (attrs : Attr.t) =
 let process_update t (n : Config.neighbor) (u : Msg.update) =
   Netsim.Stats.incr t.stats "rx_update";
   let peer = n.Config.addr in
+  (* Dirty-prefix worklist: only prefixes whose candidate set actually
+     changed reach the decision process.  [seen] (a prefix trie used as
+     a set) dedups within the message without the old quadratic
+     [List.exists] scan. *)
   let dirty = ref [] in
-  let touch p = if not (List.exists (Prefix.equal p) !dirty) then dirty := p :: !dirty in
-  List.iter
-    (fun p ->
-      t.st <- { t.st with rib = Rib.adj_in_del peer p t.st.rib };
-      touch p)
-    u.Msg.withdrawn;
+  let seen = ref Prefix_trie.empty in
+  let apply p route =
+    let rib, changed = Rib.adj_in_update peer p route t.st.rib in
+    if changed then begin
+      t.st <- { t.st with rib };
+      if Prefix_trie.find p !seen = None then begin
+        seen := Prefix_trie.add p () !seen;
+        dirty := p :: !dirty
+      end
+    end
+  in
+  List.iter (fun p -> apply p None) u.Msg.withdrawn;
   (match (u.Msg.attrs, u.Msg.nlri) with
   | Some attrs, (_ :: _ as nlri) ->
-      List.iter
-        (fun p ->
-          (match import_route t n p attrs with
-          | Some route -> t.st <- { t.st with rib = Rib.adj_in_set peer p route t.st.rib }
-          | None -> t.st <- { t.st with rib = Rib.adj_in_del peer p t.st.rib });
-          touch p)
-        nlri
+      List.iter (fun p -> apply p (import_route t n p attrs)) nlri
   | _, [] -> ()
   | None, _ :: _ ->
       (* Codec guarantees attrs for non-empty NLRI; defensive. *)
       ());
-  run_decision t !dirty
+  if !dirty <> [] then run_decision t !dirty
 
 (* ------------------------------------------------------------------ *)
 (* Session management                                                  *)

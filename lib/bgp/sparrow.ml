@@ -411,7 +411,7 @@ let rib_view t =
         if Prefix.Map.is_empty pm then acc else Ipv4.Map.add addr pm acc)
       Ipv4.Map.empty t.peers
   in
-  { Rib.adj_in; loc; adj_out }
+  Rib.make ~adj_in ~loc ~adj_out
 
 let restore_view t ~rib ~established =
   t.loc <- Prefix_trie.empty;

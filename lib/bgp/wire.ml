@@ -154,8 +154,14 @@ let fail code subcode fmt =
 
 module E = Msg.Error
 
-(* A cursor over a sub-range of the buffer. *)
-type cursor = { buf : string; mutable pos : int; stop : int }
+(* A cursor over a sub-range of the buffer.  Decoding never copies the
+   input: section boundaries (withdrawn routes, attribute list, each
+   attribute value) are expressed by temporarily *narrowing* [stop] on
+   the one cursor rather than slicing out substrings.  The only
+   [String.sub] left on the decode side materializes payloads that
+   outlive the call (unknown transitive attribute values, NOTIFICATION
+   data). *)
+type cursor = { buf : string; mutable pos : int; mutable stop : int }
 
 let remaining c = c.stop - c.pos
 
@@ -165,13 +171,15 @@ let need c n ~code ~subcode what =
 
 let u8 c ~code ~subcode what =
   need c 1 ~code ~subcode what;
-  let v = Char.code c.buf.[c.pos] in
+  let v = Char.code (String.unsafe_get c.buf c.pos) in
   c.pos <- c.pos + 1;
   v
 
 let u16 c ~code ~subcode what =
-  let hi = u8 c ~code ~subcode what in
-  let lo = u8 c ~code ~subcode what in
+  need c 2 ~code ~subcode what;
+  let hi = Char.code (String.unsafe_get c.buf c.pos) in
+  let lo = Char.code (String.unsafe_get c.buf (c.pos + 1)) in
+  c.pos <- c.pos + 2;
   (hi lsl 8) lor lo
 
 let u32 c ~code ~subcode what =
@@ -184,6 +192,20 @@ let take c n ~code ~subcode what =
   let s = String.sub c.buf c.pos n in
   c.pos <- c.pos + n;
   s
+
+(* Narrow [c] to its next [n] bytes, run [f], then restore the outer
+   window with the cursor positioned after the section — whether or not
+   [f] consumed it all.  No allocation; exceptions propagate with the
+   cursor state irrelevant (decoders abandon the cursor on failure). *)
+let within c n ~code ~subcode what f =
+  need c n ~code ~subcode what;
+  let outer_stop = c.stop in
+  let section_stop = c.pos + n in
+  c.stop <- section_stop;
+  let v = f c in
+  c.stop <- outer_stop;
+  c.pos <- section_stop;
+  v
 
 let get_prefix c ~code ~subcode =
   let len = u8 c ~code ~subcode "prefix length" in
@@ -203,8 +225,8 @@ let get_prefixes c ~code ~subcode =
   let rec go acc = if remaining c = 0 then List.rev acc else go (get_prefix c ~code ~subcode :: acc) in
   go []
 
-let get_as_path value =
-  let c = { buf = value; pos = 0; stop = String.length value } in
+(* Parses the (already narrowed) cursor to exhaustion. *)
+let get_as_path c =
   let code = E.update_message and subcode = E.malformed_as_path in
   let rec segs acc =
     if remaining c = 0 then List.rev acc
@@ -231,8 +253,22 @@ type partial_attrs = {
   mutable p_aggregator : (int * Ipv4.t) option;
   mutable p_communities : Community.t list;
   mutable p_unknown : Attr.unknown list;
-  mutable p_seen : int list;
+  mutable p_seen_mask : int;  (** bitset for type codes 0..62 *)
+  mutable p_seen_hi : int list;  (** the rare codes above 62 *)
 }
+
+let seen_before p typ =
+  if typ < 63 then begin
+    let bit = 1 lsl typ in
+    let dup = p.p_seen_mask land bit <> 0 in
+    p.p_seen_mask <- p.p_seen_mask lor bit;
+    dup
+  end
+  else begin
+    let dup = List.mem typ p.p_seen_hi in
+    p.p_seen_hi <- typ :: p.p_seen_hi;
+    dup
+  end
 
 let check_flags ~flags ~code ~well_known ~transitive =
   let has f = flags land f <> 0 in
@@ -258,40 +294,40 @@ let decode_one_attr c p =
       u16 c ~code ~subcode:E.malformed_attribute_list "attribute length"
     else u8 c ~code ~subcode:E.malformed_attribute_list "attribute length"
   in
-  let value = take c len ~code ~subcode:E.attribute_length "attribute value" in
-  if List.mem typ p.p_seen then
+  need c len ~code ~subcode:E.attribute_length "attribute value";
+  if seen_before p typ then
     fail code E.malformed_attribute_list "duplicate attribute %d" typ;
-  p.p_seen <- typ :: p.p_seen;
   let expect_len n =
     if len <> n then fail code E.attribute_length "attribute %d: length %d, expected %d" typ len n
   in
-  let vcur () = { buf = value; pos = 0; stop = String.length value } in
+  within c len ~code ~subcode:E.attribute_length "attribute value" @@ fun c ->
   if typ = Attr.code_origin then begin
     check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
     expect_len 1;
-    match Attr.origin_of_code (Char.code value.[0]) with
+    let v = Char.code (String.unsafe_get c.buf c.pos) in
+    match Attr.origin_of_code v with
     | Some o -> p.p_origin <- Some o
-    | None -> fail code E.invalid_origin "bad ORIGIN value %d" (Char.code value.[0])
+    | None -> fail code E.invalid_origin "bad ORIGIN value %d" v
   end
   else if typ = Attr.code_as_path then begin
     check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
-    p.p_as_path <- Some (get_as_path value)
+    p.p_as_path <- Some (get_as_path c)
   end
   else if typ = Attr.code_next_hop then begin
     check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
     expect_len 4;
-    let v = u32 (vcur ()) ~code ~subcode:E.invalid_next_hop "NEXT_HOP" in
+    let v = u32 c ~code ~subcode:E.invalid_next_hop "NEXT_HOP" in
     p.p_next_hop <- Some (Ipv4.of_int32_exn v)
   end
   else if typ = Attr.code_med then begin
     check_flags ~flags ~code:typ ~well_known:false ~transitive:(Some false);
     expect_len 4;
-    p.p_med <- Some (u32 (vcur ()) ~code ~subcode:E.attribute_length "MED")
+    p.p_med <- Some (u32 c ~code ~subcode:E.attribute_length "MED")
   end
   else if typ = Attr.code_local_pref then begin
     check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
     expect_len 4;
-    p.p_local_pref <- Some (u32 (vcur ()) ~code ~subcode:E.attribute_length "LOCAL_PREF")
+    p.p_local_pref <- Some (u32 c ~code ~subcode:E.attribute_length "LOCAL_PREF")
   end
   else if typ = Attr.code_atomic_aggregate then begin
     check_flags ~flags ~code:typ ~well_known:true ~transitive:None;
@@ -301,37 +337,38 @@ let decode_one_attr c p =
   else if typ = Attr.code_aggregator then begin
     check_flags ~flags ~code:typ ~well_known:false ~transitive:(Some true);
     expect_len 6;
-    let vc = vcur () in
-    let asn = u16 vc ~code ~subcode:E.attribute_length "AGGREGATOR" in
-    let ip = u32 vc ~code ~subcode:E.attribute_length "AGGREGATOR" in
+    let asn = u16 c ~code ~subcode:E.attribute_length "AGGREGATOR" in
+    let ip = u32 c ~code ~subcode:E.attribute_length "AGGREGATOR" in
     p.p_aggregator <- Some (asn, Ipv4.of_int32_exn ip)
   end
   else if typ = Attr.code_communities then begin
     check_flags ~flags ~code:typ ~well_known:false ~transitive:(Some true);
     if len mod 4 <> 0 then fail code E.attribute_length "COMMUNITIES length %d not multiple of 4" len;
-    let vc = vcur () in
     let n = len / 4 in
     p.p_communities <-
       List.init n (fun _ ->
-          Community.of_int32_exn (u32 vc ~code ~subcode:E.attribute_length "community"))
+          Community.of_int32_exn (u32 c ~code ~subcode:E.attribute_length "community"))
   end
   else if flags land Attr.flag_optional = 0 then
     (* Unrecognized well-known attribute. *)
     fail code E.unrecognized_wellknown "unrecognized well-known attribute %d" typ
   else if flags land Attr.flag_transitive <> 0 then
-    (* Unrecognized optional transitive: keep, set Partial. *)
+    (* Unrecognized optional transitive: keep, set Partial.  The value
+       outlives this decode, so this is the one place attribute bytes
+       are copied out. *)
     p.p_unknown <-
-      { u_type = typ; u_flags = flags lor Attr.flag_partial; u_value = value }
+      { u_type = typ; u_flags = flags lor Attr.flag_partial;
+        u_value = String.sub c.buf c.pos len }
       :: p.p_unknown
   else (* Unrecognized optional non-transitive: silently drop. *)
     ()
 
-let decode_attrs value ~has_nlri =
-  let c = { buf = value; pos = 0; stop = String.length value } in
+(* [c] is a cursor over exactly the attribute bytes. *)
+let decode_attrs c ~has_nlri =
   let p =
     { p_origin = None; p_as_path = None; p_next_hop = None; p_med = None;
       p_local_pref = None; p_atomic = false; p_aggregator = None;
-      p_communities = []; p_unknown = []; p_seen = [] }
+      p_communities = []; p_unknown = []; p_seen_mask = 0; p_seen_hi = [] }
   in
   while remaining c > 0 do
     decode_one_attr c p
@@ -361,34 +398,32 @@ let decode_attrs value ~has_nlri =
          ~communities:p.p_communities ~unknown:(List.rev p.p_unknown) ~next_hop ())
   end
 
-(* The UPDATE envelope: withdrawn routes, the raw attribute bytes, and
-   the NLRI.  Failures here mean the affected prefixes cannot be
-   determined, so RFC 7606 mandates a session reset; failures inside
-   the attribute bytes (parsed later) are scoped to this UPDATE's
-   prefixes and are eligible for treat-as-withdraw. *)
-let decode_update_envelope body =
+(* The UPDATE envelope: withdrawn routes, a cursor over the raw
+   attribute bytes, and the NLRI.  Failures here mean the affected
+   prefixes cannot be determined, so RFC 7606 mandates a session reset;
+   failures inside the attribute bytes (parsed later) are scoped to
+   this UPDATE's prefixes and are eligible for treat-as-withdraw. *)
+let decode_update_envelope c =
   let code = E.update_message in
-  let c = { buf = body; pos = 0; stop = String.length body } in
   let wlen = u16 c ~code ~subcode:E.malformed_attribute_list "withdrawn length" in
-  let wbytes = take c wlen ~code ~subcode:E.malformed_attribute_list "withdrawn routes" in
   let withdrawn =
-    get_prefixes
-      { buf = wbytes; pos = 0; stop = String.length wbytes }
-      ~code ~subcode:E.invalid_network_field
+    within c wlen ~code ~subcode:E.malformed_attribute_list "withdrawn routes"
+      (get_prefixes ~code ~subcode:E.invalid_network_field)
   in
   let alen = u16 c ~code ~subcode:E.malformed_attribute_list "attributes length" in
-  let abytes = take c alen ~code ~subcode:E.malformed_attribute_list "attributes" in
+  need c alen ~code ~subcode:E.malformed_attribute_list "attributes";
+  let acur = { buf = c.buf; pos = c.pos; stop = c.pos + alen } in
+  c.pos <- c.pos + alen;
   let nlri = get_prefixes c ~code ~subcode:E.invalid_network_field in
-  (withdrawn, abytes, nlri)
+  (withdrawn, acur, nlri)
 
-let decode_update body =
-  let withdrawn, abytes, nlri = decode_update_envelope body in
-  let attrs = decode_attrs abytes ~has_nlri:(nlri <> []) in
+let decode_update c =
+  let withdrawn, acur, nlri = decode_update_envelope c in
+  let attrs = decode_attrs acur ~has_nlri:(nlri <> []) in
   Msg.Update { withdrawn; attrs; nlri }
 
-let decode_open body =
+let decode_open c =
   let code = E.open_message in
-  let c = { buf = body; pos = 0; stop = String.length body } in
   let version = u8 c ~code ~subcode:E.unsupported_version "version" in
   if version <> 4 then fail code E.unsupported_version "unsupported BGP version %d" version;
   let my_as = u16 c ~code ~subcode:E.bad_peer_as "my-AS" in
@@ -399,24 +434,27 @@ let decode_open body =
   let bgp_id = u32 c ~code ~subcode:E.bad_bgp_id "BGP identifier" in
   if bgp_id = 0 then fail code E.bad_bgp_id "BGP identifier 0";
   let opt_len = u8 c ~code ~subcode:E.unsupported_version "optional parameters length" in
-  let _opt = take c opt_len ~code ~subcode:E.unsupported_version "optional parameters" in
+  need c opt_len ~code ~subcode:E.unsupported_version "optional parameters";
+  c.pos <- c.pos + opt_len;
   Msg.Open { version; my_as; hold_time; bgp_id = Ipv4.of_int32_exn bgp_id }
 
-let decode_notification body =
+let decode_notification c =
   let code = E.message_header in
-  let c = { buf = body; pos = 0; stop = String.length body } in
   let ecode = u8 c ~code ~subcode:E.bad_length "error code" in
   let subcode = u8 c ~code ~subcode:E.bad_length "error subcode" in
   let data = take c (remaining c) ~code ~subcode:E.bad_length "data" in
   Msg.Notification { code = ecode; subcode; data }
 
 (* Header validation.  Cursor-arithmetic audit: every byte access below
-   and in the body decoders goes through [u8]/[u16]/[u32]/[take], all
-   of which bounds-check via [need] before touching [buf]; [get_prefix]
-   masks its accumulated address to 32 bits before [Ipv4.of_int32_exn];
-   a declared [len] that disagrees with the real buffer length is
-   rejected here before any body decoder runs.  The only failure mode
-   of the strict decoders is therefore [Fail]. *)
+   and in the body decoders goes through [u8]/[u16]/[u32]/[take]/
+   [within], all of which bounds-check via [need] before touching
+   [buf] (the [unsafe_get]s in [u8]/[u16] sit directly behind those
+   checks); [get_prefix] masks its accumulated address to 32 bits
+   before [Ipv4.of_int32_exn]; a declared [len] that disagrees with the
+   real buffer length is rejected here before any body decoder runs.
+   The only failure mode of the strict decoders is therefore [Fail].
+   On success the returned cursor *is* the body: body decoders read the
+   original buffer in place rather than a copied-out substring. *)
 let decode_header buf =
   let c = { buf; pos = 0; stop = String.length buf } in
   let code = E.message_header in
@@ -431,17 +469,16 @@ let decode_header buf =
   if len < header_length || len > max_length then
     fail code E.bad_length "length %d outside [19,4096]" len;
   let typ = u8 c ~code ~subcode:E.bad_type "type" in
-  let body = take c (remaining c) ~code ~subcode:E.bad_length "body" in
-  (typ, body)
+  (typ, c)
 
-let decode_body typ body =
+let decode_body typ c =
   let code = E.message_header in
   match typ with
-  | 1 -> decode_open body
-  | 2 -> decode_update body
-  | 3 -> decode_notification body
+  | 1 -> decode_open c
+  | 2 -> decode_update c
+  | 3 -> decode_notification c
   | 4 ->
-      if body = "" then Msg.Keepalive
+      if remaining c = 0 then Msg.Keepalive
       else fail code E.bad_length "KEEPALIVE with a body"
   | t -> fail code E.bad_type "unknown message type %d" t
 
@@ -469,22 +506,22 @@ let decode_graceful buf =
   | exception Fail e -> Reset e
   | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
   | exception e -> Reset (crash_error e)
-  | 2, body -> (
+  | 2, c -> (
       (* RFC 7606: errors confined to the path attributes of an UPDATE
          whose NLRI fields parse are downgraded to treat-as-withdraw;
          errors in the envelope still reset the session. *)
-      match decode_update_envelope body with
+      match decode_update_envelope c with
       | exception Fail e -> Reset e
       | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
       | exception e -> Reset (crash_error e)
-      | withdrawn, abytes, nlri -> (
-          match decode_attrs abytes ~has_nlri:(nlri <> []) with
+      | withdrawn, acur, nlri -> (
+          match decode_attrs acur ~has_nlri:(nlri <> []) with
           | attrs -> Msg (Msg.Update { withdrawn; attrs; nlri })
           | exception Fail err -> Treat_as_withdraw { withdrawn; nlri; err }
           | exception ((Stack_overflow | Out_of_memory) as e) -> raise e
           | exception e -> Treat_as_withdraw { withdrawn; nlri; err = crash_error e }))
-  | typ, body -> (
-      match decode_body typ body with
+  | typ, c -> (
+      match decode_body typ c with
       | m -> Msg m
       | exception Fail e -> Reset e
       | exception ((Stack_overflow | Out_of_memory) as e) -> raise e

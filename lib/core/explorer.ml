@@ -287,9 +287,19 @@ let explore_peer ~params ~pool ~bugs_of ~suite ~build ~snapshot ~node ~peer_addr
     | Some p when Parallel.Pool.size p > 1 ->
         (* Pool tasks run on other domains, where the DLS span stack is
            empty; re-establish this peer's span path around each replay
-           so its shadow_replay spans and faults keep their parent. *)
+           so its shadow_replay spans and faults keep their parent.
+
+           One job per replay is too fine: a shadow replay on a small
+           snapshot runs tens of microseconds, comparable to the
+           submit/await handshake, which is how domains=4 used to lose
+           to domains=1.  Aim for ~4 chunks per domain — enough slack
+           for load balancing, coarse enough that coordination is
+           noise. *)
+        let chunk =
+          max 1 (List.length tasks / (4 * Parallel.Pool.size p))
+        in
         let path = Telemetry.span_path () in
-        Parallel.Pool.map_list p
+        Parallel.Pool.map_list ~chunk p
           (fun task -> Telemetry.with_path path (fun () -> replay task))
           tasks
     | Some _ | None -> List.map replay tasks

@@ -36,33 +36,53 @@ let is_cancelled timer = timer.state = Cancelled
 
 let pending t = !(t.live)
 
+(* The stepping path is allocation-free: [min_prio]/[pop_value] avoid
+   the [Some (prio, value)] wrapping of [Pqueue.pop], and the batched
+   queue reuses its cells, so draining same-timestamp event bursts
+   costs no minor words beyond what the actions themselves allocate.
+   Cancelled timers still occupy a queue slot and still count as a
+   step — [max_events] accounting must not depend on cancellation
+   timing or corpus replays would diverge. *)
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (prio, timer) -> (
-      match timer.state with
-      | Cancelled | Fired -> true
-      | Pending ->
-          timer.state <- Fired;
-          decr t.live;
-          t.clock <- Time.of_us prio;
-          timer.action ();
-          true)
+  if Pqueue.is_empty t.queue then false
+  else begin
+    let prio = Pqueue.min_prio t.queue in
+    let timer = Pqueue.pop_value t.queue in
+    (match timer.state with
+    | Cancelled | Fired -> ()
+    | Pending ->
+        timer.state <- Fired;
+        decr t.live;
+        t.clock <- Time.of_us prio;
+        timer.action ());
+    true
+  end
 
 let run ?until ?max_events t =
   t.stopping <- false;
+  let horizon = match until with Some u -> Time.to_us u | None -> max_int in
+  let limit = match max_events with Some m -> m | None -> max_int in
   let fired = ref 0 in
-  let continue () =
-    (not t.stopping)
-    && (match max_events with Some m -> !fired < m | None -> true)
-    &&
-    match (Pqueue.peek_prio t.queue, until) with
-    | None, _ -> false
-    | Some p, Some u -> p <= Time.to_us u
-    | Some _, None -> true
-  in
-  while continue () do
-    if step t then incr fired
+  let continue = ref true in
+  (* [step] inlined so the queue's minimum is inspected once per event. *)
+  while !continue do
+    if t.stopping || !fired >= limit || Pqueue.is_empty t.queue then
+      continue := false
+    else begin
+      let prio = Pqueue.min_prio t.queue in
+      if prio > horizon then continue := false
+      else begin
+        let timer = Pqueue.pop_value t.queue in
+        (match timer.state with
+        | Cancelled | Fired -> ()
+        | Pending ->
+            timer.state <- Fired;
+            decr t.live;
+            t.clock <- Time.of_us prio;
+            timer.action ());
+        incr fired
+      end
+    end
   done;
   (* When bounded by [until], advance the clock to the horizon so repeated
      bounded runs observe monotonic time. *)

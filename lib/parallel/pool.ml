@@ -160,9 +160,29 @@ let await_timeout task ~timeout_s =
   in
   loop ()
 
-let map_list pool f xs =
-  let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
-  List.map await tasks
+(* Split into contiguous runs of [size]; the last run may be short. *)
+let chunked size xs =
+  let rec go acc run k = function
+    | [] -> List.rev (List.rev run :: acc)
+    | x :: tl when k = size -> go (List.rev run :: acc) [ x ] 1 tl
+    | x :: tl -> go acc (x :: run) (k + 1) tl
+  in
+  match xs with [] -> [] | x :: tl -> go [] [ x ] 1 tl
+
+let map_list ?(chunk = 1) pool f xs =
+  if chunk <= 1 then
+    let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
+    List.map await tasks
+  else
+    (* One job per contiguous chunk.  Inside a chunk, [f] runs
+       left-to-right on one domain; chunks are awaited in input order.
+       Both the result order and the which-exception-wins rule are
+       therefore the same as with [chunk = 1]: the earliest failing
+       element's exception is the one re-raised. *)
+    let tasks =
+      List.map (fun g -> submit pool (fun () -> List.map f g)) (chunked chunk xs)
+    in
+    List.concat_map await tasks
 
 let shutdown pool =
   Mutex.lock pool.lock;

@@ -123,3 +123,22 @@ let valley_free graph path =
         | Graph.Provider :: _ | Graph.Peer :: _ -> false
       in
       up roles
+
+(* Canonical tiering for an N-router Gao-Rexford topology: a small
+   tier-1 clique (~2%, at least 3 so the clique is a clique), ~18%
+   transit, the rest stubs — the 80/20 edge-heavy shape of the real
+   AS graph, scaled down.  Keeping the split here means the demo
+   driver, the scale benchmark and replayed triage scenarios all build
+   the same graph for the same (nodes, seed). *)
+let tiering ~nodes =
+  if nodes < 5 then invalid_arg "Gao_rexford.tiering: need at least 5 nodes";
+  let t1 = max 3 (nodes / 50) in
+  let transit = max 1 (nodes * 18 / 100) in
+  (t1, transit, max 1 (nodes - t1 - transit))
+
+let scale_params ~nodes =
+  let n_tier1, n_transit, n_stub = tiering ~nodes in
+  { Generate.default_params with Generate.n_tier1; n_transit; n_stub }
+
+let scale_graph ~nodes ~seed =
+  Generate.generate ~params:(scale_params ~nodes) (Netsim.Rng.create seed)

@@ -53,3 +53,14 @@ val config_of : Graph.t -> int -> Bgp.Config.t
 val valley_free : Graph.t -> int list -> bool
 (** Is the node path valley-free (and peering used at most once at the
     top)?  Ground truth for property tests. *)
+
+val tiering : nodes:int -> int * int * int
+(** [(tier1, transit, stub)] counts for an [nodes]-router Internet-like
+    topology: ~2% tier-1 (min 3), ~18% transit, the rest stubs.
+    @raise Invalid_argument when [nodes < 5]. *)
+
+val scale_params : nodes:int -> Generate.params
+val scale_graph : nodes:int -> seed:int -> Graph.t
+(** The canonical [nodes]-router Gao-Rexford benchmark topology for a
+    seed; shared by [dice_demo --topo gao-rexford:N], the [bench scale]
+    workload, and replayed scenarios so they agree on the graph. *)

@@ -1,0 +1,95 @@
+(* The CI regression gate must actually fail on a regression: these
+   tests feed synthetic BENCH.json documents through Benchgate.Gate and
+   check each direction, the margins, and the missing-metric rule. *)
+
+module Json = Telemetry.Json
+open Benchgate
+
+let doc ~decode ~shadows ?(extra = []) () =
+  Json.Obj
+    ([ ( "micro_ns_per_op",
+         Json.Obj [ ("dice/wire/decode-update", Json.Float decode) ] );
+       ( "scale",
+         Json.Obj
+           [ ( "lite",
+               Json.Obj [ ("shadows_per_s", Json.Float shadows) ] ) ] ) ]
+    @ extra)
+
+let baseline = doc ~decode:800. ~shadows:3. ()
+
+let verdicts fresh = Gate.check ~baseline ~fresh ()
+
+let find metric vs =
+  match List.find_opt (fun v -> v.Gate.metric = metric) vs with
+  | Some v -> v
+  | None -> Alcotest.failf "no verdict for %s" metric
+
+let gate_passes_identical_run () =
+  let vs = verdicts baseline in
+  Alcotest.(check int) "both families gated" 2 (List.length vs);
+  Alcotest.(check bool) "identical run passes" true (Gate.all_ok vs)
+
+let gate_passes_within_margin () =
+  (* 2.0x with 50ns slack on micro; shadows may sag to base/1.6 - 0.5. *)
+  let vs = verdicts (doc ~decode:1200. ~shadows:1.5 ()) in
+  Alcotest.(check bool) "noise-sized drift passes" true (Gate.all_ok vs)
+
+let gate_fails_slower_micro () =
+  let vs = verdicts (doc ~decode:2500. ~shadows:3. ()) in
+  Alcotest.(check bool) "regressed decode fails" false
+    (find "micro_ns_per_op.dice/wire/decode-update" vs).Gate.ok;
+  Alcotest.(check bool) "throughput still ok" true
+    (find "scale.lite.shadows_per_s" vs).Gate.ok;
+  Alcotest.(check bool) "all_ok reports the failure" false (Gate.all_ok vs)
+
+let gate_fails_lower_throughput () =
+  (* Higher-is-better: limit is 3/1.6 - 0.5 = 1.375. *)
+  let vs = verdicts (doc ~decode:800. ~shadows:1.0 ()) in
+  Alcotest.(check bool) "collapsed shadows/s fails" false
+    (find "scale.lite.shadows_per_s" vs).Gate.ok
+
+let gate_fails_missing_metric () =
+  let fresh =
+    Json.Obj
+      [ ("micro_ns_per_op",
+         Json.Obj [ ("dice/wire/decode-update", Json.Float 800.) ]) ]
+  in
+  let v = find "scale.lite.shadows_per_s" (verdicts fresh) in
+  Alcotest.(check bool) "gated metric absent from fresh run fails" false v.Gate.ok;
+  Alcotest.(check bool) "reported as missing" true (v.Gate.fresh = None)
+
+let gate_ignores_fresh_only_metrics () =
+  let fresh =
+    doc ~decode:800. ~shadows:3.
+      ~extra:
+        [ ( "micro_minor_words_per_op",
+            Json.Obj [ ("dice/wire/decode-update", Json.Float 1e9) ] ) ]
+      ()
+  in
+  (* A metric with no baseline cannot regress; it starts gating once
+     the baseline is refreshed to include it. *)
+  let vs = verdicts fresh in
+  Alcotest.(check int) "only baseline metrics gated" 2 (List.length vs);
+  Alcotest.(check bool) "fresh-only metric ignored" true (Gate.all_ok vs)
+
+let gate_ungated_names_pass_through () =
+  let baseline =
+    Json.Obj
+      [ ( "scale",
+          Json.Obj [ ("lite", Json.Obj [ ("routes", Json.Int 62_500) ]) ] ) ]
+  in
+  let fresh =
+    Json.Obj
+      [ ("scale", Json.Obj [ ("lite", Json.Obj [ ("routes", Json.Int 10) ]) ]) ]
+  in
+  Alcotest.(check int) "descriptive fields have no rule" 0
+    (List.length (Gate.check ~baseline ~fresh ()))
+
+let suite =
+  [ ("gate: identical run passes", `Quick, gate_passes_identical_run);
+    ("gate: drift within margin passes", `Quick, gate_passes_within_margin);
+    ("gate: slower micro fails", `Quick, gate_fails_slower_micro);
+    ("gate: lower throughput fails", `Quick, gate_fails_lower_throughput);
+    ("gate: missing gated metric fails", `Quick, gate_fails_missing_metric);
+    ("gate: fresh-only metrics ignored", `Quick, gate_ignores_fresh_only_metrics);
+    ("gate: descriptive fields ungated", `Quick, gate_ungated_names_pass_through) ]

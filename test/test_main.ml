@@ -20,4 +20,6 @@ let () =
       ("mangler", Test_mangler.suite);
       ("misc", Test_misc.suite);
       ("triage", Test_triage.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("scale", Test_scale.suite);
+      ("benchgate", Test_benchgate.suite) ]

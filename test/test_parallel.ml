@@ -32,6 +32,41 @@ let pool_exception_propagation () =
       check (Alcotest.list Alcotest.int) "pool usable after failure" [ 1; 2; 3 ]
         (Parallel.Pool.map_list pool Fun.id [ 1; 2; 3 ]))
 
+(* Chunking is a throughput knob, not a semantics knob: every chunk
+   size must produce the sequential result, in order, with the same
+   exception choice. *)
+let pool_chunk_determinism () =
+  let xs = List.init 203 (fun i -> i - 100) in
+  let f i = (i * i) + (3 * i) in
+  let want = List.map f xs in
+  Parallel.Pool.with_pool ~domains:4 (fun pool ->
+      List.iter
+        (fun chunk ->
+          check (Alcotest.list Alcotest.int)
+            (Printf.sprintf "chunk=%d equals sequential map" chunk)
+            want
+            (Parallel.Pool.map_list ~chunk pool f xs))
+        [ 1; 7; 64 ];
+      (* Exception semantics: the first failing element in input order
+         wins regardless of how the list was chunked. *)
+      List.iter
+        (fun chunk ->
+          Alcotest.check_raises
+            (Printf.sprintf "chunk=%d raises first failure" chunk)
+            (Failure "boom11")
+            (fun () ->
+              ignore
+                (Parallel.Pool.map_list ~chunk pool
+                   (fun i ->
+                     if i >= 11 then failwith (Printf.sprintf "boom%d" i)
+                     else i)
+                   (List.init 40 Fun.id))))
+        [ 1; 7; 64 ]);
+  (* Chunked dispatch composes with the inline degenerate pool too. *)
+  Parallel.Pool.with_pool ~domains:1 (fun pool ->
+      check (Alcotest.list Alcotest.int) "chunk=7 on a sequential pool" want
+        (Parallel.Pool.map_list ~chunk:7 pool f xs))
+
 (* A job that fans out on the same pool and awaits: help-first await
    must keep this deadlock-free even with every worker occupied. *)
 let pool_nested_submission () =
@@ -239,6 +274,8 @@ let explore_node_parallel_deterministic () =
 
 let suite =
   [ ("pool: map_list ordering", `Quick, pool_map_list_ordering);
+    ("pool: chunk sizes are semantically invisible", `Quick,
+     pool_chunk_determinism);
     ("pool: exception propagation", `Quick, pool_exception_propagation);
     ("pool: nested submission is deadlock-free", `Quick, pool_nested_submission);
     ("pool: submit/await", `Quick, pool_submit_await);
