@@ -129,11 +129,37 @@ let start_adversary build graph seed rate =
   end
   else None
 
+(* Under --confuzz: apply N seeded operator-error config mutations to
+   the live routers before exploring, so DiCE hunts for faults caused
+   by the configuration itself.  At 0 no RNG is created and no config
+   is touched, so the run is identical to one without --confuzz. *)
+let start_confuzz build graph seed n =
+  if n <= 0 then []
+  else begin
+    let rng = Netsim.Rng.create (seed lxor 0xC0F2) in
+    let ctx = Confuzz.Mutation.ctx_of_graph graph in
+    let rec gen acc k tries =
+      if k = 0 || tries = 0 then List.rev acc
+      else
+        match Confuzz.Mutation.random ~rng ~parent:(List.rev acc) ctx with
+        | None -> gen acc k (tries - 1)
+        | Some m -> (
+            match
+              Confuzz.Mutation.apply_speaker (Topology.Build.speaker build) m
+            with
+            | Ok () ->
+                Printf.printf "confuzz: %s\n%!" (Confuzz.Mutation.describe m);
+                gen (m :: acc) (k - 1) (tries - 1)
+            | Error _ -> gen acc k (tries - 1))
+    in
+    gen [] n (8 * n)
+  end
+
 (* Under --corpus: describe this very run as a replayable triage
    scenario, so every live detection can be confirmed headlessly,
    delta-minimized and filed. *)
 let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
-    ~churned =
+    ~confuzz ~churned =
   let scenario_topo =
     match gao_rexford_nodes topo nodes with
     | Some n ->
@@ -164,6 +190,7 @@ let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
           dp_settle_sec = 10.;
           dp_churn = Option.value churn_sched ~default:[];
           dp_mangle = mangle;
+          dp_confuzz = confuzz;
           dp_mode =
             Triage.Scenario.Explore
               { Triage.Scenario.default_exploration with
@@ -173,8 +200,8 @@ let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
                 ex_deadline_sec = (if churned then Some 30. else None) } })
     scenario_topo
 
-let run topo nodes seed fault rounds churn adversary mangle_rate corpus_dir
-    dot_file telemetry_file report verbose =
+let run topo nodes seed fault rounds churn adversary mangle_rate confuzz
+    corpus_dir dot_file telemetry_file report verbose =
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -187,6 +214,7 @@ let run topo nodes seed fault rounds churn adversary mangle_rate corpus_dir
     (Topology.Build.established_sessions build);
   let inject = scenario_of_fault fault in
   inject_scenario build inject;
+  let confuzz_ms = start_confuzz build graph seed confuzz in
   Topology.Build.run_for build (Netsim.Time.span_sec 10.);
   let gt = Dice.Checks.ground_truth_of_graph graph in
   let rounds =
@@ -233,7 +261,7 @@ let run topo nodes seed fault rounds churn adversary mangle_rate corpus_dir
         in
         match
           scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched
-            ~mangle ~churned:(churn || adversary_on)
+            ~mangle ~confuzz:confuzz_ms ~churned:(churn || adversary_on)
         with
         | None ->
             print_endline
@@ -390,6 +418,18 @@ let mangle_rate =
   in
   Arg.(value & opt float 0.05 & info [ "mangle-rate" ] ~docv:"RATE" ~doc)
 
+let confuzz =
+  let doc =
+    "Apply $(docv) seeded operator-error configuration mutations (from the \
+     confuzz catalog: constant typos, flipped actions, dropped or shadowed \
+     clauses, dangling map references, mis-tagged TE pins) to the live \
+     routers before exploring.  At 0 the run is bit-identical to one \
+     without --confuzz.  Composes with --churn, --adversary, --telemetry \
+     and --corpus (mutations are recorded in filed scenarios and \
+     delta-minimized like any other schedule)."
+  in
+  Arg.(value & opt int 0 & info [ "confuzz" ] ~docv:"N" ~doc)
+
 let corpus_dir =
   let doc =
     "File every detection into the regression corpus at $(docv) \
@@ -438,6 +478,7 @@ let cmd =
       `Pre "  dice_demo -t gadget -f dispute  # detect a BAD GADGET dispute wheel";
       `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash";
       `Pre "  dice_demo --adversary           # mangle the wire, catch the codec crash";
+      `Pre "  dice_demo -t gadget --confuzz 3 --corpus dice-corpus  # operator-error hunt";
       `Pre "  dice_demo -t gao-rexford:200 -r 3  # 200-router Internet-like tiering";
       `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder";
       `Pre "  dice_demo -f hijack --corpus dice-corpus  # auto-minimize + file repros" ]
@@ -446,6 +487,7 @@ let cmd =
     (Cmd.info "dice_demo" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ adversary
-      $ mangle_rate $ corpus_dir $ dot_file $ telemetry_file $ report $ verbose)
+      $ mangle_rate $ confuzz $ corpus_dir $ dot_file $ telemetry_file $ report
+      $ verbose)
 
 let () = exit (Cmd.eval cmd)

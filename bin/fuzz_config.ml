@@ -1,0 +1,122 @@
+(* Coverage-guided configuration fuzzer.
+
+   Deploys the embedded gadget topology (12 routers, Gao-Rexford
+   policies over a potential dispute wheel), then spends the budget
+   injecting seeded operator errors from the confuzz mutation catalog
+   — guided by clause coverage of the deployed route maps: mutants
+   that light up new policy clauses or surface new fault signatures
+   stay in the pool and are mutated further.
+
+   Every finding is a deterministic triage scenario (the mutation list
+   is part of it), so it is delta-minimized like a wire repro — the
+   mutation list itself is ddmin'd — and filed into a dice-corpus/1
+   directory for `dice_triage replay CORPUS_DIR`.  The process exits
+   nonzero when it finds anything, so CI can archive the corpus.
+
+   Usage: fuzz_config [BUDGET [SEED [CORPUS_DIR]]] [flags]
+   Defaults: budget 150 mutants, seed 1, corpus dir "confuzz-corpus". *)
+
+let defaults =
+  { Confuzz.Cli.cl_budget = 150; cl_seed = 1; cl_corpus = "confuzz-corpus" }
+
+let scenario_of ~seed stack =
+  let dr_node =
+    match stack with m :: _ -> Confuzz.Mutation.node_of m | [] -> 0
+  in
+  Triage.Scenario.Deploy
+    { Triage.Scenario.dp_topo = Triage.Scenario.Gadget;
+      dp_keep = None;
+      dp_seed = seed;
+      dp_inject = None;
+      dp_settle_sec = 5.;
+      dp_churn = [];
+      dp_mangle = None;
+      dp_confuzz = stack;
+      dp_mode = Triage.Scenario.Direct { dr_node; dr_peer = 0; dr_input = None } }
+
+let () =
+  let report_path = ref "confuzz-report.json" in
+  let compare_random = ref false in
+  let max_stack = ref Confuzz.Loop.default_params.Confuzz.Loop.p_max_stack in
+  let minimize_tests = ref 200 in
+  let { Confuzz.Cli.cl_budget = budget; cl_seed = seed; cl_corpus = corpus_dir } =
+    Confuzz.Cli.parse ~prog:"fuzz_config" ~defaults
+      ~specs:
+        [ Confuzz.Cli.Str
+            ( "--report",
+              (fun s -> report_path := s),
+              "write the dice-confuzz-cov/1 coverage report here (default \
+               confuzz-report.json)" );
+          Confuzz.Cli.Flag
+            ( "--compare-random",
+              (fun () -> compare_random := true),
+              "also run an unguided arm under the same seed and budget, \
+               recorded in the report" );
+          Confuzz.Cli.Int
+            ( "--max-stack",
+              (fun n -> max_stack := n),
+              "mutations per mutant cap (default 4)" );
+          Confuzz.Cli.Int
+            ( "--minimize-tests",
+              (fun n -> minimize_tests := n),
+              "replay budget when minimizing each finding (default 200)" ) ]
+      Sys.argv
+  in
+  let graph = Topology.Gadget.embedded () in
+  let ctx = Confuzz.Mutation.ctx_of_graph graph in
+  let run_mutant stack =
+    (Triage.Scenario.run (scenario_of ~seed stack)).Triage.Scenario.o_signatures
+  in
+  let arm guided =
+    Confuzz.Loop.run
+      ~params:
+        { Confuzz.Loop.p_budget = budget;
+          p_seed = seed;
+          p_guided = guided;
+          p_max_stack = !max_stack }
+      ~ctx ~run_mutant ()
+  in
+  (* The unguided comparison arm runs first so the final metric state
+     in the report belongs to the guided campaign. *)
+  let random = if !compare_random then Some (arm false) else None in
+  let guided = arm true in
+  Confuzz.Report.write ~path:!report_path
+    (Confuzz.Report.to_json ~guided ?random ());
+  Format.printf "%t%!" (fun ppf ->
+      Confuzz.Report.pp_summary ppf ~guided ?random ());
+  Printf.printf "fuzz_config: wrote coverage report to %s\n%!" !report_path;
+  match guided.Confuzz.Loop.rs_findings with
+  | [] ->
+      Printf.printf "fuzz_config: %d mutant(s), no faults found\n" budget
+  | findings ->
+      List.iter
+        (fun (f : Confuzz.Loop.finding) ->
+          let scenario = scenario_of ~seed f.Confuzz.Loop.f_mutations in
+          List.iter
+            (fun m ->
+              Printf.eprintf "fuzz_config: FAULT via %s\n"
+                (Confuzz.Mutation.describe m))
+            f.Confuzz.Loop.f_mutations;
+          match f.Confuzz.Loop.f_signatures with
+          | [] -> ()
+          | sg :: _ ->
+              let r =
+                Triage.Minimize.run ~max_tests:!minimize_tests ~target:sg
+                  scenario
+              in
+              let entry =
+                Triage.Corpus.add ~dir:corpus_dir sg r.Triage.Minimize.r_minimized
+              in
+              Printf.eprintf
+                "  %s\n  minimized size %d -> %d, filed %s (hits %d)\n"
+                (Triage.Signature.to_string sg)
+                r.Triage.Minimize.r_original_size
+                r.Triage.Minimize.r_minimized_size
+                (Filename.concat corpus_dir (Triage.Corpus.filename_of sg))
+                entry.Triage.Corpus.e_hits)
+        findings;
+      Printf.eprintf
+        "fuzz_config: %d finding(s) filed into %s/ (dice-corpus/1; replay \
+         with `dice_triage replay %s`)\n"
+        (List.length findings) corpus_dir corpus_dir;
+      exit 1

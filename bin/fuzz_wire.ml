@@ -15,7 +15,7 @@
    [dice_triage replay CORPUS_DIR] reproduces them; the process exits
    nonzero so CI can archive the corpus.
 
-   Usage: fuzz_wire [CASES] [SEED] [CORPUS_DIR]
+   Usage: fuzz_wire [CASES] [SEED] [CORPUS_DIR]   (also --budget/--seed/--corpus)
    Defaults: 10000 cases, seed 1, corpus dir "fuzz-corpus". *)
 
 let hex s =
@@ -77,10 +77,12 @@ let mangled_case rng =
   Netsim.Mangler.mutate rng kind raw
 
 let () =
-  let arg n default = if Array.length Sys.argv > n then Sys.argv.(n) else default in
-  let cases = int_of_string (arg 1 "10000") in
-  let seed = int_of_string (arg 2 "1") in
-  let corpus_dir = arg 3 "fuzz-corpus" in
+  let { Confuzz.Cli.cl_budget = cases; cl_seed = seed; cl_corpus = corpus_dir } =
+    Confuzz.Cli.parse ~prog:"fuzz_wire"
+      ~defaults:
+        { Confuzz.Cli.cl_budget = 10000; cl_seed = 1; cl_corpus = "fuzz-corpus" }
+      Sys.argv
+  in
   let rng = Netsim.Rng.create seed in
   for _ = 1 to cases do
     classify (random_bytes rng);

@@ -1,0 +1,147 @@
+type what =
+  | Wmatch of int * bool
+  | Waction
+  | Wset of int
+  | Wfall
+
+type point = { pt_node : int; pt_map : string; pt_seq : int; pt_what : what }
+
+let what_rank = function
+  | Wmatch _ -> 0
+  | Waction -> 1
+  | Wset _ -> 2
+  | Wfall -> 3
+
+let compare_what a b =
+  match (a, b) with
+  | Wmatch (i, oi), Wmatch (j, oj) ->
+      let c = Int.compare i j in
+      if c <> 0 then c else Bool.compare oi oj
+  | Wset i, Wset j -> Int.compare i j
+  | _ -> Int.compare (what_rank a) (what_rank b)
+
+let compare_point a b =
+  let c = Int.compare a.pt_node b.pt_node in
+  if c <> 0 then c
+  else
+    let c = String.compare a.pt_map b.pt_map in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.pt_seq b.pt_seq in
+      if c <> 0 then c else compare_what a.pt_what b.pt_what
+
+let id_of p =
+  let what =
+    match p.pt_what with
+    | Wmatch (i, o) -> Printf.sprintf "m%d=%c" i (if o then 'T' else 'F')
+    | Waction -> "act"
+    | Wset i -> Printf.sprintf "s%d" i
+    | Wfall -> "fall"
+  in
+  Printf.sprintf "n%d/%s/e%d/%s" p.pt_node p.pt_map p.pt_seq what
+
+(* Universe and counter cache.  The mutex guards the hashtables only;
+   hit counts themselves are Metrics counters (atomic) so the observer
+   takes the lock once per new point, not per hit. *)
+let lock = Mutex.create ()
+let universe : (string, point) Hashtbl.t = Hashtbl.create 512
+let counters : (string, Telemetry.Metrics.counter) Hashtbl.t = Hashtbl.create 512
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter_of id =
+  match Hashtbl.find_opt counters id with
+  | Some c -> c
+  | None ->
+      let c = Telemetry.Metrics.counter ("confuzz.cov." ^ id) in
+      Hashtbl.add counters id c;
+      c
+
+let add_point p =
+  let id = id_of p in
+  if not (Hashtbl.mem universe id) then Hashtbl.add universe id p;
+  counter_of id
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let record site ~seq pt =
+  let what =
+    match (pt : Policy.cov_point) with
+    | Policy.Cov_match { idx; outcome } -> Wmatch (idx, outcome)
+    | Policy.Cov_action -> Waction
+    | Policy.Cov_set i -> Wset i
+    | Policy.Cov_fallthrough -> Wfall
+  in
+  let p =
+    { pt_node = site.Policy.cs_node;
+      pt_map = site.Policy.cs_map;
+      pt_seq = seq;
+      pt_what = what }
+  in
+  let c = with_lock (fun () -> add_point p) in
+  Telemetry.Metrics.incr c
+
+let enable () =
+  Atomic.set on true;
+  Policy.set_cov_observer (Some record)
+
+let disable () =
+  Atomic.set on false;
+  Policy.set_cov_observer None
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Telemetry.Metrics.reset c) counters;
+      Hashtbl.reset universe)
+
+let register_config ~node (cfg : Config.t) =
+  with_lock (fun () ->
+      List.iter
+        (fun (name, map) ->
+          let pt seq what = { pt_node = node; pt_map = name; pt_seq = seq; pt_what = what } in
+          List.iter
+            (fun (e : Policy.entry) ->
+              List.iteri
+                (fun i _ ->
+                  ignore (add_point (pt e.Policy.seq (Wmatch (i, true))));
+                  ignore (add_point (pt e.Policy.seq (Wmatch (i, false)))))
+                e.Policy.matches;
+              ignore (add_point (pt e.Policy.seq Waction));
+              List.iteri
+                (fun i _ -> ignore (add_point (pt e.Policy.seq (Wset i))))
+                e.Policy.sets)
+            map;
+          ignore (add_point (pt (-1) Wfall)))
+        (Config.referenced_maps cfg))
+
+let snapshot () =
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun id p acc -> (p, Telemetry.Metrics.value (counter_of id)) :: acc)
+        universe [])
+  |> List.sort (fun (a, _) (b, _) -> compare_point a b)
+
+let universe_size () = with_lock (fun () -> Hashtbl.length universe)
+
+let covered () =
+  with_lock (fun () ->
+      Hashtbl.fold
+        (fun id _ acc ->
+          if Telemetry.Metrics.value (counter_of id) > 0 then acc + 1 else acc)
+        universe 0)
+
+let hits p =
+  let id = id_of p in
+  with_lock (fun () ->
+      if Hashtbl.mem universe id then Telemetry.Metrics.value (counter_of id) else 0)
+
+let uncovered () =
+  snapshot () |> List.filter_map (fun (p, n) -> if n = 0 then Some p else None)
+
+let site ~node map =
+  match map with
+  | Some m when enabled () -> Some { Policy.cs_node = node; cs_map = m }
+  | _ -> None

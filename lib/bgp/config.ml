@@ -61,6 +61,42 @@ let validate t =
     t.neighbors;
   match !errs with [] -> Ok () | l -> Error (List.rev l)
 
+let referenced_map_names t =
+  List.concat_map
+    (fun n -> List.filter_map Fun.id [ n.import_map; n.export_map ])
+    t.neighbors
+  |> List.sort_uniq String.compare
+
+let referenced_maps t =
+  let used = referenced_map_names t in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name || not (List.mem name used) then false
+      else begin
+        Hashtbl.add seen name ();
+        true
+      end)
+    t.route_maps
+
+let lint t =
+  let warns = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warns := s :: !warns) fmt in
+  let used = referenced_map_names t in
+  List.iter
+    (fun (name, map) ->
+      if not (List.mem name used) then
+        warn "route-map %s is defined but never referenced" name;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Policy.entry) ->
+          if Hashtbl.mem seen e.Policy.seq then
+            warn "route-map %s: duplicate entry sequence %d" name e.Policy.seq
+          else Hashtbl.add seen e.Policy.seq ())
+        map)
+    t.route_maps;
+  List.rev !warns
+
 (* ------------------------------------------------------------------ *)
 (* Parser                                                              *)
 (* ------------------------------------------------------------------ *)

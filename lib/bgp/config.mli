@@ -60,6 +60,18 @@ val validate : t -> (unit, string list) result
 (** Checks referential integrity (route-map names), uniqueness of
     neighbor addresses, ASN ranges, and hold-time validity. *)
 
+val lint : t -> string list
+(** Warnings on a {e valid} configuration: route-maps that are defined
+    but referenced by no neighbor, and duplicate entry sequence numbers
+    within one map.  Kept separate from {!validate} so tooling (the
+    config fuzzer in particular) can distinguish "invalid config" from
+    "valid but suspect config". *)
+
+val referenced_maps : t -> (string * Policy.t) list
+(** Route maps referenced by at least one neighbor, in definition
+    order, first binding per name.  This is the clause-coverage
+    universe: unreferenced maps are dead text (see {!lint}). *)
+
 type parse_error = { line : int; message : string }
 
 val parse : string -> (t, parse_error) result

@@ -91,7 +91,23 @@ let apply_set clause (attrs : Attr.t) =
       { attrs with as_path = As_path.prepend_n asn n attrs.as_path }
   | Set_next_hop nh -> { attrs with next_hop = nh }
 
-let apply t prefix attrs =
+(* --- clause coverage ------------------------------------------------ *)
+
+type cov_site = { cs_node : int; cs_map : string }
+
+type cov_point =
+  | Cov_match of { idx : int; outcome : bool }
+  | Cov_action
+  | Cov_set of int
+  | Cov_fallthrough
+
+type cov_observer = cov_site -> seq:int -> cov_point -> unit
+
+let observer : cov_observer option Atomic.t = Atomic.make None
+let set_cov_observer f = Atomic.set observer f
+let cov_on () = Atomic.get observer <> None
+
+let apply_plain t prefix attrs =
   let rec go = function
     | [] -> None
     | e :: rest ->
@@ -102,6 +118,48 @@ let apply t prefix attrs =
         else go rest
   in
   go t
+
+(* Same evaluation order and short-circuiting as [apply_plain]: a match
+   clause after a failing one is never evaluated, so a shadowed clause
+   never records a hit. *)
+let apply_observed obs t prefix attrs =
+  let rec go = function
+    | [] ->
+        obs ~seq:(-1) Cov_fallthrough;
+        None
+    | e :: rest ->
+        let rec all i = function
+          | [] -> true
+          | m :: ms ->
+              let r = matches_route m prefix attrs in
+              obs ~seq:e.seq (Cov_match { idx = i; outcome = r });
+              r && all (i + 1) ms
+        in
+        if all 0 e.matches then begin
+          obs ~seq:e.seq Cov_action;
+          match e.action with
+          | Deny -> None
+          | Permit ->
+              let _, attrs =
+                List.fold_left
+                  (fun (i, a) s ->
+                    obs ~seq:e.seq (Cov_set i);
+                    (i + 1, apply_set s a))
+                  (0, attrs) e.sets
+              in
+              Some attrs
+        end
+        else go rest
+  in
+  go t
+
+let apply ?site t prefix attrs =
+  match site with
+  | None -> apply_plain t prefix attrs
+  | Some s -> (
+      match Atomic.get observer with
+      | None -> apply_plain t prefix attrs
+      | Some f -> apply_observed (fun ~seq pt -> f s ~seq pt) t prefix attrs)
 
 let pp_action ppf = function
   | Permit -> Format.pp_print_string ppf "permit"

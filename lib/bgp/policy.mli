@@ -59,7 +59,38 @@ val normalize : t -> t
 val matches_route : match_clause -> Prefix.t -> Attr.t -> bool
 val apply_set : set_clause -> Attr.t -> Attr.t
 
-val apply : t -> Prefix.t -> Attr.t -> Attr.t option
-(** [None] when the route is rejected. *)
+(** {1 Clause coverage instrumentation}
+
+    When a coverage observer is installed ({!set_cov_observer}) and the
+    caller identifies the evaluation with a [?site], {!apply} reports
+    every clause it evaluates and the outcome.  Evaluation order and
+    short-circuiting are identical to the uninstrumented path: a match
+    clause after a failing one in the same entry is never evaluated and
+    therefore never reported, and an entry shadowed by an earlier
+    deciding entry records nothing — shadowed policy text shows up as
+    uncovered, which is exactly the signal the config fuzzer steers by. *)
+
+type cov_site = { cs_node : int; cs_map : string }
+(** Which router and which route map an evaluation belongs to. *)
+
+type cov_point =
+  | Cov_match of { idx : int; outcome : bool }
+      (** match clause [idx] of the entry evaluated to [outcome] *)
+  | Cov_action  (** the entry decided the route (all matches held) *)
+  | Cov_set of int  (** set clause [idx] was applied (Permit only) *)
+  | Cov_fallthrough  (** no entry matched: default deny ([seq] = -1) *)
+
+type cov_observer = cov_site -> seq:int -> cov_point -> unit
+
+val set_cov_observer : cov_observer option -> unit
+(** Install (or clear) the process-global observer.  Observation costs
+    one [Atomic.get] per {!apply} when no [?site] is passed. *)
+
+val cov_on : unit -> bool
+(** Is an observer currently installed? *)
+
+val apply : ?site:cov_site -> t -> Prefix.t -> Attr.t -> Attr.t option
+(** [None] when the route is rejected.  [site] is only used for
+    coverage reporting and never changes the result. *)
 
 val pp : Format.formatter -> t -> unit

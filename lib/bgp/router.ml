@@ -140,7 +140,12 @@ let export_for t (n : Config.neighbor) prefix (route : Rib.route) =
       if ebgp then { route.attrs with Attr.local_pref = None; med = None }
       else route.attrs
     in
-    match Policy.apply (effective_policy t (Config.export_policy t.cfg n)) prefix attrs with
+    match
+      Policy.apply
+        ?site:(Clause_cov.site ~node:t.node n.Config.export_map)
+        (effective_policy t (Config.export_policy t.cfg n))
+        prefix attrs
+    with
     | None -> None
     | Some attrs ->
         if not ebgp then Some attrs
@@ -275,7 +280,12 @@ let import_route t (n : Config.neighbor) prefix (attrs : Attr.t) =
   let ebgp = not (is_ibgp t n) in
   (* RFC 4271: LOCAL_PREF received over eBGP must be ignored. *)
   let attrs = if ebgp then { attrs with Attr.local_pref = None } else attrs in
-  match Policy.apply (effective_policy t (Config.import_policy t.cfg n)) prefix attrs with
+  match
+    Policy.apply
+      ?site:(Clause_cov.site ~node:t.node n.Config.import_map)
+      (effective_policy t (Config.import_policy t.cfg n))
+      prefix attrs
+  with
   | None -> None
   | Some attrs ->
       Some

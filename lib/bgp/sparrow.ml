@@ -111,7 +111,12 @@ let export_attrs t (p : peer) prefix (attrs, via) =
       let attrs =
         if ebgp then { attrs with Attr.local_pref = None; med = None } else attrs
       in
-      match Policy.apply (Config.export_policy t.cfg p.p_cfg) prefix attrs with
+      match
+        Policy.apply
+          ?site:(Clause_cov.site ~node:t.node p.p_cfg.Config.export_map)
+          (Config.export_policy t.cfg p.p_cfg)
+          prefix attrs
+      with
       | None -> None
       | Some attrs ->
           if not ebgp then Some attrs
@@ -183,7 +188,12 @@ let handle_update t (p : peer) (u : Msg.update) =
       let attrs = if ebgp then { attrs with Attr.local_pref = None } else attrs in
       List.iter
         (fun prefix ->
-          (match Policy.apply (Config.import_policy t.cfg p.p_cfg) prefix attrs with
+          (match
+             Policy.apply
+               ?site:(Clause_cov.site ~node:t.node p.p_cfg.Config.import_map)
+               (Config.import_policy t.cfg p.p_cfg)
+               prefix attrs
+           with
           | Some imported -> p.p_in <- Prefix_trie.add prefix imported p.p_in
           | None -> p.p_in <- Prefix_trie.remove prefix p.p_in);
           reselect t prefix)

@@ -1,0 +1,90 @@
+type common = { cl_budget : int; cl_seed : int; cl_corpus : string }
+
+type spec =
+  | Flag of string * (unit -> unit) * string
+  | Int of string * (int -> unit) * string
+  | Str of string * (string -> unit) * string
+
+let spec_name = function Flag (n, _, _) | Int (n, _, _) | Str (n, _, _) -> n
+let spec_doc = function Flag (_, _, d) | Int (_, _, d) | Str (_, _, d) -> d
+
+let spec_arg = function
+  | Flag _ -> ""
+  | Int _ -> " N"
+  | Str _ -> " ARG"
+
+let usage ~prog ~defaults ~specs =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "usage: %s [BUDGET [SEED [CORPUS_DIR]]] [flags]\n" prog);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  defaults: budget %d, seed %d, corpus dir %S\n\nflags:\n"
+       defaults.cl_budget defaults.cl_seed defaults.cl_corpus);
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "  %s%s\t%s\n" (spec_name s) (spec_arg s) (spec_doc s)))
+    ([ Int ("--budget", ignore, "fuzzing budget (cases / mutant runs)");
+       Int ("--seed", ignore, "RNG seed");
+       Str ("--corpus", ignore, "corpus directory for minimized findings") ]
+    @ specs);
+  Buffer.contents b
+
+let parse ~prog ~defaults ?(specs = []) argv =
+  let budget = ref defaults.cl_budget in
+  let seed = ref defaults.cl_seed in
+  let corpus = ref defaults.cl_corpus in
+  let die msg =
+    Printf.eprintf "%s: %s\n%s" prog msg (usage ~prog ~defaults ~specs);
+    exit 2
+  in
+  let int_of name v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> die (Printf.sprintf "%s: expected an integer, got %S" name v)
+  in
+  let all_specs =
+    [ Int ("--budget", (fun n -> budget := n), "");
+      Int ("--seed", (fun n -> seed := n), "");
+      Str ("--corpus", (fun s -> corpus := s), "") ]
+    @ specs
+  in
+  let positional = ref 0 in
+  let n = Array.length argv in
+  let rec go i =
+    if i < n then begin
+      let a = argv.(i) in
+      if String.equal a "--help" || String.equal a "-h" then begin
+        print_string (usage ~prog ~defaults ~specs);
+        exit 0
+      end
+      else if String.length a > 1 && a.[0] = '-' && not (String.length a > 1 && a.[1] >= '0' && a.[1] <= '9')
+      then begin
+        match List.find_opt (fun s -> String.equal (spec_name s) a) all_specs with
+        | None -> die (Printf.sprintf "unknown flag %s" a)
+        | Some (Flag (_, f, _)) ->
+            f ();
+            go (i + 1)
+        | Some (Int (name, f, _)) ->
+            if i + 1 >= n then die (Printf.sprintf "%s needs an argument" name);
+            f (int_of name argv.(i + 1));
+            go (i + 2)
+        | Some (Str (name, f, _)) ->
+            if i + 1 >= n then die (Printf.sprintf "%s needs an argument" name);
+            f argv.(i + 1);
+            go (i + 2)
+      end
+      else begin
+        (match !positional with
+        | 0 -> budget := int_of "BUDGET" a
+        | 1 -> seed := int_of "SEED" a
+        | 2 -> corpus := a
+        | _ -> die (Printf.sprintf "surplus positional argument %S" a));
+        incr positional;
+        go (i + 1)
+      end
+    end
+  in
+  go 1;
+  { cl_budget = !budget; cl_seed = !seed; cl_corpus = !corpus }

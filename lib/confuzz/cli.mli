@@ -1,0 +1,22 @@
+(** Shared command-line handling for the fuzzer binaries.
+
+    [fuzz_wire] and [fuzz_config] take the same three knobs — budget,
+    seed, corpus directory — accepted both positionally
+    ([BUDGET [SEED [CORPUS_DIR]]], the historical [fuzz_wire]
+    interface CI relies on) and as [--budget]/[--seed]/[--corpus]
+    flags.  Binary-specific flags ride along via [specs]. *)
+
+type common = { cl_budget : int; cl_seed : int; cl_corpus : string }
+
+type spec =
+  | Flag of string * (unit -> unit) * string  (** name, action, doc *)
+  | Int of string * (int -> unit) * string
+  | Str of string * (string -> unit) * string
+
+val parse :
+  prog:string -> defaults:common -> ?specs:spec list -> string array -> common
+(** Parses [argv] (element 0 ignored).  [--help] prints usage and
+    exits 0; unknown flags, malformed integers and surplus positionals
+    print usage to stderr and exit 2. *)
+
+val usage : prog:string -> defaults:common -> specs:spec list -> string

@@ -1,0 +1,65 @@
+(** The coverage-guided fuzzing loop.
+
+    One campaign: seed the {!Bgp.Clause_cov} universe from the deployed
+    configurations, run an unmutated baseline to establish base
+    coverage and the baseline fault signatures, then spend the budget
+    evolving a pool of mutation stacks.  Each round extends a pool
+    member (or starts fresh) with one mutation — targeted at an
+    uncovered clause when guided, drawn uniformly otherwise — runs it
+    through the caller's [run_mutant], and keeps the stack iff it
+    increased cumulative clause coverage or surfaced a signature not
+    seen before (baseline signatures never count as findings).
+
+    The loop owns coverage enablement: it resets, registers and enables
+    the registry on entry and always disables it on exit, so a
+    campaign leaves policy evaluation on the uninstrumented path. *)
+
+type params = {
+  p_budget : int;  (** mutant executions after the baseline *)
+  p_seed : int;
+  p_guided : bool;
+      (** target uncovered clauses; [false] = uniform random mutation
+          (the comparison arm of the coverage report) *)
+  p_max_stack : int;  (** mutations per mutant cap *)
+}
+
+val default_params : params
+(** budget 60, seed 1, guided, max stack 4. *)
+
+type finding = {
+  f_mutations : Mutation.t list;
+  f_signatures : Dice.Signature.t list;
+      (** signatures new to the campaign (not baseline, not earlier
+          rounds) *)
+}
+
+type round = {
+  r_index : int;  (** 1-based *)
+  r_mutations : Mutation.t list;
+  r_new_signatures : Dice.Signature.t list;
+  r_covered : int;  (** cumulative covered points after this round *)
+  r_kept : bool;
+}
+
+type result = {
+  rs_params : params;
+  rs_universe : int;  (** final universe size (baseline + discovered) *)
+  rs_baseline_covered : int;
+  rs_covered : int;
+  rs_rounds : round list;  (** chronological *)
+  rs_findings : finding list;  (** chronological *)
+  rs_uncovered : Bgp.Clause_cov.point list;
+}
+
+val run :
+  ?params:params ->
+  ctx:Mutation.ctx ->
+  run_mutant:(Mutation.t list -> Dice.Signature.t list) ->
+  unit ->
+  result
+(** [run_mutant ms] must deploy a fresh network from the same
+    topology as [ctx], apply [ms] to the live speakers, exercise it
+    (converge / explore) and return every detected fault signature.
+    It is called once with [[]] for the baseline.  Candidate stacks
+    are pre-validated with {!Mutation.apply_config} against [ctx], so
+    [run_mutant] never sees an inapplicable mutation. *)

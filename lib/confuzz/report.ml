@@ -1,0 +1,48 @@
+module J = Telemetry.Json
+
+let version = "dice-confuzz-cov/1"
+
+let curve (r : Loop.result) =
+  List.map (fun (rd : Loop.round) -> J.Int rd.Loop.r_covered) r.Loop.rs_rounds
+
+let arm_to_json (r : Loop.result) =
+  let p = r.Loop.rs_params in
+  J.Obj
+    [ ("budget", J.Int p.Loop.p_budget);
+      ("seed", J.Int p.Loop.p_seed);
+      ("guided", J.Bool p.Loop.p_guided);
+      ("universe", J.Int r.Loop.rs_universe);
+      ("baseline_covered", J.Int r.Loop.rs_baseline_covered);
+      ("covered", J.Int r.Loop.rs_covered);
+      ("curve", J.List (curve r));
+      ("kept",
+       J.Int (List.length (List.filter (fun (rd : Loop.round) -> rd.Loop.r_kept) r.Loop.rs_rounds)));
+      ("findings", J.Int (List.length r.Loop.rs_findings));
+      ("uncovered",
+       J.List (List.map (fun pt -> J.String (Bgp.Clause_cov.id_of pt)) r.Loop.rs_uncovered)) ]
+
+let to_json ~guided ?random () =
+  J.Obj
+    [ ("version", J.String version);
+      ("guided", arm_to_json guided);
+      ("random", (match random with Some r -> arm_to_json r | None -> J.Null));
+      ("metrics", J.Obj (Telemetry.Metrics.filtered ~prefix:"confuzz." ())) ]
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc (J.to_string json);
+  output_char oc '\n'
+
+let pp_arm ppf name (r : Loop.result) =
+  Format.fprintf ppf "%s: coverage %d/%d -> %d/%d, %d finding(s) in %d round(s)@ "
+    name r.Loop.rs_baseline_covered r.Loop.rs_universe r.Loop.rs_covered
+    r.Loop.rs_universe
+    (List.length r.Loop.rs_findings)
+    (List.length r.Loop.rs_rounds)
+
+let pp_summary ppf ~guided ?random () =
+  Format.fprintf ppf "@[<v>";
+  pp_arm ppf "guided" guided;
+  Option.iter (pp_arm ppf "random") random;
+  Format.fprintf ppf "@]"

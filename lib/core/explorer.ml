@@ -335,6 +335,20 @@ let m_snapshot_span =
        ~buckets:[| 100.; 1e3; 1e4; 1e5; 1e6; 1e7 |]
        "explorer.snapshot_span_us")
 
+let m_clause_covered = lazy (Telemetry.Metrics.gauge "explorer.clause_covered")
+let m_clause_universe = lazy (Telemetry.Metrics.gauge "explorer.clause_universe")
+
+(* When a confuzz campaign has clause coverage enabled, every
+   exploration refreshes the coverage gauges so live telemetry shows
+   the frontier advancing, not just the final report. *)
+let record_clause_coverage () =
+  if Bgp.Clause_cov.enabled () then begin
+    Telemetry.Metrics.set (Lazy.force m_clause_covered) (Bgp.Clause_cov.covered ());
+    Telemetry.Metrics.set
+      (Lazy.force m_clause_universe)
+      (Bgp.Clause_cov.universe_size ())
+  end
+
 let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
   let go pool =
     Telemetry.with_span "explore"
@@ -401,6 +415,7 @@ let explore_node ?(params = default_params) ?pool ~build ~cut ~gt ~node () =
     Telemetry.Histogram.observe
       (Lazy.force m_snapshot_span)
       (float_of_int span);
+    record_clause_coverage ();
     Telemetry.add_attr xsp
       [ ("inputs", Telemetry.Json.Int inputs);
         ("faults", Telemetry.Json.Int (List.length deduped));

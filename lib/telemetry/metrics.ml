@@ -103,6 +103,9 @@ let snapshot () =
       (name, v))
     (entries ())
 
+let filtered ~prefix () =
+  List.filter (fun (name, _) -> String.starts_with ~prefix name) (snapshot ())
+
 let pp_report ppf () =
   List.iter
     (fun (name, m) ->

@@ -44,6 +44,10 @@ val snapshot : unit -> (string * Json.t) list
     "p50": .., "p99": .., "buckets": [{"le": b, "n": c}, ...]}] with
     [null] for the undefined fields of an empty histogram. *)
 
+val filtered : prefix:string -> unit -> (string * Json.t) list
+(** {!snapshot} restricted to metric names starting with [prefix]
+    (e.g. [~prefix:"confuzz.cov."] for the clause-coverage bitmap). *)
+
 val pp_report : Format.formatter -> unit -> unit
 (** Human-readable dump of the registry, one metric per line, sorted;
     empty histograms and zero counters are skipped. *)

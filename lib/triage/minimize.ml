@@ -195,6 +195,7 @@ let shrink_topology st s =
                  [ st.target.Dice.Signature.sg_node ]
                else [])
              @ nodes_of_inject d.Scenario.dp_inject
+             @ List.concat_map Confuzz.Mutation.nodes_of d.Scenario.dp_confuzz
              @ (match d.Scenario.dp_mode with
                | Scenario.Direct { dr_node; _ } -> [ dr_node ]
                | Scenario.Explore { ex_nodes; _ } -> ex_nodes)))
@@ -239,6 +240,18 @@ let shrink_mangle st s =
         Scenario.Deploy
           { d with Scenario.dp_mangle = Some { m with Scenario.mg_schedule = kept } }
       end
+
+(* --- stage: config-mutation ddmin ----------------------------------- *)
+
+let shrink_confuzz st s =
+  match s with
+  | Scenario.Wire _ | Scenario.Deploy { dp_confuzz = []; _ } -> s
+  | Scenario.Deploy d ->
+      let test ms =
+        check st (Scenario.Deploy { d with Scenario.dp_confuzz = ms })
+      in
+      let kept = ddmin ~test d.Scenario.dp_confuzz in
+      Scenario.Deploy { d with Scenario.dp_confuzz = kept }
 
 (* --- stage: input ddmin --------------------------------------------- *)
 
@@ -346,6 +359,7 @@ let run ?(max_tests = default_max_tests) ?hint_input ~target scenario =
           stage st "topology" (shrink_topology st);
           stage st "churn" (shrink_churn st);
           stage st "mangle" (shrink_mangle st);
+          stage st "confuzz" (shrink_confuzz st);
           stage st "input" (shrink_input st);
           stage st "explore" (shrink_explore st);
           stage st "settle" (shrink_settle st));

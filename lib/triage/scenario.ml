@@ -40,6 +40,7 @@ type deploy = {
   dp_settle_sec : float;
   dp_churn : Netsim.Churn.schedule;
   dp_mangle : mangle option;
+  dp_confuzz : Confuzz.Mutation.t list;
   dp_mode : mode;
 }
 
@@ -89,6 +90,7 @@ let node_count d =
 
 let schedule_events d =
   List.length d.dp_churn
+  + List.length d.dp_confuzz
   + (match d.dp_mangle with
     | None -> 0
     | Some m -> 1 + List.length m.mg_schedule)
@@ -169,6 +171,17 @@ let run_deploy d =
   (match d.dp_inject with
   | None -> ()
   | Some s -> Dice.Inject.apply build s);
+  (* Config mutations land after injection, like a live [--confuzz]
+     run: each is one operator edit applied to the target speaker.  An
+     inapplicable mutation (pruned map or entry) aborts the replay —
+     the minimizer treats that as a rejected step. *)
+  List.iter
+    (fun m ->
+      match Confuzz.Mutation.apply_speaker (Topology.Build.speaker build) m with
+      | Ok () -> ()
+      | Error e ->
+          failwith (Printf.sprintf "confuzz: %s: %s" (Confuzz.Mutation.describe m) e))
+    d.dp_confuzz;
   (* Settle between injection and the fault schedules — the same
      sequencing as the live demo, so a scenario lifted from a demo run
      reproduces its detections. *)
@@ -372,6 +385,7 @@ let to_json = function
           ("settle_sec", J.Float d.dp_settle_sec);
           ("churn", J.List (List.map json_of_churn_entry d.dp_churn));
           ("mangle", match d.dp_mangle with Some m -> json_of_mangle m | None -> J.Null);
+          ("confuzz", J.List (List.map Confuzz.Mutation.to_json d.dp_confuzz));
           ("run", json_of_mode d.dp_mode) ]
 
 (* --- decoding ----------------------------------------------------- *)
@@ -626,12 +640,20 @@ let of_json j =
         | None -> Ok None
         | Some v -> let* m = mangle_of_json v in Ok (Some m)
       in
+      let* dp_confuzz =
+        (* Absent in scenarios filed before the config fuzzer existed. *)
+        match opt_field "confuzz" j with
+        | None -> Ok []
+        | Some v ->
+            let* l = as_list v in
+            map_result Confuzz.Mutation.of_json l
+      in
       let* run_v = field "run" j in
       let* dp_mode = mode_of_json run_v in
       Ok
         (Deploy
            { dp_topo; dp_keep; dp_seed; dp_inject; dp_settle_sec; dp_churn;
-             dp_mangle; dp_mode })
+             dp_mangle; dp_confuzz; dp_mode })
   | other -> Error (Printf.sprintf "unknown scenario %S" other)
 
 let to_string t = J.to_string (to_json t)

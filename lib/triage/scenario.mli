@@ -60,6 +60,11 @@ type deploy = {
           and mangler schedules *)
   dp_churn : Netsim.Churn.schedule;
   dp_mangle : mangle option;
+  dp_confuzz : Confuzz.Mutation.t list;
+      (** operator-error config mutations, applied in order to the live
+          speakers after [dp_inject] and before settling; an
+          inapplicable mutation aborts the replay (setup failure).
+          Absent in pre-confuzz corpus entries (decodes as [[]]). *)
   dp_mode : mode;
 }
 

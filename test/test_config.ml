@@ -129,6 +129,42 @@ let validate_catches () =
   Alcotest.(check bool) "valid config passes" true
     (Result.is_ok (Bgp.Config.validate (Bgp.Config.make ~asn:1 ~router_id:rid ())))
 
+let lint_warnings () =
+  let rid = Bgp.Ipv4.of_string_exn "10.0.0.1" in
+  let entry seq = Bgp.Policy.entry seq Bgp.Policy.Permit in
+  let cfg =
+    Bgp.Config.make ~asn:1 ~router_id:rid
+      ~neighbors:
+        [ Bgp.Config.neighbor (Bgp.Ipv4.of_string_exn "10.0.0.2") ~remote_as:2
+            ~import_map:"USED" ]
+      ~route_maps:
+        [ ("USED", [ entry 10; entry 10; entry 20 ]); ("ORPHAN", [ entry 5 ]) ]
+      ()
+  in
+  (* Both findings are warnings, not validation errors: routers accept
+     such configs. *)
+  Alcotest.(check bool) "validate accepts" true
+    (Result.is_ok (Bgp.Config.validate cfg));
+  let warns = Bgp.Config.lint cfg in
+  check Alcotest.int "two warnings" 2 (List.length warns);
+  Alcotest.(check bool) "unused map named" true
+    (List.exists
+       (fun w -> contains_substring w "ORPHAN" && contains_substring w "never referenced")
+       warns);
+  Alcotest.(check bool) "duplicate seq named" true
+    (List.exists
+       (fun w -> contains_substring w "USED" && contains_substring w "duplicate entry sequence 10")
+       warns);
+  check Alcotest.int "clean config lints clean" 0
+    (List.length
+       (Bgp.Config.lint
+          (Bgp.Config.make ~asn:1 ~router_id:rid
+             ~neighbors:
+               [ Bgp.Config.neighbor (Bgp.Ipv4.of_string_exn "10.0.0.2")
+                   ~remote_as:2 ~import_map:"USED" ]
+             ~route_maps:[ ("USED", [ entry 10; entry 20 ]) ]
+             ())))
+
 let gao_rexford_configs_valid () =
   (* Every generated configuration passes its own validation. *)
   let graph = Topology.Demo27.graph in
@@ -156,5 +192,6 @@ let suite =
     ("config: parsed policy semantics", `Quick, parse_policy_semantics);
     ("config: parse error reporting", `Quick, error_reporting);
     ("config: validation", `Quick, validate_catches);
+    ("config: lint warnings", `Quick, lint_warnings);
     ("config: generated configs validate", `Quick, gao_rexford_configs_valid);
     ("config: generated configs roundtrip", `Quick, gao_rexford_configs_roundtrip) ]

@@ -20,6 +20,7 @@ let () =
       ("mangler", Test_mangler.suite);
       ("misc", Test_misc.suite);
       ("triage", Test_triage.suite);
+      ("confuzz", Test_confuzz.suite);
       ("telemetry", Test_telemetry.suite);
       ("scale", Test_scale.suite);
       ("benchgate", Test_benchgate.suite) ]

@@ -27,6 +27,58 @@ let prefix_rule_semantics () =
   Alcotest.(check bool) "outside the block never matches" false
     (Bgp.Policy.prefix_rule_matches r_le (p "11.0.0.0/16"))
 
+let prefix_rule_boundaries () =
+  (* ge = le = the rule's own length is the same as an exact match. *)
+  let r_pin = Bgp.Policy.prefix_rule ~ge:8 ~le:8 (p "10.0.0.0/8") in
+  Alcotest.(check bool) "ge=le=len hits itself" true
+    (Bgp.Policy.prefix_rule_matches r_pin (p "10.0.0.0/8"));
+  Alcotest.(check bool) "ge=le=len misses longer" false
+    (Bgp.Policy.prefix_rule_matches r_pin (p "10.1.0.0/16"));
+  (* An inverted ge > le window matches nothing inside the block. *)
+  let r_empty = Bgp.Policy.prefix_rule ~ge:24 ~le:16 (p "10.0.0.0/8") in
+  List.iter
+    (fun pf ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ge>le empty on %s" (Bgp.Prefix.to_string pf))
+        false
+        (Bgp.Policy.prefix_rule_matches r_empty pf))
+    [ p "10.0.0.0/8"; p "10.1.0.0/16"; p "10.1.1.0/24"; p "10.1.1.1/32" ];
+  (* le = 32 covers down to host routes, boundary included. *)
+  let r_host = Bgp.Policy.prefix_rule ~le:32 (p "10.0.0.0/8") in
+  Alcotest.(check bool) "le=32 hits /32" true
+    (Bgp.Policy.prefix_rule_matches r_host (p "10.1.1.1/32"));
+  Alcotest.(check bool) "le=32 hits own length" true
+    (Bgp.Policy.prefix_rule_matches r_host (p "10.0.0.0/8"));
+  (* ge at the boundary: /24 is in, /23 is out. *)
+  let r_ge = Bgp.Policy.prefix_rule ~ge:24 (p "10.0.0.0/8") in
+  Alcotest.(check bool) "ge=24 includes /24" true
+    (Bgp.Policy.prefix_rule_matches r_ge (p "10.1.1.0/24"));
+  Alcotest.(check bool) "ge=24 excludes /23" false
+    (Bgp.Policy.prefix_rule_matches r_ge (p "10.1.2.0/23"))
+
+let community_sets_idempotent () =
+  let c = Bgp.Community.make 65000 100 in
+  let apply sets attrs =
+    match
+      Bgp.Policy.apply [ Bgp.Policy.entry 10 Bgp.Policy.Permit ~sets ] (p "192.0.2.0/24") attrs
+    with
+    | Some a -> a
+    | None -> Alcotest.fail "must permit"
+  in
+  (* Adding a community a route already carries changes nothing. *)
+  let once = apply [ Bgp.Policy.Add_community c ] base_attrs in
+  let twice = apply [ Bgp.Policy.Add_community c ] once in
+  Alcotest.(check bool) "add is idempotent" true (Bgp.Attr.equal once twice);
+  let dup = apply [ Bgp.Policy.Add_community c; Bgp.Policy.Add_community c ] base_attrs in
+  Alcotest.(check bool) "double add in one entry" true (Bgp.Attr.equal once dup);
+  (* Deleting an absent community changes nothing. *)
+  let del = apply [ Bgp.Policy.Del_community c ] once in
+  Alcotest.(check bool) "del removes" false (Bgp.Attr.has_community c del);
+  let del2 = apply [ Bgp.Policy.Del_community c ] del in
+  Alcotest.(check bool) "del is idempotent" true (Bgp.Attr.equal del del2);
+  Alcotest.(check bool) "del of absent is identity" true
+    (Bgp.Attr.equal base_attrs (apply [ Bgp.Policy.Del_community c ] base_attrs))
+
 let first_match_wins () =
   let map =
     [ Bgp.Policy.entry 10 Bgp.Policy.Deny
@@ -102,6 +154,8 @@ let community_match_and_delete () =
 
 let suite =
   [ ("policy: prefix-rule le/ge semantics", `Quick, prefix_rule_semantics);
+    ("policy: prefix-rule ge/le boundaries", `Quick, prefix_rule_boundaries);
+    ("policy: community add/del idempotence", `Quick, community_sets_idempotent);
     ("policy: first match wins", `Quick, first_match_wins);
     ("policy: default deny", `Quick, default_deny);
     ("policy: set clauses", `Quick, sets_applied_in_order);

@@ -28,6 +28,7 @@ let hijack_explore =
       dp_settle_sec = 5.;
       dp_churn = [];
       dp_mangle = None;
+      dp_confuzz = [];
       dp_mode = Triage.Scenario.Explore fast_exploration }
 
 let dispute_direct =
@@ -40,6 +41,7 @@ let dispute_direct =
       dp_settle_sec = 5.;
       dp_churn = [];
       dp_mangle = None;
+      dp_confuzz = [];
       dp_mode = Triage.Scenario.Direct { dr_node = 0; dr_peer = 0; dr_input = None } }
 
 let signature_strings outcome =
@@ -173,6 +175,14 @@ let scenario_json_roundtrip () =
                   Netsim.Mangler.entry ~at:(Netsim.Time.span_sec 3.)
                     (Netsim.Mangler.Set_links (Some [ (0, 2); (2, 4) ])) ];
               mg_fragile_node = Some 2 };
+        dp_confuzz =
+          [ Confuzz.Mutation.Action_flip { node = 0; map = "FROM-PEER"; seq = 10 };
+            Confuzz.Mutation.Te_pin
+              { node = 1;
+                map = "FROM-PEER";
+                prefix = Bgp.Prefix.of_string_exn "192.0.0.0/24";
+                via_asn = 1002;
+                pref = 300 } ];
         dp_mode =
           Triage.Scenario.Direct
             { dr_node = 0; dr_peer = 1; dr_input = Some [ ("community", 3) ] } }
