@@ -1,0 +1,123 @@
+(* Cascade analyzer throughput.
+
+   Synthesizes a deterministic dice-telemetry/1 artifact of >= 100k
+   records — round spans, per-(node, prefix) loc-rib flip trains, a
+   recurring fault per node and quarantine ping-pong sys chatter — then
+   times the full offline pipeline ([Cascade.Timeline.of_file] +
+   [Cascade.Detect.run]) end to end.  Reported under [cascade] in
+   BENCH.json; bench_check gates on [cascade.records_per_s]. *)
+
+module Json = Telemetry.Json
+
+let nodes = 64
+let prefixes = 64
+let flips_per_series = 32
+let rounds = 8
+
+(* Virtual sim clock: advanced explicitly so the artifact is identical
+   run to run. *)
+let clock = ref 0
+let tick span_us = clock := !clock + span_us
+
+let synthesize path =
+  Telemetry.set_clock (fun () -> !clock);
+  clock := 0;
+  Telemetry.with_jsonl path
+    ~attrs:[ ("bench", Json.String "cascade") ] (fun () ->
+      for round = 0 to rounds - 1 do
+        Telemetry.with_span "round"
+          ~attrs:[ ("index", Json.Int round) ] (fun _sp ->
+            tick 1000;
+            (* Flip trains: each (node, prefix) series alternates
+               between a reachable and an unreachable loc-rib state —
+               the shape a dispute wheel produces. *)
+            for n = 0 to nodes - 1 do
+              for p = 0 to prefixes - 1 do
+                let prefix = Printf.sprintf "10.%d.%d.0/24" (n mod 200) p in
+                for k = 0 to (flips_per_series / rounds) - 1 do
+                  tick 500;
+                  let detail =
+                    if (round + k) land 1 = 0 then
+                      Printf.sprintf "%s via %d" prefix ((n + 1) mod nodes)
+                    else Printf.sprintf "%s unreachable" prefix
+                  in
+                  Telemetry.trace_event ~t_us:!clock ~node:n ~kind:"loc-rib"
+                    ~detail
+                done
+              done
+            done;
+            (* One recurring fault per node per round: exercises the
+               signature-recurrence edge rule. *)
+            for n = 0 to nodes - 1 do
+              tick 200;
+              Telemetry.fault ~fault_class:"safety" ~property:"route-present"
+                ~node:n
+                ~detail:(Printf.sprintf "prefix %d missing from loc-rib" n)
+                ~input:None ()
+            done;
+            (* Quarantine ping-pong sys chatter. *)
+            for n = 0 to nodes - 1 do
+              tick 100;
+              Telemetry.sys_event ~kind:"quarantine" ~nodes:[ n ]
+                ~detail:"bench" ();
+              tick 100;
+              Telemetry.sys_event ~kind:"unquarantine" ~nodes:[ n ]
+                ~detail:"bench" ()
+            done;
+            tick 1000)
+      done)
+
+let analyze path =
+  match Cascade.Timeline.of_file path with
+  | Error msgs ->
+      List.iter prerr_endline msgs;
+      failwith "bench cascade: synthetic artifact failed to parse"
+  | Ok timeline ->
+      let _propagation, cascades = Cascade.Detect.run timeline in
+      (timeline, cascades)
+
+let run () =
+  print_endline "== cascade: analyzer throughput ==";
+  let path = Filename.temp_file "bench_cascade" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      synthesize path;
+      (* min-of-3 wall time: same policy as the scale section, sized
+         for a noisy shared host. *)
+      let passes = 3 in
+      let best = ref infinity in
+      let last = ref None in
+      for _ = 1 to passes do
+        let t0 = Unix.gettimeofday () in
+        let r = analyze path in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        last := Some r
+      done;
+      let timeline, cascades =
+        match !last with Some r -> r | None -> assert false
+      in
+      let records = timeline.Cascade.Timeline.tl_records in
+      if records < 100_000 then
+        Printf.eprintf "warning: synthetic artifact only %d records\n" records;
+      let per_s = float_of_int records /. !best in
+      Printf.printf
+        "  %d records (%d flips, %d faults, %d sys) -> %d cascade(s) in %.3fs \
+         (%.0f records/s, min of %d)\n%!"
+        records
+        (List.length timeline.Cascade.Timeline.tl_flips)
+        (List.length timeline.Cascade.Timeline.tl_faults)
+        (List.length timeline.Cascade.Timeline.tl_sys)
+        (List.length cascades) !best per_s passes;
+      (* The synthetic load must actually trip the detector — a silent
+         zero would mean the bench stopped measuring detection work. *)
+      if cascades = [] then failwith "bench cascade: expected cascades";
+      Benchio.update ~path:"BENCH.json"
+        [ ( "cascade",
+            Json.Obj
+              [ ("records", Json.Int records);
+                ("cascades", Json.Int (List.length cascades));
+                ("analyze_s", Json.Float (Benchio.round2 !best));
+                ("records_per_s", Json.Float (Benchio.round2 per_s)) ] ) ];
+      print_endline "wrote cascade to BENCH.json")

@@ -14,7 +14,7 @@ let sections =
   [ ("f1", Experiments.f1); ("f2", Experiments.f2); ("t1", Experiments.t1);
     ("t2", Experiments.t2); ("t3", Experiments.t3); ("t4", Experiments.t4);
     ("t5", Experiments.t5); ("t6", Experiments.t6);
-    ("micro", Micro.run); ("par", Par.run) ]
+    ("micro", Micro.run); ("par", Par.run); ("cascade", Cascade_bench.run) ]
 
 let () =
   let config = ref "lite" in

@@ -31,6 +31,7 @@ let make_graph topo nodes seed =
       match topo with
       | "demo27" -> Topology.Demo27.graph
       | "gadget" -> Topology.Gadget.embedded ()
+      | "bad-gadget" -> Topology.Gadget.bad_gadget ()
       | file when String.length file > 1 && file.[0] = '@' -> (
           match
             Topology.Topo_file.load (String.sub file 1 (String.length file - 1))
@@ -49,7 +50,8 @@ let make_graph topo nodes seed =
       | other ->
           failwith
             (Printf.sprintf
-               "unknown topology %S (demo27|gadget|random|gao-rexford[:N]|@file.topo)"
+               "unknown topology %S \
+                (demo27|gadget|bad-gadget|random|gao-rexford[:N]|@file.topo)"
                other))
 
 let scenario_of_fault fault =
@@ -159,7 +161,7 @@ let start_confuzz build graph seed n =
    scenario, so every live detection can be confirmed headlessly,
    delta-minimized and filed. *)
 let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
-    ~confuzz ~churned =
+    ~confuzz ~churned ~cascade =
   let scenario_topo =
     match gao_rexford_nodes topo nodes with
     | Some n ->
@@ -171,6 +173,7 @@ let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
         match topo with
         | "demo27" -> Some Triage.Scenario.Demo27
         | "gadget" -> Some Triage.Scenario.Gadget
+        | "bad-gadget" -> Some Triage.Scenario.Bad_gadget
         | "random" ->
             let stub = max 1 (nodes / 2) in
             let transit = max 1 (nodes - stub - 2) in
@@ -191,6 +194,7 @@ let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
           dp_churn = Option.value churn_sched ~default:[];
           dp_mangle = mangle;
           dp_confuzz = confuzz;
+          dp_cascade = cascade;
           dp_mode =
             Triage.Scenario.Explore
               { Triage.Scenario.default_exploration with
@@ -201,7 +205,7 @@ let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
     scenario_topo
 
 let run topo nodes seed fault rounds churn adversary mangle_rate confuzz
-    corpus_dir dot_file telemetry_file report verbose =
+    cascade corpus_dir dot_file telemetry_file report verbose =
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -262,6 +266,7 @@ let run topo nodes seed fault rounds churn adversary mangle_rate confuzz
         match
           scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched
             ~mangle ~confuzz:confuzz_ms ~churned:(churn || adversary_on)
+            ~cascade
         with
         | None ->
             print_endline
@@ -278,7 +283,20 @@ let run topo nodes seed fault rounds churn adversary mangle_rate confuzz
   Printf.printf "running DiCE for %d exploration rounds%s%s...\n%!" rounds
     (if churn then " under churn" else "")
     (if adversary_on then " under adversarial wire faults" else "");
-  let explore () = Dice.Orchestrator.run ?params ?on_fault ~build ~gt ~rounds () in
+  let explore () =
+    if not cascade then Dice.Orchestrator.run ?params ?on_fault ~build ~gt ~rounds ()
+    else
+      (* The monitor tees whatever sink is current (the --telemetry
+         artifact included) with its own bounded ring, and the
+         orchestrator polls it after every round — cascades surface
+         while the deployment is still oscillating, and flow into
+         --corpus like any other detection. *)
+      Cascade.Online.with_monitor @@ fun mon ->
+      Dice.Orchestrator.run ?params ?on_fault
+        ~probe:(fun () -> Cascade.Online.probe mon)
+        ~on_cascade:(fun f -> Format.printf "cascade detected: %a@." Dice.Fault.pp f)
+        ~build ~gt ~rounds ()
+  in
   let summary =
     match telemetry_file with
     | None -> explore ()
@@ -367,9 +385,9 @@ open Cmdliner
 
 let topo =
   let doc =
-    "Topology: demo27 (Figure 1), gadget, random, gao-rexford[:N] (N-router \
-     Internet-like tiering, default N from --nodes), or @FILE (Topo_file \
-     format)."
+    "Topology: demo27 (Figure 1), gadget, bad-gadget (the bare 4-node \
+     dispute wheel), random, gao-rexford[:N] (N-router Internet-like \
+     tiering, default N from --nodes), or @FILE (Topo_file format)."
   in
   Arg.(value & opt string "demo27" & info [ "t"; "topology" ] ~docv:"NAME" ~doc)
 
@@ -384,7 +402,7 @@ let seed =
 let fault =
   let doc =
     "Fault to inject before exploring: none, hijack, martian, dispute \
-     (requires -t gadget), loop-bug, med-bug, crash-bug."
+     (requires -t gadget or -t bad-gadget), loop-bug, med-bug, crash-bug."
   in
   Arg.(value & opt string "none" & info [ "f"; "fault" ] ~docv:"FAULT" ~doc)
 
@@ -429,6 +447,18 @@ let confuzz =
      delta-minimized like any other schedule)."
   in
   Arg.(value & opt int 0 & info [ "confuzz" ] ~docv:"N" ~doc)
+
+let cascade =
+  let doc =
+    "Run the online cascade monitor alongside exploration: a bounded ring \
+     of recent telemetry is re-analyzed after every round (causal \
+     propagation graph + flap spectrum), and self-sustaining failures — \
+     route oscillations, flap storms, quarantine ping-pong — surface as \
+     cascade-class faults while the system is still misbehaving.  \
+     Composes with --churn, --adversary, --telemetry and --corpus \
+     (cascade repros replay with the detector re-armed)."
+  in
+  Arg.(value & flag & info [ "cascade" ] ~doc)
 
 let corpus_dir =
   let doc =
@@ -479,6 +509,7 @@ let cmd =
       `Pre "  dice_demo --churn -f hijack     # keep detecting while routers crash";
       `Pre "  dice_demo --adversary           # mangle the wire, catch the codec crash";
       `Pre "  dice_demo -t gadget --confuzz 3 --corpus dice-corpus  # operator-error hunt";
+      `Pre "  dice_demo -t bad-gadget -f dispute --cascade  # catch the oscillation as it spins";
       `Pre "  dice_demo -t gao-rexford:200 -r 3  # 200-router Internet-like tiering";
       `Pre "  dice_demo -f hijack --telemetry run.jsonl --report  # flight recorder";
       `Pre "  dice_demo -f hijack --corpus dice-corpus  # auto-minimize + file repros" ]
@@ -487,7 +518,7 @@ let cmd =
     (Cmd.info "dice_demo" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ adversary
-      $ mangle_rate $ confuzz $ corpus_dir $ dot_file $ telemetry_file $ report
-      $ verbose)
+      $ mangle_rate $ confuzz $ cascade $ corpus_dir $ dot_file
+      $ telemetry_file $ report $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -32,6 +32,7 @@ let scenario_of ~seed stack =
       dp_churn = [];
       dp_mangle = None;
       dp_confuzz = stack;
+      dp_cascade = false;
       dp_mode = Triage.Scenario.Direct { dr_node; dr_peer = 0; dr_input = None } }
 
 let () =

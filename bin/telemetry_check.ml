@@ -1,8 +1,15 @@
 (* Smoke validator for dice-telemetry/1 artifacts: every line parses,
    the header is well-formed, span ids are unique, every span closes,
-   and fault span paths reference real spans.  Exit 0 on a valid file,
-   1 with the violations listed otherwise.  CI runs this over the
-   demo's JSONL before uploading it. *)
+   and fault span paths reference real spans.  With --cascade, the
+   file is instead validated as a single-document dice-cascade/1
+   analysis report.  Exit 0 on a valid file, 1 with the violations
+   listed otherwise.  CI runs this over the demo's JSONL (and the
+   cascade smoke's report) before uploading them. *)
+
+let invalid path msgs =
+  Printf.eprintf "%s: INVALID (%d problem(s))\n" path (List.length msgs);
+  List.iter (fun m -> Printf.eprintf "  - %s\n" m) msgs;
+  exit 1
 
 let () =
   match Sys.argv with
@@ -11,10 +18,19 @@ let () =
       | Ok stats ->
           Format.printf "%s: OK — %a@." path Telemetry.Schema.pp_stats stats;
           exit 0
-      | Error msgs ->
-          Printf.eprintf "%s: INVALID (%d problem(s))\n" path (List.length msgs);
-          List.iter (fun m -> Printf.eprintf "  - %s\n" m) msgs;
-          exit 1)
+      | Error msgs -> invalid path msgs)
+  | [| _; "--cascade"; path |] -> (
+      match Cascade.Report.validate_file path with
+      | Ok json ->
+          let cascades =
+            match Telemetry.Json.member "cascades" json with
+            | Some (Telemetry.Json.List l) -> List.length l
+            | _ -> 0
+          in
+          Printf.printf "%s: OK — %s report, %d cascade(s)\n" path
+            Cascade.Report.version cascades;
+          exit 0
+      | Error msgs -> invalid path msgs)
   | _ ->
-      Printf.eprintf "usage: %s FILE.jsonl\n" Sys.argv.(0);
+      Printf.eprintf "usage: %s [--cascade] FILE\n" Sys.argv.(0);
       exit 2

@@ -19,7 +19,8 @@ type rule = {
    get a tight 1.25x.  Suffix rules come first so they beat the family
    catch-alls. *)
 let default_rules =
-  [ { sel = Suffix ".shadows_per_s"; dir = Higher_is_better; ratio = 1.6; slack = 0.5 };
+  [ { sel = Suffix ".records_per_s"; dir = Higher_is_better; ratio = 2.0; slack = 0. };
+    { sel = Suffix ".shadows_per_s"; dir = Higher_is_better; ratio = 1.6; slack = 0.5 };
     { sel = Suffix ".updates_per_s"; dir = Higher_is_better; ratio = 1.6; slack = 0. };
     { sel = Suffix ".peak_rss_mb"; dir = Lower_is_better; ratio = 1.5; slack = 32. };
     { sel = Suffix ".deploy_s"; dir = Lower_is_better; ratio = 2.0; slack = 1. };
@@ -54,7 +55,8 @@ let number = function
   | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
 
 (* The gated families.  [micro_*] maps are one level deep (benchmark
-   names contain '/', not nesting); [scale] is config -> metric. *)
+   names contain '/', not nesting); [cascade] is a flat metric map;
+   [scale] is config -> metric. *)
 let metrics doc =
   let field name =
     match doc with
@@ -68,6 +70,7 @@ let metrics doc =
   in
   flat "micro_ns_per_op" (field "micro_ns_per_op")
   @ flat "micro_minor_words_per_op" (field "micro_minor_words_per_op")
+  @ flat "cascade" (field "cascade")
   @ List.concat_map
       (fun (config, v) ->
         match v with

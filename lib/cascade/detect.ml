@@ -1,0 +1,245 @@
+type kind = Route_oscillation | Flap_storm | Quarantine_pingpong
+
+let kind_to_string = function
+  | Route_oscillation -> "route-oscillation"
+  | Flap_storm -> "flap-storm"
+  | Quarantine_pingpong -> "quarantine-pingpong"
+
+let kind_of_string = function
+  | "route-oscillation" -> Some Route_oscillation
+  | "flap-storm" -> Some Flap_storm
+  | "quarantine-pingpong" -> Some Quarantine_pingpong
+  | _ -> None
+
+type cascade = {
+  c_kind : kind;
+  c_nodes : int list;
+  c_prefixes : string list;
+  c_count : int;
+  c_period_us : int option;
+  c_first_us : int;
+  c_last_us : int;
+  c_detail : string;
+}
+
+type params = {
+  min_flips : int;
+  storm_prefixes : int;
+  min_quarantines : int;
+  induce_window_us : int;
+}
+
+let default_params =
+  { min_flips = 6; storm_prefixes = 8; min_quarantines = 2;
+    induce_window_us = Graph.default_induce_window_us }
+
+(* Same stable grouping as the graph builder. *)
+let group_by key items =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun it ->
+      let k = key it in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+          Hashtbl.add tbl k [ it ];
+          order := k :: !order
+      | Some l -> Hashtbl.replace tbl k (it :: l))
+    items;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let pp_period ppf = function
+  | Some p -> Format.fprintf ppf " (period ~%.1fs)" (float_of_int p /. 1e6)
+  | None -> ()
+
+let run ?(params = default_params) (tl : Timeline.t) =
+  let g = Graph.build ~induce_window_us:params.induce_window_us tl in
+  let cyclic = Graph.cyclic_states g in
+  let in_cycle st =
+    match Graph.find_state g st with Some v -> cyclic.(v) | None -> false
+  in
+  (* A (node, prefix) flip series oscillates when it is long enough AND
+     its rib states close a cycle in the propagation graph.  Flap edges
+     never leave a (node, prefix) series, so a cyclic rib state means
+     this very series revisited a route it had already abandoned —
+     one-way convergence, however chatty, stays acyclic. *)
+  let qualifying =
+    List.filter_map
+      (fun ((node, prefix), flips) ->
+        let spectrum =
+          Spectrum.of_times (List.map (fun f -> f.Timeline.fp_t_us) flips)
+        in
+        let cyclic_series =
+          List.exists
+            (fun (f : Timeline.flip) ->
+              in_cycle
+                (Graph.Rib_state
+                   { node = f.Timeline.fp_node; prefix = f.Timeline.fp_prefix;
+                     state = f.Timeline.fp_state }))
+            flips
+        in
+        if spectrum.Spectrum.n >= params.min_flips && cyclic_series then
+          Some (node, prefix, spectrum)
+        else None)
+      (group_by
+         (fun (f : Timeline.flip) -> (f.Timeline.fp_node, f.Timeline.fp_prefix))
+         tl.Timeline.tl_flips)
+  in
+  let by_prefix = group_by (fun (_, prefix, _) -> prefix) qualifying in
+  let prefix_cascade (prefix, series) =
+    let nodes = List.sort_uniq Int.compare (List.map (fun (n, _, _) -> n) series) in
+    let count = List.fold_left (fun acc (_, _, s) -> acc + s.Spectrum.n) 0 series in
+    let first_us =
+      List.fold_left (fun acc (_, _, s) -> min acc s.Spectrum.first_us)
+        max_int series
+    in
+    let last_us =
+      List.fold_left (fun acc (_, _, s) -> max acc s.Spectrum.last_us) 0 series
+    in
+    let period_us =
+      List.fold_left
+        (fun acc (_, _, s) ->
+          match (acc, s.Spectrum.period_us) with
+          | None, p | p, None -> p
+          | Some a, Some b -> Some (min a b))
+        None series
+    in
+    let detail =
+      Format.asprintf "prefix %s flip-flopped %d times across %d node(s)%a"
+        prefix count (List.length nodes) pp_period period_us
+    in
+    { c_kind = Route_oscillation; c_nodes = nodes; c_prefixes = [ prefix ];
+      c_count = count; c_period_us = period_us; c_first_us = first_us;
+      c_last_us = last_us; c_detail = detail }
+  in
+  let oscillations = List.map prefix_cascade by_prefix in
+  (* Many prefixes oscillating at once is one storm, not N oscillation
+     reports: aggregate so the triage corpus gets a single stable
+     signature for the systemic event. *)
+  let route_cascades =
+    if List.length oscillations >= params.storm_prefixes then begin
+      let nodes =
+        List.sort_uniq Int.compare (List.concat_map (fun c -> c.c_nodes) oscillations)
+      in
+      let prefixes =
+        List.sort_uniq String.compare
+          (List.concat_map (fun c -> c.c_prefixes) oscillations)
+      in
+      let count = List.fold_left (fun acc c -> acc + c.c_count) 0 oscillations in
+      let first_us =
+        List.fold_left (fun acc c -> min acc c.c_first_us) max_int oscillations
+      in
+      let last_us =
+        List.fold_left (fun acc c -> max acc c.c_last_us) 0 oscillations
+      in
+      let period_us =
+        List.fold_left
+          (fun acc c ->
+            match (acc, c.c_period_us) with
+            | None, p | p, None -> p
+            | Some a, Some b -> Some (min a b))
+          None oscillations
+      in
+      [ { c_kind = Flap_storm; c_nodes = nodes; c_prefixes = prefixes;
+          c_count = count; c_period_us = period_us; c_first_us = first_us;
+          c_last_us = last_us;
+          c_detail =
+            Format.asprintf "%d prefixes flapping concurrently (%d flips across %d node(s))%a"
+              (List.length prefixes) count (List.length nodes) pp_period
+              period_us } ]
+    end
+    else oscillations
+  in
+  (* Quarantine ping-pong: a node quarantined, released, and quarantined
+     again — the supervisor itself is oscillating.  The evidence is the
+     per-node q -> uq -> q chain, which rule (b) turns into a cycle on
+     the node's [Sys_state]s. *)
+  let pingpongs =
+    let sys_of node =
+      List.filter
+        (fun (s : Timeline.sys) -> List.mem node s.Timeline.sy_nodes)
+        tl.Timeline.tl_sys
+    in
+    let nodes =
+      List.sort_uniq Int.compare
+        (List.concat_map
+           (fun (s : Timeline.sys) ->
+             if String.equal s.Timeline.sy_kind "quarantine" then
+               s.Timeline.sy_nodes
+             else [])
+           tl.Timeline.tl_sys)
+    in
+    List.filter_map
+      (fun node ->
+        let events = sys_of node in
+        let quarantines =
+          List.filter
+            (fun (s : Timeline.sys) ->
+              String.equal s.Timeline.sy_kind "quarantine")
+            events
+        in
+        (* Re-quarantined = a release happened between two quarantines. *)
+        let rec pingpong saw_q = function
+          | [] -> false
+          | (s : Timeline.sys) :: rest -> (
+              match s.Timeline.sy_kind with
+              | "quarantine" -> saw_q = `Released || pingpong `Quarantined rest
+              | "unquarantine" ->
+                  pingpong (if saw_q = `Quarantined then `Released else saw_q) rest
+              | _ -> pingpong saw_q rest)
+        in
+        if
+          List.length quarantines >= params.min_quarantines
+          && pingpong `None events
+        then begin
+          let times = List.map (fun (s : Timeline.sys) -> s.Timeline.sy_t_us) quarantines in
+          let spectrum = Spectrum.of_times times in
+          Some
+            { c_kind = Quarantine_pingpong; c_nodes = [ node ]; c_prefixes = [];
+              c_count = List.length quarantines;
+              c_period_us = spectrum.Spectrum.period_us;
+              c_first_us = spectrum.Spectrum.first_us;
+              c_last_us = spectrum.Spectrum.last_us;
+              c_detail =
+                Printf.sprintf "node %d re-quarantined %d times" node
+                  (List.length quarantines) }
+        end
+        else None)
+      nodes
+  in
+  let kind_rank = function
+    | Route_oscillation -> 0
+    | Flap_storm -> 1
+    | Quarantine_pingpong -> 2
+  in
+  let cascades =
+    List.sort
+      (fun a b ->
+        match Int.compare (kind_rank a.c_kind) (kind_rank b.c_kind) with
+        | 0 -> (
+            match Int.compare a.c_first_us b.c_first_us with
+            | 0 -> compare (a.c_nodes, a.c_prefixes) (b.c_nodes, b.c_prefixes)
+            | c -> c)
+        | c -> c)
+      (route_cascades @ pingpongs)
+  in
+  (g, cascades)
+
+let detect ?params tl = snd (run ?params tl)
+
+let root_of c =
+  let node = match c.c_nodes with n :: _ -> n | [] -> -1 in
+  Printf.sprintf "%s|%s|%d"
+    (Dice.Fault.class_to_string Dice.Fault.Cascade)
+    (kind_to_string c.c_kind) node
+
+let to_fault c =
+  let node = match c.c_nodes with n :: _ -> n | [] -> -1 in
+  Dice.Fault.make
+    ~at:(Netsim.Time.of_us (max 0 c.c_last_us))
+    ~node ~property:(kind_to_string c.c_kind) Dice.Fault.Cascade c.c_detail
+
+let pp ppf c =
+  Format.fprintf ppf "%s: %s [%d event(s), nodes %s]"
+    (kind_to_string c.c_kind) c.c_detail c.c_count
+    (String.concat "," (List.map string_of_int c.c_nodes))

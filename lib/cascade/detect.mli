@@ -1,0 +1,69 @@
+(** The cascade classifier: SCC evidence + flap spectrum -> cascade
+    reports.
+
+    A cascade is a self-sustaining failure pattern, detected by its
+    shape over the whole timeline rather than by any single-snapshot
+    property:
+
+    - {b Route_oscillation} — one prefix whose loc-rib entry at some
+      node(s) keeps revisiting abandoned routes: the flip series is at
+      least [min_flips] long {e and} closes a cycle in the propagation
+      graph (so one-way convergence never qualifies, however long);
+    - {b Flap_storm} — at least [storm_prefixes] distinct prefixes
+      oscillating in one timeline, aggregated into a single systemic
+      report instead of N per-prefix ones;
+    - {b Quarantine_pingpong} — a node the supervisor quarantined,
+      released and quarantined again: the supervision loop itself is
+      oscillating.
+
+    Each cascade maps to a {!Dice.Fault.t} of class {!Dice.Fault.Cascade}
+    whose property is the cascade kind and whose detail normalizes to a
+    stable string, so cascades flow through the existing
+    signature/triage/corpus machinery unchanged. *)
+
+type kind = Route_oscillation | Flap_storm | Quarantine_pingpong
+
+val kind_to_string : kind -> string
+(** ["route-oscillation"] / ["flap-storm"] / ["quarantine-pingpong"] —
+    also the synthesized fault's property. *)
+
+val kind_of_string : string -> kind option
+
+type cascade = {
+  c_kind : kind;
+  c_nodes : int list;  (** sorted, distinct *)
+  c_prefixes : string list;  (** sorted, distinct; [[]] for ping-pong *)
+  c_count : int;  (** flips (route kinds) or quarantines (ping-pong) *)
+  c_period_us : int option;  (** dominant period, when regular *)
+  c_first_us : int;
+  c_last_us : int;
+  c_detail : string;
+}
+
+type params = {
+  min_flips : int;  (** per (node, prefix) series; default 6 *)
+  storm_prefixes : int;
+      (** oscillating prefixes that make a storm; default 8 *)
+  min_quarantines : int;  (** per node for ping-pong; default 2 *)
+  induce_window_us : int;  (** rule (b) window; default 30 s *)
+}
+
+val default_params : params
+
+val run : ?params:params -> Timeline.t -> Graph.t * cascade list
+(** Cascades in canonical order (kind, then first occurrence, then
+    nodes/prefixes) — derived only from event content and sim time,
+    never from sequence numbers, so a pooled run and a sequential run
+    of the same deployment produce identical lists. *)
+
+val detect : ?params:params -> Timeline.t -> cascade list
+
+val to_fault : cascade -> Dice.Fault.t
+(** Synthesize the {!Dice.Fault.Cascade}-class fault (also emits the
+    fault telemetry record, like every [Fault.make]). *)
+
+val root_of : cascade -> string
+(** {!Dice.Fault.root} of [to_fault c], without synthesizing (or
+    emitting) the fault — the online monitor's dedupe key. *)
+
+val pp : Format.formatter -> cascade -> unit

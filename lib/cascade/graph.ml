@@ -1,0 +1,274 @@
+type state =
+  | Fault_sig of { key : string; node : int }
+  | Sys_state of { kind : string; node : int }
+  | Rib_state of { node : int; prefix : string; state : string }
+
+type edge_kind = Recurrence | Induced | Flap
+
+type t = {
+  g_states : state array;
+  g_edges : (int * int * edge_kind) list;  (* deduped, deterministic order *)
+  g_succ : int list array;
+  g_index : (state, int) Hashtbl.t;
+}
+
+let find_state t st = Hashtbl.find_opt t.g_index st
+
+let states t = t.g_states
+let edges t = t.g_edges
+let vertex_count t = Array.length t.g_states
+let edge_count t = List.length t.g_edges
+
+let state_label = function
+  | Fault_sig { key; node } -> Printf.sprintf "fault %s @%d" key node
+  | Sys_state { kind; node } -> Printf.sprintf "sys %s @%d" kind node
+  | Rib_state { node; prefix; state } ->
+      Printf.sprintf "rib %s %s @%d" prefix state node
+
+let edge_kind_to_string = function
+  | Recurrence -> "recurrence"
+  | Induced -> "induced"
+  | Flap -> "flap"
+
+let default_induce_window_us = 30_000_000
+
+(* The fault equivalence for rule (a): what {!Dice.Signature} keeps
+   minus the node — two reports anywhere in the deployment with the
+   same class, property and normalized detail are "the same signature
+   recurring". *)
+let fault_key (f : Timeline.fault) =
+  Printf.sprintf "%s|%s|%s" f.Timeline.fl_class f.Timeline.fl_property
+    (Dice.Fault.normalize_detail f.Timeline.fl_detail)
+
+type builder = {
+  mutable n : int;
+  index : (state, int) Hashtbl.t;
+  mutable order : state list;  (* reverse interning order *)
+  edge_set : (int * int * edge_kind, unit) Hashtbl.t;
+  mutable edge_order : (int * int * edge_kind) list;  (* reverse *)
+}
+
+let intern b st =
+  match Hashtbl.find_opt b.index st with
+  | Some id -> id
+  | None ->
+      let id = b.n in
+      b.n <- id + 1;
+      Hashtbl.add b.index st id;
+      b.order <- st :: b.order;
+      id
+
+let add_edge b u v kind =
+  let e = (u, v, kind) in
+  if not (Hashtbl.mem b.edge_set e) then begin
+    Hashtbl.add b.edge_set e ();
+    b.edge_order <- e :: b.edge_order
+  end
+
+(* Stable grouping: [key] per element, first-appearance group order,
+   elements keep their relative order. *)
+let group_by key items =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun it ->
+      let k = key it in
+      match Hashtbl.find_opt tbl k with
+      | None ->
+          Hashtbl.add tbl k [ it ];
+          order := k :: !order
+      | Some l -> Hashtbl.replace tbl k (it :: l))
+    items;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let build ?(induce_window_us = default_induce_window_us) (tl : Timeline.t) =
+  let b =
+    { n = 0; index = Hashtbl.create 256; order = [];
+      edge_set = Hashtbl.create 1024; edge_order = [] }
+  in
+  (* Rule (c) — flap edges: per (node, prefix), each observed loc-rib
+     transition is an edge between the two rib states.  Revisiting a
+     state closes a cycle; a monotone convergence sequence never
+     does. *)
+  List.iter
+    (fun ((node, prefix), flips) ->
+      ignore node;
+      ignore prefix;
+      let rec walk = function
+        | (a : Timeline.flip) :: (b' :: _ as rest) ->
+            let u =
+              intern b
+                (Rib_state
+                   { node = a.Timeline.fp_node; prefix = a.Timeline.fp_prefix;
+                     state = a.Timeline.fp_state })
+            in
+            let v =
+              intern b
+                (Rib_state
+                   { node = b'.Timeline.fp_node; prefix = b'.Timeline.fp_prefix;
+                     state = b'.Timeline.fp_state })
+            in
+            add_edge b u v Flap;
+            walk rest
+        | [ f ] ->
+            ignore
+              (intern b
+                 (Rib_state
+                    { node = f.Timeline.fp_node; prefix = f.Timeline.fp_prefix;
+                      state = f.Timeline.fp_state }))
+        | [] -> ()
+      in
+      walk flips)
+    (group_by
+       (fun (f : Timeline.flip) -> (f.Timeline.fp_node, f.Timeline.fp_prefix))
+       tl.Timeline.tl_flips);
+  (* Rule (a) — recurrence edges: consecutive occurrences of the same
+     fault signature in different rounds (or at different times when
+     round attribution is unavailable, as in a ring window). *)
+  List.iter
+    (fun (key, occurrences) ->
+      let rec walk = function
+        | (f1 : Timeline.fault) :: (f2 :: _ as rest) ->
+            let recurs =
+              match (f1.Timeline.fl_round, f2.Timeline.fl_round) with
+              | Some r1, Some r2 -> r1 <> r2
+              | _ -> f2.Timeline.fl_t_us > f1.Timeline.fl_t_us
+            in
+            if recurs then begin
+              let u = intern b (Fault_sig { key; node = f1.Timeline.fl_node }) in
+              let v = intern b (Fault_sig { key; node = f2.Timeline.fl_node }) in
+              add_edge b u v Recurrence
+            end;
+            walk rest
+        | [ f ] ->
+            ignore (intern b (Fault_sig { key; node = f.Timeline.fl_node }))
+        | [] -> ()
+      in
+      walk occurrences)
+    (group_by fault_key tl.Timeline.tl_faults);
+  (* Rule (b) — induced edges: per node, the chronological chain of
+     infrastructure events and faults touching it.  sys->sys is always
+     linked (the quarantine/churn ping-pong chain); fault->sys and
+     sys->fault only within the induction window. *)
+  let touches = Hashtbl.create 64 in
+  let touch node item = Hashtbl.add touches node item in
+  List.iteri
+    (fun i (f : Timeline.fault) ->
+      touch f.Timeline.fl_node (f.Timeline.fl_t_us, i, `F f))
+    tl.Timeline.tl_faults;
+  List.iteri
+    (fun i (s : Timeline.sys) ->
+      List.iter
+        (fun node -> touch node (s.Timeline.sy_t_us, i, `S s))
+        (List.sort_uniq Int.compare s.Timeline.sy_nodes))
+    tl.Timeline.tl_sys;
+  let nodes =
+    List.sort_uniq Int.compare
+      (Hashtbl.fold (fun node _ acc -> node :: acc) touches [])
+  in
+  List.iter
+    (fun node ->
+      let items =
+        List.sort
+          (fun (t1, i1, _) (t2, i2, _) ->
+            match Int.compare t1 t2 with 0 -> Int.compare i1 i2 | c -> c)
+          (Hashtbl.find_all touches node)
+      in
+      let vertex = function
+        | `F (f : Timeline.fault) ->
+            intern b (Fault_sig { key = fault_key f; node = f.Timeline.fl_node })
+        | `S (s : Timeline.sys) ->
+            intern b (Sys_state { kind = s.Timeline.sy_kind; node })
+      in
+      let rec walk = function
+        | (t1, _, it1) :: ((t2, _, it2) :: _ as rest) ->
+            (match (it1, it2) with
+            | `S _, `S _ -> add_edge b (vertex it1) (vertex it2) Induced
+            | (`F _, `S _ | `S _, `F _) when t2 - t1 <= induce_window_us ->
+                add_edge b (vertex it1) (vertex it2) Induced
+            | _ -> ());
+            walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk items)
+    nodes;
+  let g_states = Array.of_list (List.rev b.order) in
+  let g_edges = List.rev b.edge_order in
+  let g_succ = Array.make (Array.length g_states) [] in
+  List.iter (fun (u, v, _) -> g_succ.(u) <- v :: g_succ.(u)) g_edges;
+  Array.iteri (fun i l -> g_succ.(i) <- List.rev l) g_succ;
+  { g_states; g_edges; g_succ; g_index = b.index }
+
+(* Tarjan, iterative: vertex counts are bounded by distinct *states*
+   (not events), but an adversarial artifact could still chain many
+   distinct states, so no recursion on the input. *)
+let sccs t =
+  let n = Array.length t.g_states in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let self_loop = Array.make n false in
+  List.iter (fun (u, v, _) -> if u = v then self_loop.(u) <- true) t.g_edges;
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      (* Explicit DFS frames: (vertex, remaining successors). *)
+      let frames = ref [ (root, ref t.g_succ.(root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, succs) :: rest -> (
+            match !succs with
+            | w :: tl ->
+                succs := tl;
+                if index.(w) < 0 then begin
+                  index.(w) <- !next_index;
+                  lowlink.(w) <- !next_index;
+                  incr next_index;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  frames := (w, ref t.g_succ.(w)) :: !frames
+                end
+                else if on_stack.(w) then
+                  lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                frames := rest;
+                (match rest with
+                | (parent, _) :: _ ->
+                    lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+                | [] -> ());
+                if lowlink.(v) = index.(v) then begin
+                  let rec pop acc =
+                    match !stack with
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        if w = v then w :: acc else pop (w :: acc)
+                    | [] -> acc
+                  in
+                  let comp = pop [] in
+                  components := List.sort Int.compare comp :: !components
+                end)
+      done
+    end
+  done;
+  let nontrivial = function
+    | [ v ] -> self_loop.(v)
+    | [] -> false
+    | _ -> true
+  in
+  List.sort
+    (fun a b -> Int.compare (List.hd a) (List.hd b))
+    (List.filter nontrivial !components)
+
+let cyclic_states t =
+  let cyc = Array.make (Array.length t.g_states) false in
+  List.iter (fun comp -> List.iter (fun v -> cyc.(v) <- true) comp) (sccs t);
+  cyc

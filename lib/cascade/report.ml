@@ -1,0 +1,186 @@
+module Json = Telemetry.Json
+
+let version = "dice-cascade/1"
+
+let cascade_to_json ?graph (c : Detect.cascade) =
+  let node = match c.Detect.c_nodes with n :: _ -> n | [] -> -1 in
+  let signature =
+    Dice.Signature.make ?graph ~node ~property:(Detect.kind_to_string c.Detect.c_kind)
+      Dice.Fault.Cascade c.Detect.c_detail
+  in
+  Json.Obj
+    [ ("kind", Json.String (Detect.kind_to_string c.Detect.c_kind));
+      ("nodes", Json.List (List.map (fun n -> Json.Int n) c.Detect.c_nodes));
+      ("prefixes", Json.List (List.map (fun p -> Json.String p) c.Detect.c_prefixes));
+      ("count", Json.Int c.Detect.c_count);
+      ("period_us",
+       match c.Detect.c_period_us with Some p -> Json.Int p | None -> Json.Null);
+      ("first_us", Json.Int c.Detect.c_first_us);
+      ("last_us", Json.Int c.Detect.c_last_us);
+      ("detail", Json.String c.Detect.c_detail);
+      ("signature", Json.String (Dice.Signature.to_string signature)) ]
+
+(* Everything in the report derives from event content and sim time —
+   no sequence numbers, no span ids — and the cascade list arrives in
+   canonical order, so a pooled and a sequential run of the same
+   deployment serialize to the same bytes. *)
+let to_json ?graph ~timeline ~propagation cascades =
+  let tl = (timeline : Timeline.t) in
+  Json.Obj
+    [ ("schema", Json.String version);
+      ("source",
+       Json.Obj
+         [ ("records", Json.Int tl.Timeline.tl_records);
+           ("spans", Json.Int tl.Timeline.tl_spans);
+           ("rounds", Json.Int tl.Timeline.tl_rounds);
+           ("faults", Json.Int (List.length tl.Timeline.tl_faults));
+           ("sys", Json.Int (List.length tl.Timeline.tl_sys));
+           ("flips", Json.Int (List.length tl.Timeline.tl_flips));
+           ("first_us", Json.Int tl.Timeline.tl_first_us);
+           ("last_us", Json.Int tl.Timeline.tl_last_us) ]);
+      ("graph",
+       Json.Obj
+         [ ("vertices", Json.Int (Graph.vertex_count propagation));
+           ("edges", Json.Int (Graph.edge_count propagation));
+           ("cycles", Json.Int (List.length (Graph.sccs propagation))) ]);
+      ("cascades", Json.List (List.map (cascade_to_json ?graph) cascades)) ]
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
+
+let str_member key j =
+  match Json.member key j with Some (Json.String s) -> Some s | _ -> None
+
+let int_member key j =
+  match Json.member key j with Some (Json.Int i) -> Some i | _ -> None
+
+let validate json =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* () =
+    match str_member "schema" json with
+    | Some s when String.equal s version -> Ok ()
+    | Some s -> fail "schema mismatch: expected %s, got %s" version s
+    | None -> fail "missing schema field"
+  in
+  let* () =
+    match Json.member "source" json with
+    | Some (Json.Obj _ as src) ->
+        let required = [ "records"; "rounds"; "faults"; "sys"; "flips" ] in
+        List.fold_left
+          (fun acc k ->
+            let* () = acc in
+            match int_member k src with
+            | Some n when n >= 0 -> Ok ()
+            | Some n -> fail "source.%s is negative (%d)" k n
+            | None -> fail "source.%s missing or not an int" k)
+          (Ok ()) required
+    | _ -> fail "missing source object"
+  in
+  let* cascades =
+    match Json.member "cascades" json with
+    | Some (Json.List l) -> Ok l
+    | _ -> fail "missing cascades list"
+  in
+  let check_cascade i c =
+    let* kind =
+      match str_member "kind" c with
+      | Some k -> Ok k
+      | None -> fail "cascades[%d]: missing kind" i
+    in
+    let* () =
+      match Detect.kind_of_string kind with
+      | Some _ -> Ok ()
+      | None -> fail "cascades[%d]: unknown kind %s" i kind
+    in
+    let* () =
+      match Json.member "nodes" c with
+      | Some (Json.List (_ :: _ as l))
+        when List.for_all (function Json.Int _ -> true | _ -> false) l ->
+          Ok ()
+      | _ -> fail "cascades[%d]: nodes must be a non-empty int list" i
+    in
+    let* () =
+      match (int_member "count" c, int_member "first_us" c, int_member "last_us" c) with
+      | Some n, _, _ when n < 1 -> fail "cascades[%d]: count < 1" i
+      | _, Some f, Some l when f > l -> fail "cascades[%d]: first_us > last_us" i
+      | Some _, Some _, Some _ -> Ok ()
+      | _ -> fail "cascades[%d]: count/first_us/last_us missing" i
+    in
+    let* () =
+      match str_member "detail" c with
+      | Some "" | None -> fail "cascades[%d]: missing detail" i
+      | Some _ -> Ok ()
+    in
+    match str_member "signature" c with
+    | None -> fail "cascades[%d]: missing signature" i
+    | Some s -> (
+        match Dice.Signature.of_string s with
+        | Ok sg when sg.Dice.Signature.sg_class = Dice.Fault.Cascade -> Ok ()
+        | Ok _ -> fail "cascades[%d]: signature class is not cascade" i
+        | Error e -> fail "cascades[%d]: bad signature: %s" i e)
+  in
+  let rec all i = function
+    | [] -> Ok ()
+    | c :: rest ->
+        let* () = check_cascade i c in
+        all (i + 1) rest
+  in
+  all 0 cascades
+
+let validate_file path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.of_string (String.trim content) with
+  | Error msg -> Error [ Printf.sprintf "not a JSON document: %s" msg ]
+  | Ok json -> (
+      match validate json with Ok () -> Ok json | Error msg -> Error [ msg ])
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot propagation =
+  let buf = Buffer.create 4096 in
+  let cyclic = Graph.cyclic_states propagation in
+  Buffer.add_string buf "digraph cascade {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  Array.iteri
+    (fun i st ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [label=\"%s\"%s];\n" i
+           (dot_escape (Graph.state_label st))
+           (if cyclic.(i) then ", style=filled, fillcolor=mistyrose" else "")))
+    (Graph.states propagation);
+  List.iter
+    (fun (u, v, kind) ->
+      let color =
+        match kind with
+        | Graph.Recurrence -> "red"
+        | Graph.Induced -> "darkorange"
+        | Graph.Flap -> "blue"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [color=%s, label=\"%s\", fontsize=8];\n" u
+           v color
+           (Graph.edge_kind_to_string kind)))
+    (Graph.edges propagation);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot ~path propagation =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot propagation))

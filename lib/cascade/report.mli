@@ -1,0 +1,38 @@
+(** The [dice-cascade/1] analysis report and the DOT rendering of the
+    propagation graph.
+
+    A report is one JSON object (written as a single line):
+    [schema], a [source] block (record counts and the sim-time extent
+    of the analyzed timeline), a [graph] block (vertex/edge/cycle
+    counts), and the canonical [cascades] list — each cascade with its
+    kind, nodes, prefixes, evidence count, period and the stable
+    {!Dice.Signature} wire form.  Everything derives from event
+    content and sim time (never sequence numbers or span ids), so a
+    pooled and a sequential run serialize byte-identically. *)
+
+val version : string
+(** ["dice-cascade/1"]. *)
+
+val to_json :
+  ?graph:Topology.Graph.t ->
+  timeline:Timeline.t ->
+  propagation:Graph.t ->
+  Detect.cascade list ->
+  Telemetry.Json.t
+(** [graph], when given, canonicalizes node roles in the embedded
+    signatures (as {!Dice.Signature.make} does). *)
+
+val write : path:string -> Telemetry.Json.t -> unit
+(** One line of JSON plus a newline. *)
+
+val validate : Telemetry.Json.t -> (unit, string) result
+
+val validate_file : string -> (Telemetry.Json.t, string list) result
+(** Parse and validate a report file ([telemetry_check --cascade]'s
+    path); returns the parsed document on success. *)
+
+val to_dot : Graph.t -> string
+(** Graphviz rendering: one box per state (cycle members filled),
+    edges colored by inference rule. *)
+
+val write_dot : path:string -> Graph.t -> unit

@@ -1,0 +1,36 @@
+type t = {
+  n : int;
+  first_us : int;
+  last_us : int;
+  period_us : int option;
+}
+
+let empty = { n = 0; first_us = 0; last_us = 0; period_us = None }
+
+(* The period estimate is the median inter-arrival gap, reported only
+   when the gaps are regular (max <= 4x median): a timer-driven
+   oscillation repeats on a steady beat, a convergence transient is a
+   burst with nothing after it. *)
+let of_times times =
+  match List.sort Int.compare times with
+  | [] -> empty
+  | [ t ] -> { n = 1; first_us = t; last_us = t; period_us = None }
+  | first :: _ as sorted ->
+      let n = List.length sorted in
+      let last = List.nth sorted (n - 1) in
+      let gaps =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (prev, acc) t -> (t, (t - prev) :: acc))
+                (first, []) (List.tl sorted)))
+      in
+      let period_us =
+        if n < 3 then None
+        else
+          let sorted_gaps = List.sort Int.compare gaps in
+          let median = List.nth sorted_gaps (List.length sorted_gaps / 2) in
+          let max_gap = List.nth sorted_gaps (List.length sorted_gaps - 1) in
+          if median > 0 && max_gap <= 4 * median then Some median else None
+      in
+      { n; first_us = first; last_us = last; period_us }

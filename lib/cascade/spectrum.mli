@@ -1,0 +1,18 @@
+(** Per-series flap spectrum over sim time.
+
+    Given the timestamps of one flip-flop series (e.g. every loc-rib
+    change of one prefix at one node), estimate whether the series
+    repeats on a steady beat.  [period_us] is the median inter-arrival
+    gap, present only when the gaps are regular (maximum gap at most
+    4x the median) — a timer-driven oscillation qualifies, a one-off
+    convergence burst does not. *)
+
+type t = {
+  n : int;  (** number of events in the series *)
+  first_us : int;
+  last_us : int;
+  period_us : int option;
+}
+
+val empty : t
+val of_times : int list -> t

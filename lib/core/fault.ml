@@ -1,14 +1,16 @@
-type fault_class = Operator_mistake | Policy_conflict | Programming_error
+type fault_class = Operator_mistake | Policy_conflict | Programming_error | Cascade
 
 let class_to_string = function
   | Operator_mistake -> "operator-mistake"
   | Policy_conflict -> "policy-conflict"
   | Programming_error -> "programming-error"
+  | Cascade -> "cascade"
 
 let class_of_string = function
   | "operator-mistake" -> Some Operator_mistake
   | "policy-conflict" -> Some Policy_conflict
   | "programming-error" -> Some Programming_error
+  | "cascade" -> Some Cascade
   | _ -> None
 
 type t = {

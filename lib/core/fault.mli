@@ -1,10 +1,14 @@
 (** Fault reports — what DiCE detects.
 
-    The three classes are the paper's: operator mistakes
+    The first three classes are the paper's: operator mistakes
     (misconfiguration), policy conflicts across domains, and
-    programming errors in the implementation. *)
+    programming errors in the implementation.  [Cascade] is the
+    self-sustaining failure class the cascade detector adds: route
+    oscillations, flap storms and quarantine ping-pong, found by
+    causally stitching individual fault propagations across rounds
+    rather than by any single-snapshot property. *)
 
-type fault_class = Operator_mistake | Policy_conflict | Programming_error
+type fault_class = Operator_mistake | Policy_conflict | Programming_error | Cascade
 
 val class_to_string : fault_class -> string
 val class_of_string : string -> fault_class option

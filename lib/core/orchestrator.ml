@@ -227,6 +227,7 @@ type health = {
   mutable h_strikes : int;
   mutable h_until : int;  (* quarantined while round index < h_until *)
   mutable h_quarantines : int;  (* drives the exponential backoff *)
+  mutable h_parked : bool;  (* currently quarantined (for the release event) *)
 }
 
 type sched = {
@@ -240,9 +241,26 @@ let sched_make sup nodes =
   let s_nodes = Array.of_list nodes in
   { s_nodes;
     s_health =
-      Array.map (fun _ -> { h_strikes = 0; h_until = 0; h_quarantines = 0 }) s_nodes;
+      Array.map
+        (fun _ -> { h_strikes = 0; h_until = 0; h_quarantines = 0; h_parked = false })
+        s_nodes;
     s_sup = sup;
     s_events = [] }
+
+(* Quarantine expirations become first-class telemetry records the
+   moment they take effect — the cascade stitcher pairs them with the
+   quarantine records to spot ping-pong without guessing at backoff
+   arithmetic. *)
+let sched_release s i =
+  Array.iteri
+    (fun idx h ->
+      if h.h_parked && h.h_until <= i then begin
+        h.h_parked <- false;
+        Telemetry.sys_event ~kind:"unquarantine" ~nodes:[ s.s_nodes.(idx) ]
+          ~detail:(Printf.sprintf "eligible again at round %d" (i + 1))
+          ()
+      end)
+    s.s_health
 
 (* Round-robin with quarantine skipping: start at the scheduled slot and
    take the first healthy node; if everyone is quarantined, run the
@@ -267,7 +285,13 @@ let sched_record s ~round_index ~slot outcome =
         h.h_until <- round_index + 1 + len;
         h.h_quarantines <- h.h_quarantines + 1;
         h.h_strikes <- 0;
+        h.h_parked <- true;
         Telemetry.Metrics.incr (Lazy.force m_quarantines);
+        Telemetry.sys_event ~kind:"quarantine" ~nodes:[ s.s_nodes.(slot) ]
+          ~detail:
+            (Printf.sprintf "%d strikes at round %d, until round %d"
+               s.s_sup.max_strikes (round_index + 1) h.h_until)
+          ();
         s.s_events <-
           { q_node = s.s_nodes.(slot); q_round = round_index;
             q_strikes = s.s_sup.max_strikes; q_until_round = h.h_until }
@@ -298,14 +322,49 @@ let make_notifier on_fault =
             end)
           faults
 
+(* [?on_cascade] is the cascade analogue of [?on_fault]: it fires once
+   per newly-seen {!Fault.Cascade} root, whether the cascade came from
+   the per-round [?probe] or from an exploration.  The detector itself
+   lives in [lib/cascade]; the orchestrator only provides the poll
+   point, so the core does not depend on the analysis layer. *)
+let make_cascade_notifier on_cascade =
+  match on_cascade with
+  | None -> fun _ -> ()
+  | Some f ->
+      let seen = Hashtbl.create 4 in
+      fun faults ->
+        List.iter
+          (fun (fault : Fault.t) ->
+            if fault.Fault.f_class = Fault.Cascade then begin
+              let k = Fault.root fault in
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.add seen k ();
+                f fault
+              end
+            end)
+          faults
+
 let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
-    ?(supervisor = default_supervisor) ?on_fault ~build ~gt ~rounds () =
+    ?(supervisor = default_supervisor) ?on_fault ?probe ?on_cascade ~build ~gt
+    ~rounds () =
   install_clock build;
   let notify = make_notifier on_fault in
+  let notify_cascade = make_cascade_notifier on_cascade in
+  let probed = ref [] in
+  let poll () =
+    match probe with
+    | None -> ()
+    | Some p ->
+        let pf = p () in
+        probed := !probed @ pf;
+        notify pf;
+        notify_cascade pf
+  in
   let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
   let result =
     List.init rounds (fun i ->
+        sched_release sched i;
         let slot = sched_pick sched i in
         let r =
           one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index:i
@@ -313,21 +372,27 @@ let run ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
         in
         sched_record sched ~round_index:i ~slot r.rd_outcome;
         (match round_exploration r with
-        | Some x -> notify x.Explorer.x_faults
+        | Some x ->
+            notify x.Explorer.x_faults;
+            notify_cascade x.Explorer.x_faults
         | None -> ());
+        poll ();
         r)
   in
   Telemetry.Metrics.set (Lazy.force m_leaked) (Snapshot.Cut.active cut);
   let live_faults = live_crash_faults build in
   notify live_faults;
   summarize ~quarantines:(List.rev sched.s_events)
-    ~leaked_snapshots:(Snapshot.Cut.active cut) ~live_faults
-    ~graph:build.Topology.Build.graph result
+    ~leaked_snapshots:(Snapshot.Cut.active cut)
+    ~live_faults:(live_faults @ !probed) ~graph:build.Topology.Build.graph result
 
 let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nodes
-    ?(supervisor = default_supervisor) ?max_rounds ?on_fault ~build ~gt ~expect () =
+    ?(supervisor = default_supervisor) ?max_rounds ?on_fault ?probe ?on_cascade
+    ~build ~gt ~expect () =
   install_clock build;
   let notify = make_notifier on_fault in
+  let notify_cascade = make_cascade_notifier on_cascade in
+  let probed = ref [] in
   let sched = sched_make supervisor (node_list nodes build) in
   let cut = make_cut build in
   let n = Array.length sched.s_nodes in
@@ -337,13 +402,14 @@ let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nod
     let live_faults = live_crash_faults build in
     notify live_faults;
     summarize ~quarantines:(List.rev sched.s_events)
-      ~leaked_snapshots:(Snapshot.Cut.active cut) ~live_faults
-      ~graph:build.Topology.Build.graph acc
+      ~leaked_snapshots:(Snapshot.Cut.active cut)
+      ~live_faults:(live_faults @ !probed) ~graph:build.Topology.Build.graph acc
   in
   let crashes_seen = ref (List.length (Netsim.Network.crashes build.Topology.Build.net)) in
   let rec go i acc =
     if i >= max_rounds then (finish (List.rev acc), None)
     else begin
+      sched_release sched i;
       let slot = sched_pick sched i in
       let round =
         one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index:i
@@ -351,15 +417,28 @@ let run_until_detection ?params ?pool ?(interval = Netsim.Time.span_sec 5.) ?nod
       in
       sched_record sched ~round_index:i ~slot round.rd_outcome;
       (match round_exploration round with
-      | Some x -> notify x.Explorer.x_faults
+      | Some x ->
+          notify x.Explorer.x_faults;
+          notify_cascade x.Explorer.x_faults
       | None -> ());
+      let round_probed =
+        match probe with
+        | None -> []
+        | Some p ->
+            let pf = p () in
+            probed := !probed @ pf;
+            notify pf;
+            notify_cascade pf;
+            pf
+      in
       let hit =
-        match round_exploration round with
+        (match round_exploration round with
         | Some x ->
             List.exists
               (fun (f : Fault.t) -> f.Fault.f_class = expect)
               x.Explorer.x_faults
-        | None -> false
+        | None -> false)
+        || List.exists (fun (f : Fault.t) -> f.Fault.f_class = expect) round_probed
       in
       (* A live crash absorbed during this round also counts as a
          detection of the programming-error class. *)

@@ -93,6 +93,8 @@ val run :
   ?nodes:int list ->
   ?supervisor:supervisor ->
   ?on_fault:(Fault.t -> unit) ->
+  ?probe:(unit -> Fault.t list) ->
+  ?on_cascade:(Fault.t -> unit) ->
   build:Topology.Build.t ->
   gt:Checks.ground_truth ->
   rounds:int ->
@@ -106,7 +108,13 @@ val run :
     deterministic.  [on_fault] fires once per newly-seen fault root as
     soon as the detecting round completes (live crash faults fire at
     end of run) — the hook the triage layer uses to auto-minimize and
-    file detections without the core depending on it.  Rounds never
+    file detections without the core depending on it.  [probe] is
+    polled after every round; any faults it returns join the summary's
+    fault list and signatures and flow through the notification hooks
+    — the cascade monitor ([Cascade.Online]) plugs in here, analysing
+    its ring of recent telemetry without the core depending on the
+    analysis layer.  [on_cascade] fires once per newly-seen
+    {!Fault.Cascade} root (from probe or exploration).  Rounds never
     propagate exploration exceptions — see the supervision notes
     above. *)
 
@@ -118,14 +126,16 @@ val run_until_detection :
   ?supervisor:supervisor ->
   ?max_rounds:int ->
   ?on_fault:(Fault.t -> unit) ->
+  ?probe:(unit -> Fault.t list) ->
+  ?on_cascade:(Fault.t -> unit) ->
   build:Topology.Build.t ->
   gt:Checks.ground_truth ->
   expect:Fault.fault_class ->
   unit ->
   summary * round option
-(** Stop at the first round whose exploration reports a fault of class
-    [expect]; [None] if [max_rounds] (default: 2 passes over the node
-    list) were exhausted. *)
+(** Stop at the first round whose exploration (or [probe]) reports a
+    fault of class [expect]; [None] if [max_rounds] (default: 2 passes
+    over the node list) were exhausted. *)
 
 val pp_outcome : Format.formatter -> round_outcome -> unit
 val pp_summary : Format.formatter -> summary -> unit

@@ -134,8 +134,18 @@ let pp ppf sched =
 
 let events_applied = lazy (Telemetry.Metrics.counter "churn.events_applied")
 
+let event_kind = function
+  | Node_down _ -> "churn.node-down"
+  | Node_up _ -> "churn.node-up"
+  | Link_down _ -> "churn.link-down"
+  | Link_up _ -> "churn.link-up"
+  | Partition _ -> "churn.partition"
+  | Heal -> "churn.heal"
+
 let apply_event ?policy net ev =
   Telemetry.Metrics.incr (Lazy.force events_applied);
+  Telemetry.sys_event ~kind:(event_kind ev) ~nodes:(event_nodes ev)
+    ~detail:(Format.asprintf "%a" pp_event ev) ();
   match ev with
   | Node_down n -> if Network.has_node net n then Network.set_node_down net n
   | Node_up n -> if Network.has_node net n then Network.set_node_up net n

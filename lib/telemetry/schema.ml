@@ -4,6 +4,7 @@ type stats = {
   v_faults : int;
   v_metrics : int;
   v_traces : int;
+  v_sys : int;
 }
 
 let version = "dice-telemetry/1"
@@ -19,6 +20,7 @@ type state = {
   mutable faults : int;
   mutable metrics : int;
   mutable traces : int;
+  mutable sys : int;
 }
 
 let err st fmt =
@@ -26,63 +28,68 @@ let err st fmt =
       st.errors <- Printf.sprintf "line %d: %s" st.line_no msg :: st.errors)
     fmt
 
-let check_line st line =
+let fresh_state () =
+  { errors = []; last_seq = min_int; line_no = 0;
+    started = Hashtbl.create 256; open_spans = Hashtbl.create 64;
+    lines = 0; spans = 0; faults = 0; metrics = 0; traces = 0; sys = 0 }
+
+(* One decoded record; the caller owns line accounting. *)
+let check_event st (seq, event) =
   st.lines <- st.lines + 1;
+  if st.lines = 1 then begin
+    match event with
+    | Sink.Run { schema; _ } ->
+        if not (String.equal schema version) then
+          err st "schema %S, expected %S" schema version
+    | _ -> err st "first line must be the run header"
+  end;
+  if st.lines > 1 && seq <= st.last_seq then
+    err st "seq %d not increasing (previous %d)" seq st.last_seq;
+  st.last_seq <- seq;
+  match event with
+  | Sink.Run _ -> if st.lines > 1 then err st "duplicate run header"
+  | Sink.Span_start { id; parent; _ } ->
+      st.spans <- st.spans + 1;
+      if Hashtbl.mem st.started id then err st "duplicate span id %d" id
+      else begin
+        Hashtbl.add st.started id ();
+        Hashtbl.add st.open_spans id st.line_no
+      end;
+      (match parent with
+      | Some p when not (Hashtbl.mem st.started p) ->
+          err st "span %d: parent %d never started" id p
+      | Some _ | None -> ())
+  | Sink.Span_end { id; _ } ->
+      if Hashtbl.mem st.open_spans id then Hashtbl.remove st.open_spans id
+      else err st "span_end for %d, which is not open" id
+  | Sink.Fault { span_path; _ } ->
+      st.faults <- st.faults + 1;
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem st.started id) then
+            err st "fault references span %d, which never started" id)
+        span_path
+  | Sink.Metric { name; _ } ->
+      st.metrics <- st.metrics + 1;
+      if String.length name = 0 then err st "metric with empty name"
+  | Sink.Trace _ -> st.traces <- st.traces + 1
+  | Sink.Sys { kind; _ } ->
+      st.sys <- st.sys + 1;
+      if String.length kind = 0 then err st "sys event with empty kind"
+
+let check_line st line =
   match Json.of_string line with
-  | Error msg -> err st "not valid JSON: %s" msg
+  | Error msg ->
+      st.lines <- st.lines + 1;
+      err st "not valid JSON: %s" msg
   | Ok json -> (
       match Sink.of_json json with
-      | Error msg -> err st "not a telemetry event: %s" msg
-      | Ok (seq, event) ->
-          if st.lines = 1 then begin
-            match event with
-            | Sink.Run { schema; _ } ->
-                if not (String.equal schema version) then
-                  err st "schema %S, expected %S" schema version
-            | _ -> err st "first line must be the run header"
-          end;
-          if st.lines > 1 && seq <= st.last_seq then
-            err st "seq %d not increasing (previous %d)" seq st.last_seq;
-          st.last_seq <- seq;
-          (match event with
-          | Sink.Run _ -> if st.lines > 1 then err st "duplicate run header"
-          | Sink.Span_start { id; parent; _ } ->
-              st.spans <- st.spans + 1;
-              if Hashtbl.mem st.started id then err st "duplicate span id %d" id
-              else begin
-                Hashtbl.add st.started id ();
-                Hashtbl.add st.open_spans id st.line_no
-              end;
-              (match parent with
-              | Some p when not (Hashtbl.mem st.started p) ->
-                  err st "span %d: parent %d never started" id p
-              | Some _ | None -> ())
-          | Sink.Span_end { id; _ } ->
-              if Hashtbl.mem st.open_spans id then Hashtbl.remove st.open_spans id
-              else err st "span_end for %d, which is not open" id
-          | Sink.Fault { span_path; _ } ->
-              st.faults <- st.faults + 1;
-              List.iter
-                (fun id ->
-                  if not (Hashtbl.mem st.started id) then
-                    err st "fault references span %d, which never started" id)
-                span_path
-          | Sink.Metric { name; _ } ->
-              st.metrics <- st.metrics + 1;
-              if String.length name = 0 then err st "metric with empty name"
-          | Sink.Trace _ -> st.traces <- st.traces + 1))
+      | Error msg ->
+          st.lines <- st.lines + 1;
+          err st "not a telemetry event: %s" msg
+      | Ok ev -> check_event st ev)
 
-let validate_lines lines =
-  let st =
-    { errors = []; last_seq = min_int; line_no = 0;
-      started = Hashtbl.create 256; open_spans = Hashtbl.create 64;
-      lines = 0; spans = 0; faults = 0; metrics = 0; traces = 0 }
-  in
-  List.iter
-    (fun line ->
-      st.line_no <- st.line_no + 1;
-      if String.trim line <> "" then check_line st line)
-    lines;
+let finish st =
   if st.lines = 0 then st.errors <- [ "empty artifact" ];
   Hashtbl.iter
     (fun id line ->
@@ -93,20 +100,33 @@ let validate_lines lines =
   | [] ->
       Ok
         { v_lines = st.lines; v_spans = st.spans; v_faults = st.faults;
-          v_metrics = st.metrics; v_traces = st.traces }
+          v_metrics = st.metrics; v_traces = st.traces; v_sys = st.sys }
   | errors -> Error (List.rev errors)
 
+let validate_lines lines =
+  let st = fresh_state () in
+  List.iter
+    (fun line ->
+      st.line_no <- st.line_no + 1;
+      if String.trim line <> "" then check_line st line)
+    lines;
+  finish st
+
+(* Streams through [Sink.fold_file]: a 100k-record artifact validates
+   without ever holding more than one line in memory, and every
+   malformed record is reported with its line number. *)
 let validate_file path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> ());
-  close_in ic;
-  validate_lines (List.rev !lines)
+  let st = fresh_state () in
+  Sink.fold_file path ~init:() ~f:(fun () ~line r ->
+      st.line_no <- line;
+      match r with
+      | Ok ev -> check_event st ev
+      | Error msg ->
+          st.lines <- st.lines + 1;
+          err st "%s" msg);
+  finish st
 
 let pp_stats ppf s =
-  Format.fprintf ppf "%d lines: %d spans, %d faults, %d metrics, %d trace events"
-    s.v_lines s.v_spans s.v_faults s.v_metrics s.v_traces
+  Format.fprintf ppf
+    "%d lines: %d spans, %d faults, %d metrics, %d trace events, %d sys events"
+    s.v_lines s.v_spans s.v_faults s.v_metrics s.v_traces s.v_sys

@@ -20,6 +20,7 @@ type stats = {
   v_faults : int;
   v_metrics : int;
   v_traces : int;
+  v_sys : int;
 }
 
 val validate_lines : string list -> (stats, string list) result
@@ -27,4 +28,8 @@ val validate_lines : string list -> (stats, string list) result
     line (validation keeps going to report everything at once). *)
 
 val validate_file : string -> (stats, string list) result
+(** Streams via {!Sink.fold_file}: a large artifact validates without
+    loading it whole, and every malformed record is reported with its
+    line number. *)
+
 val pp_stats : Format.formatter -> stats -> unit

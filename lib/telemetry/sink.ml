@@ -19,17 +19,34 @@ type event =
     }
   | Metric of { t_us : int; name : string; value : Json.t }
   | Trace of { t_us : int; node : int; kind : string; detail : string }
+  | Sys of { t_us : int; kind : string; nodes : int list; detail : string }
 
 type t =
   | Noop
   | Memory of { mutable buf : (int * event) list; m_lock : Mutex.t; mutable m_seq : int }
   | Jsonl of { oc : out_channel; j_lock : Mutex.t; mutable j_seq : int }
+  | Ring of {
+      r_buf : (int * event) Queue.t;
+      r_cap : int;
+      r_lock : Mutex.t;
+      mutable r_seq : int;
+    }
+  | Tee of t * t
 
 let noop = Noop
 let memory () = Memory { buf = []; m_lock = Mutex.create (); m_seq = 0 }
 let jsonl oc = Jsonl { oc; j_lock = Mutex.create (); j_seq = 0 }
 
-let is_noop = function Noop -> true | Memory _ | Jsonl _ -> false
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  Ring { r_buf = Queue.create (); r_cap = capacity; r_lock = Mutex.create (); r_seq = 0 }
+
+let tee a b = Tee (a, b)
+
+let rec is_noop = function
+  | Noop -> true
+  | Memory _ | Jsonl _ | Ring _ -> false
+  | Tee (a, b) -> is_noop a && is_noop b
 
 (* ------------------------------------------------------------------ *)
 (* JSON codec (schema dice-telemetry/1)                                *)
@@ -68,6 +85,12 @@ let to_json ~seq event =
         [ ("t_us", Json.Int t_us);
           ("node", Json.Int node);
           ("kind", Json.String kind);
+          ("detail", Json.String detail) ]
+  | Sys { t_us; kind; nodes; detail } ->
+      base "sys"
+        [ ("t_us", Json.Int t_us);
+          ("kind", Json.String kind);
+          ("nodes", Json.List (List.map (fun n -> Json.Int n) nodes));
           ("detail", Json.String detail) ]
 
 let of_json json =
@@ -162,6 +185,27 @@ let of_json json =
         let* kind = str "kind" in
         let* detail = str "detail" in
         Ok (Trace { t_us; node; kind; detail })
+    | "sys" ->
+        let* t_us = int "t_us" in
+        let* kind = str "kind" in
+        let* nodes =
+          let* v = field "nodes" in
+          match v with
+          | Json.List items ->
+              List.fold_left
+                (fun acc item ->
+                  let* acc = acc in
+                  match item with
+                  | Json.Int i -> Ok (i :: acc)
+                  | _ -> Error "nodes: expected ints")
+                (Ok []) items
+              |> fun r ->
+              let* l = r in
+              Ok (List.rev l)
+          | _ -> Error "field \"nodes\": expected list"
+        in
+        let* detail = str "detail" in
+        Ok (Sys { t_us; kind; nodes; detail })
     | other -> Error (Printf.sprintf "unknown event type %S" other)
   in
   Ok (seq, event)
@@ -170,7 +214,7 @@ let of_json json =
 (* Emission                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let emit t event =
+let rec emit t event =
   match t with
   | Noop -> ()
   | Memory m ->
@@ -186,18 +230,72 @@ let emit t event =
       output_string j.oc (Json.to_string (to_json ~seq event));
       output_char j.oc '\n';
       Mutex.unlock j.j_lock
+  | Ring r ->
+      Mutex.lock r.r_lock;
+      let seq = r.r_seq in
+      r.r_seq <- seq + 1;
+      Queue.push (seq, event) r.r_buf;
+      if Queue.length r.r_buf > r.r_cap then ignore (Queue.pop r.r_buf);
+      Mutex.unlock r.r_lock
+  | Tee (a, b) ->
+      (* Each branch keeps its own seq counter: a Jsonl branch stays a
+         valid artifact on its own, a Ring branch stays a valid window. *)
+      emit a event;
+      emit b event
 
-let events = function
+let rec events = function
   | Memory m ->
       Mutex.lock m.m_lock;
       let all = m.buf in
       Mutex.unlock m.m_lock;
       List.rev all
+  | Ring r ->
+      Mutex.lock r.r_lock;
+      let all = List.of_seq (Queue.to_seq r.r_buf) in
+      Mutex.unlock r.r_lock;
+      all
+  | Tee (a, b) -> ( match events a with [] -> events b | evs -> evs)
   | Noop | Jsonl _ -> []
 
-let flush = function
+let rec flush = function
   | Jsonl j ->
       Mutex.lock j.j_lock;
       Stdlib.flush j.oc;
       Mutex.unlock j.j_lock
-  | Noop | Memory _ -> ()
+  | Tee (a, b) ->
+      flush a;
+      flush b
+  | Noop | Memory _ | Ring _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Streaming reader                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let acc = ref init in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           if String.trim line <> "" then begin
+             let parsed =
+               match Json.of_string line with
+               | Error msg -> Error (Printf.sprintf "not valid JSON: %s" msg)
+               | Ok json -> (
+                   match of_json json with
+                   | Error msg ->
+                       Error (Printf.sprintf "not a telemetry event: %s" msg)
+                   | Ok ev -> Ok ev)
+             in
+             acc := f !acc ~line:!line_no parsed
+           end
+         done
+       with End_of_file -> ());
+      !acc)
+
+let iter_file path ~f = fold_file path ~init:() ~f:(fun () ~line r -> f ~line r)

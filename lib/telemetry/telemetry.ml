@@ -105,6 +105,15 @@ let fault ?t_us ~fault_class ~property ~node ~detail ~input () =
 let trace_event ~t_us ~node ~kind ~detail =
   if enabled () then Sink.emit (sink ()) (Sink.Trace { t_us; node; kind; detail })
 
+let sys_event ?t_us ~kind ~nodes ~detail () =
+  if enabled () then
+    Sink.emit (sink ())
+      (Sink.Sys
+         { t_us = (match t_us with Some t -> t | None -> now_us ());
+           kind;
+           nodes;
+           detail })
+
 let metrics_snapshot () =
   if enabled () then begin
     let s = sink () in

@@ -96,6 +96,14 @@ val trace_event : t_us:int -> node:int -> kind:string -> detail:string -> unit
 (** Simulator trace record ([Netsim.Trace] routes through this so sim
     events and spans land in one timeline). *)
 
+val sys_event :
+  ?t_us:int -> kind:string -> nodes:int list -> detail:string -> unit -> unit
+(** Infrastructure state-change record: churn applications
+    ([churn.node-down] etc.) and supervisor decisions ([quarantine] /
+    [unquarantine]).  First-class so the cascade stitcher sees them
+    without reverse-engineering trace details.  [t_us] defaults to the
+    clock. *)
+
 val metrics_snapshot : unit -> unit
 (** Emit one [metric] event per registered metric — call once at end
     of run before closing the sink. *)

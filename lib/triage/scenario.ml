@@ -41,6 +41,7 @@ type deploy = {
   dp_churn : Netsim.Churn.schedule;
   dp_mangle : mangle option;
   dp_confuzz : Confuzz.Mutation.t list;
+  dp_cascade : bool;
   dp_mode : mode;
 }
 
@@ -163,7 +164,7 @@ let explorer_params (e : exploration) churned =
              never let a minimization replay stall on it. *)
           if churned then Some (Netsim.Time.span_sec 30.) else None) }
 
-let run_deploy d =
+let run_deploy_base d =
   let graph = graph_of d in
   let build = Topology.Build.deploy ~seed:d.dp_seed graph in
   Topology.Build.start_all build;
@@ -236,6 +237,25 @@ let run_deploy d =
   { o_signatures = List.map (Dice.Signature.of_fault ~graph) faults;
     o_faults = faults;
     o_error = None }
+
+(* A cascade scenario re-runs the whole-timeline detector over the
+   replay's own telemetry: a ring wide enough for the full deployment
+   captures the loc-rib flips and supervisor decisions, and any
+   cascade found joins the outcome exactly as in the live run — so
+   [detects] and the corpus replayer treat cascade signatures like any
+   other. *)
+let run_deploy d =
+  if not d.dp_cascade then run_deploy_base d
+  else
+    Cascade.Online.with_monitor ~capacity:65536 @@ fun mon ->
+    let o = run_deploy_base d in
+    let cascade_faults = Cascade.Online.probe mon in
+    let graph = graph_of d in
+    { o with
+      o_faults = o.o_faults @ cascade_faults;
+      o_signatures =
+        o.o_signatures
+        @ List.map (Dice.Signature.of_fault ~graph) cascade_faults }
 
 let run t =
   (* A nested deployment installs its own telemetry clock; restore the
@@ -386,6 +406,7 @@ let to_json = function
           ("churn", J.List (List.map json_of_churn_entry d.dp_churn));
           ("mangle", match d.dp_mangle with Some m -> json_of_mangle m | None -> J.Null);
           ("confuzz", J.List (List.map Confuzz.Mutation.to_json d.dp_confuzz));
+          ("cascade", J.Bool d.dp_cascade);
           ("run", json_of_mode d.dp_mode) ]
 
 (* --- decoding ----------------------------------------------------- *)
@@ -648,12 +669,16 @@ let of_json j =
             let* l = as_list v in
             map_result Confuzz.Mutation.of_json l
       in
+      (* Absent in scenarios filed before the cascade detector existed. *)
+      let dp_cascade =
+        match opt_field "cascade" j with Some (J.Bool b) -> b | _ -> false
+      in
       let* run_v = field "run" j in
       let* dp_mode = mode_of_json run_v in
       Ok
         (Deploy
            { dp_topo; dp_keep; dp_seed; dp_inject; dp_settle_sec; dp_churn;
-             dp_mangle; dp_confuzz; dp_mode })
+             dp_mangle; dp_confuzz; dp_cascade; dp_mode })
   | other -> Error (Printf.sprintf "unknown scenario %S" other)
 
 let to_string t = J.to_string (to_json t)

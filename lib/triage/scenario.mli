@@ -65,6 +65,11 @@ type deploy = {
           speakers after [dp_inject] and before settling; an
           inapplicable mutation aborts the replay (setup failure).
           Absent in pre-confuzz corpus entries (decodes as [[]]). *)
+  dp_cascade : bool;
+      (** run the cascade detector over the replay's own telemetry and
+          add any cascade found to the outcome — set for scenarios
+          whose detection is a {!Dice.Fault.Cascade}.  Absent in
+          pre-cascade corpus entries (decodes as [false]). *)
   dp_mode : mode;
 }
 

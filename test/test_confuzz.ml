@@ -227,6 +227,7 @@ let deploy ~confuzz =
       dp_churn = [];
       dp_mangle = None;
       dp_confuzz = confuzz;
+      dp_cascade = false;
       dp_mode =
         Triage.Scenario.Direct { dr_node = 4; dr_peer = 0; dr_input = None } }
 

@@ -23,4 +23,5 @@ let () =
       ("confuzz", Test_confuzz.suite);
       ("telemetry", Test_telemetry.suite);
       ("scale", Test_scale.suite);
-      ("benchgate", Test_benchgate.suite) ]
+      ("benchgate", Test_benchgate.suite);
+      ("cascade", Test_cascade.suite) ]

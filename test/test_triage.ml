@@ -29,6 +29,7 @@ let hijack_explore =
       dp_churn = [];
       dp_mangle = None;
       dp_confuzz = [];
+      dp_cascade = false;
       dp_mode = Triage.Scenario.Explore fast_exploration }
 
 let dispute_direct =
@@ -42,6 +43,7 @@ let dispute_direct =
       dp_churn = [];
       dp_mangle = None;
       dp_confuzz = [];
+      dp_cascade = false;
       dp_mode = Triage.Scenario.Direct { dr_node = 0; dr_peer = 0; dr_input = None } }
 
 let signature_strings outcome =
@@ -183,6 +185,7 @@ let scenario_json_roundtrip () =
                 prefix = Bgp.Prefix.of_string_exn "192.0.0.0/24";
                 via_asn = 1002;
                 pref = 300 } ];
+        dp_cascade = true;
         dp_mode =
           Triage.Scenario.Direct
             { dr_node = 0; dr_peer = 1; dr_input = Some [ ("community", 3) ] } }
