@@ -204,8 +204,121 @@ let scenario_of_run ~topo ~nodes ~seed ~inject ~rounds ~churn_sched ~mangle
                 ex_deadline_sec = (if churned then Some 30. else None) } })
     scenario_topo
 
+(* Under --campaign: run a declarative dice-campaign/1 sweep through the
+   supervising driver instead of a single demo deployment.  The demo's
+   overlay flags compose onto every template: --churn adds a random
+   churn schedule to templates that have none, --adversary arms the
+   wire mangler at --mangle-rate, --cascade re-arms the per-replay
+   detector, --corpus redirects filing, --telemetry wraps the whole
+   campaign in a flight-recorder artifact.  A directory that already
+   holds a journal is resumed rather than restarted. *)
+let overlay_scenario ~churn ~adversary ~mangle_rate ~cascade scenario =
+  match scenario with
+  | Triage.Scenario.Wire _ -> scenario
+  | Triage.Scenario.Deploy d ->
+      let rounds =
+        match d.Triage.Scenario.dp_mode with
+        | Triage.Scenario.Explore e -> e.Triage.Scenario.ex_rounds
+        | Triage.Scenario.Direct _ -> 3
+      in
+      let dp_churn =
+        if churn && d.Triage.Scenario.dp_churn = [] then
+          churn_schedule (Triage.Scenario.graph_of d) d.Triage.Scenario.dp_seed
+            rounds
+        else d.Triage.Scenario.dp_churn
+      in
+      let dp_mangle =
+        if adversary && mangle_rate > 0. && d.Triage.Scenario.dp_mangle = None
+        then
+          Some
+            { Triage.Scenario.mg_seed = d.Triage.Scenario.dp_seed lxor 0xAD5E;
+              mg_rate = mangle_rate;
+              mg_kinds = [];
+              mg_schedule = [];
+              mg_fragile_node = None }
+        else d.Triage.Scenario.dp_mangle
+      in
+      Triage.Scenario.Deploy
+        { d with
+          Triage.Scenario.dp_churn;
+          dp_mangle;
+          dp_cascade = d.Triage.Scenario.dp_cascade || cascade }
+
+let run_campaign spec_path dir ~churn ~adversary ~mangle_rate ~cascade
+    ~corpus_dir ~telemetry_file ~verbose =
+  let fail msg =
+    Printf.eprintf "dice_demo: %s\n" msg;
+    2
+  in
+  match Campaign.Spec.load spec_path with
+  | Error e -> fail e
+  | Ok spec -> (
+      let spec =
+        { spec with
+          Campaign.Spec.c_templates =
+            List.map
+              (fun (t : Campaign.Spec.template) ->
+                { t with
+                  Campaign.Spec.t_scenario =
+                    overlay_scenario ~churn ~adversary ~mangle_rate ~cascade
+                      t.Campaign.Spec.t_scenario })
+              spec.Campaign.Spec.c_templates }
+      in
+      let log = if verbose then prerr_endline else ignore in
+      let go () =
+        if Sys.file_exists (Filename.concat dir "journal.jsonl") then begin
+          Printf.printf "resuming campaign in %s\n%!" dir;
+          Campaign.Run.resume ~log ?corpus_dir ~dir ()
+        end
+        else begin
+          Printf.printf "campaign %S: %d template(s), %d job(s) -> %s\n%!"
+            spec.Campaign.Spec.c_name
+            (List.length spec.Campaign.Spec.c_templates)
+            (List.length (Campaign.Spec.jobs spec))
+            dir;
+          Campaign.Run.start ~log ?corpus_dir ~dir spec
+        end
+      in
+      let result =
+        match telemetry_file with
+        | None -> go ()
+        | Some path ->
+            let r =
+              Telemetry.with_jsonl path
+                ~attrs:
+                  [ ("campaign", Telemetry.Json.String spec.Campaign.Spec.c_name) ]
+                go
+            in
+            Printf.printf "wrote telemetry to %s\n%!" path;
+            r
+      in
+      match result with
+      | Error e -> fail e
+      | Ok r ->
+          List.iter (fun w -> Printf.eprintf "warning: %s\n" w) r.Campaign.Run.r_warnings;
+          Printf.printf
+            "campaign %s: %d/%d job(s) complete (%d executed, %d replayed), \
+             %d signature(s) filed\n"
+            r.Campaign.Run.r_report.Campaign.Report.r_outcome
+            r.Campaign.Run.r_completed r.Campaign.Run.r_total
+            r.Campaign.Run.r_executed r.Campaign.Run.r_replayed
+            (List.length r.Campaign.Run.r_filed);
+          Printf.printf "report: %s\n" (Filename.concat dir "report.json");
+          if r.Campaign.Run.r_report.Campaign.Report.r_gate_failed then begin
+            print_endline "health gate FAILED: self-sustaining failure(s) observed";
+            1
+          end
+          else 0)
+
 let run topo nodes seed fault rounds churn adversary mangle_rate confuzz
-    cascade corpus_dir dot_file telemetry_file report verbose =
+    cascade corpus_dir dot_file telemetry_file report verbose campaign
+    campaign_dir =
+  (match campaign with
+  | Some spec_path ->
+      exit
+        (run_campaign spec_path campaign_dir ~churn ~adversary ~mangle_rate
+           ~cascade ~corpus_dir ~telemetry_file ~verbose)
+  | None -> ());
   setup_logging verbose;
   let graph = make_graph topo nodes seed in
   Printf.printf "deploying %s\n%!" (Topology.Render.summary_line graph);
@@ -492,6 +605,23 @@ let verbose =
   let doc = "Verbose logging." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let campaign =
+  let doc =
+    "Run the dice-campaign/1 spec at $(docv) through the supervising \
+     campaign driver instead of a single demo deployment.  Composes with \
+     --churn, --adversary, --cascade (overlaid onto every template), \
+     --corpus (filing directory override) and --telemetry (one artifact \
+     for the whole sweep).  If --campaign-dir already holds a journal the \
+     campaign is resumed.  Exit status follows dice_campaign: 0 clean, 1 \
+     health gate failed, 2 usage or spec errors."
+  in
+  Arg.(value & opt (some string) None & info [ "campaign" ] ~docv:"SPEC" ~doc)
+
+let campaign_dir =
+  let doc = "Campaign directory (journal, report, corpus) for --campaign." in
+  Arg.(
+    value & opt string "dice-campaign" & info [ "campaign-dir" ] ~docv:"DIR" ~doc)
+
 let cmd =
   let doc = "online testing of federated and heterogeneous distributed systems" in
   let man =
@@ -519,6 +649,6 @@ let cmd =
     Term.(
       const run $ topo $ nodes $ seed $ fault $ rounds $ churn $ adversary
       $ mangle_rate $ confuzz $ cascade $ corpus_dir $ dot_file
-      $ telemetry_file $ report $ verbose)
+      $ telemetry_file $ report $ verbose $ campaign $ campaign_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -3,7 +3,8 @@
    patterns.  Exit status: 0 = clean, 1 = cascade(s) detected, 2 =
    unusable artifact or bad usage — so CI can gate on it directly. *)
 
-let analyze file report_out dot_out min_flips storm_prefixes min_quarantines =
+let analyze file report_out dot_out min_flips storm_prefixes min_quarantines
+    auto_tune =
   match Cascade.Timeline.of_file file with
   | exception Sys_error msg ->
       Printf.eprintf "dice_trace: %s\n" msg;
@@ -14,11 +15,17 @@ let analyze file report_out dot_out min_flips storm_prefixes min_quarantines =
       2
   | Ok timeline ->
       let params =
-        { Cascade.Detect.default_params with
-          Cascade.Detect.min_flips;
-          storm_prefixes;
-          min_quarantines }
+        let base =
+          { Cascade.Detect.default_params with
+            Cascade.Detect.min_flips;
+            storm_prefixes;
+            min_quarantines }
+        in
+        if auto_tune then Cascade.Detect.auto_params ~base timeline else base
       in
+      if auto_tune && params.Cascade.Detect.min_flips <> min_flips then
+        Printf.printf "auto-tuned min-flips to %d (%d rounds observed)\n"
+          params.Cascade.Detect.min_flips timeline.Cascade.Timeline.tl_rounds;
       let propagation, cascades = Cascade.Detect.run ~params timeline in
       Printf.printf
         "%s: %d record(s) over %.1fs sim time — %d round(s), %d fault(s), \
@@ -92,6 +99,15 @@ let min_quarantines =
     & opt int Cascade.Detect.default_params.Cascade.Detect.min_quarantines
     & info [ "min-quarantines" ] ~docv:"N" ~doc)
 
+let auto_tune =
+  let doc =
+    "Auto-tune --min-flips to the artifact's observed round cadence \
+     (max(--min-flips, rounds/2)): long campaign timelines demand \
+     proportionally more flip evidence, while --min-flips stays the \
+     hard floor."
+  in
+  Arg.(value & flag & info [ "auto-min-flips" ] ~doc)
+
 let analyze_cmd =
   let doc = "detect cascades in a telemetry artifact" in
   let man =
@@ -112,7 +128,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc ~man)
     Term.(
       const analyze $ file $ report_out $ dot_out $ min_flips $ storm_prefixes
-      $ min_quarantines)
+      $ min_quarantines $ auto_tune)
 
 let cmd =
   let doc = "causal cascade analysis over DiCE telemetry" in

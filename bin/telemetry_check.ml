@@ -2,7 +2,8 @@
    the header is well-formed, span ids are unique, every span closes,
    and fault span paths reference real spans.  With --cascade, the
    file is instead validated as a single-document dice-cascade/1
-   analysis report.  Exit 0 on a valid file, 1 with the violations
+   analysis report; with --campaign, as a dice-campaign/1 final
+   report.  Exit 0 on a valid file, 1 with the violations
    listed otherwise.  CI runs this over the demo's JSONL (and the
    cascade smoke's report) before uploading them. *)
 
@@ -31,6 +32,18 @@ let () =
             Cascade.Report.version cascades;
           exit 0
       | Error msgs -> invalid path msgs)
+  | [| _; "--campaign"; path |] -> (
+      match Campaign.Report.validate_file path with
+      | Ok json ->
+          let outcome =
+            match Telemetry.Json.member "outcome" json with
+            | Some (Telemetry.Json.String o) -> o
+            | _ -> "unknown"
+          in
+          Printf.printf "%s: OK — %s report, outcome %s\n" path
+            Campaign.Report.version outcome;
+          exit 0
+      | Error msgs -> invalid path msgs)
   | _ ->
-      Printf.eprintf "usage: %s [--cascade] FILE\n" Sys.argv.(0);
+      Printf.eprintf "usage: %s [--cascade|--campaign] FILE\n" Sys.argv.(0);
       exit 2

@@ -1,0 +1,216 @@
+module J = Telemetry.Json
+
+let schema_version = "dice-campaign/1"
+
+type template = {
+  t_name : string;
+  t_seeds : int list;
+  t_scenario : Triage.Scenario.t;
+}
+
+type t = {
+  c_name : string;
+  c_templates : template list;
+  c_scenario_budget_s : float;
+  c_budget_s : float option;
+  c_retries : int;
+  c_max_strikes : int;
+  c_backoff : int;
+  c_checkpoint_every : int;
+}
+
+let make ?(scenario_budget_s = 60.) ?budget_s ?(retries = 1) ?(max_strikes = 2)
+    ?(backoff = 2) ?(checkpoint_every = 8) ~name templates =
+  { c_name = name; c_templates = templates;
+    c_scenario_budget_s = scenario_budget_s; c_budget_s = budget_s;
+    c_retries = retries; c_max_strikes = max_strikes; c_backoff = backoff;
+    c_checkpoint_every = checkpoint_every }
+
+type job = {
+  j_id : int;
+  j_template : string;
+  j_seed : int;
+  j_scenario : Triage.Scenario.t;
+}
+
+let jobs spec =
+  let next = ref 0 in
+  List.concat_map
+    (fun tpl ->
+      List.map
+        (fun seed ->
+          let id = !next in
+          incr next;
+          { j_id = id; j_template = tpl.t_name; j_seed = seed;
+            j_scenario = Triage.Scenario.with_seed seed tpl.t_scenario })
+        tpl.t_seeds)
+    spec.c_templates
+
+let template_to_json tpl =
+  J.Obj
+    [ ("name", J.String tpl.t_name);
+      ("seeds", J.List (List.map (fun s -> J.Int s) tpl.t_seeds));
+      ("scenario", Triage.Scenario.to_json tpl.t_scenario) ]
+
+let to_json spec =
+  J.Obj
+    [ ("schema", J.String schema_version);
+      ("doc", J.String "spec");
+      ("name", J.String spec.c_name);
+      ("scenario_budget_sec", J.Float spec.c_scenario_budget_s);
+      ( "budget_sec",
+        match spec.c_budget_s with None -> J.Null | Some b -> J.Float b );
+      ("retries", J.Int spec.c_retries);
+      ("max_strikes", J.Int spec.c_max_strikes);
+      ("backoff", J.Int spec.c_backoff);
+      ("checkpoint_every", J.Int spec.c_checkpoint_every);
+      ("templates", J.List (List.map template_to_json spec.c_templates)) ]
+
+let digest spec = Digest.to_hex (Digest.string (J.to_string (to_json spec)))
+
+(* --- validation ------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let str_field name json =
+  match J.member name json with
+  | Some (J.String s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing or non-string %S field" name)
+
+let int_field ~default name json =
+  match J.member name json with
+  | None -> Ok default
+  | Some (J.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let float_field ~default name json =
+  match J.member name json with
+  | None -> Ok default
+  | Some (J.Float f) -> Ok f
+  | Some (J.Int i) -> Ok (float_of_int i)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+
+(* Seed sweeps come in two spellings: an explicit list, or a compact
+   range object for wide sweeps. *)
+let seeds_of_json = function
+  | J.List l ->
+      let* seeds =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            match s with
+            | J.Int i -> Ok (i :: acc)
+            | _ -> Error "seeds list must contain only integers")
+          (Ok []) l
+      in
+      if seeds = [] then Error "seeds list is empty" else Ok (List.rev seeds)
+  | J.Obj _ as o ->
+      let* from = int_field ~default:0 "from" o in
+      let* count =
+        match J.member "count" o with
+        | Some (J.Int c) -> Ok c
+        | _ -> Error "seed range needs an integer \"count\""
+      in
+      if count <= 0 then Error "seed range \"count\" must be positive"
+      else Ok (List.init count (fun i -> from + i))
+  | _ -> Error "\"seeds\" must be a list of integers or a {from, count} range"
+
+let template_of_json json =
+  let* name = str_field "name" json in
+  let in_tpl msg = Printf.sprintf "template %S: %s" name msg in
+  let* seeds =
+    match J.member "seeds" json with
+    | None -> Error (in_tpl "missing \"seeds\"")
+    | Some s -> Result.map_error in_tpl (seeds_of_json s)
+  in
+  let* scenario =
+    match J.member "scenario" json with
+    | None -> Error (in_tpl "missing \"scenario\"")
+    | Some s ->
+        Result.map_error in_tpl (Triage.Scenario.of_json s)
+  in
+  Ok { t_name = name; t_seeds = seeds; t_scenario = scenario }
+
+let validate json =
+  let* schema = str_field "schema" json in
+  let* () =
+    if String.equal schema schema_version then Ok ()
+    else Error (Printf.sprintf "unsupported schema %S (want %S)" schema
+                  schema_version)
+  in
+  let* () =
+    match J.member "doc" json with
+    | None | Some (J.String "spec") -> Ok ()
+    | Some (J.String d) ->
+        Error (Printf.sprintf "document is a %S, not a campaign spec" d)
+    | Some _ -> Error "field \"doc\" must be a string"
+  in
+  let* name = str_field "name" json in
+  let* scenario_budget_s = float_field ~default:60. "scenario_budget_sec" json in
+  let* budget_s =
+    match J.member "budget_sec" json with
+    | None | Some J.Null -> Ok None
+    | Some (J.Float f) -> Ok (Some f)
+    | Some (J.Int i) -> Ok (Some (float_of_int i))
+    | Some _ -> Error "field \"budget_sec\" must be a number or null"
+  in
+  let* retries = int_field ~default:1 "retries" json in
+  let* max_strikes = int_field ~default:2 "max_strikes" json in
+  let* backoff = int_field ~default:2 "backoff" json in
+  let* checkpoint_every = int_field ~default:8 "checkpoint_every" json in
+  let* () =
+    if retries < 0 then Error "\"retries\" must be >= 0"
+    else if max_strikes < 1 then Error "\"max_strikes\" must be >= 1"
+    else if backoff < 1 then Error "\"backoff\" must be >= 1"
+    else if checkpoint_every < 1 then Error "\"checkpoint_every\" must be >= 1"
+    else Ok ()
+  in
+  let* templates =
+    match J.member "templates" json with
+    | Some (J.List (_ :: _ as l)) ->
+        List.fold_left
+          (fun acc t ->
+            let* acc = acc in
+            let* tpl = template_of_json t in
+            Ok (tpl :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+    | Some (J.List []) -> Error "campaign has no templates"
+    | _ -> Error "missing or non-list \"templates\" field"
+  in
+  let* () =
+    let names = List.map (fun t -> t.t_name) templates in
+    let dup =
+      List.find_opt
+        (fun n -> List.length (List.filter (String.equal n) names) > 1)
+        names
+    in
+    match dup with
+    | Some n -> Error (Printf.sprintf "duplicate template name %S" n)
+    | None -> Ok ()
+  in
+  Ok
+    { c_name = name; c_templates = templates;
+      c_scenario_budget_s = scenario_budget_s; c_budget_s = budget_s;
+      c_retries = retries; c_max_strikes = max_strikes; c_backoff = backoff;
+      c_checkpoint_every = checkpoint_every }
+
+let of_string s =
+  let* json = J.of_string s in
+  validate json
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents ->
+      Result.map_error (Printf.sprintf "%s: %s" path) (of_string contents)
+
+let save ~path spec =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (J.to_string (to_json spec));
+      output_char oc '\n')

@@ -33,6 +33,16 @@ let default_params =
   { min_flips = 6; storm_prefixes = 8; min_quarantines = 2;
     induce_window_us = Graph.default_induce_window_us }
 
+(* A self-sustaining oscillation keeps flipping for as long as anyone
+   watches — at least about once per two exploration rounds.  Long
+   timelines (hours-long campaign artifacts) therefore raise the bar
+   proportionally: a prefix that flipped 6 times during 40 rounds is
+   convergence chatter, not a cascade.  The fixed floor is the lower
+   bound — short timelines tune to exactly [base.min_flips], so
+   existing reports never churn. *)
+let auto_params ?(base = default_params) (tl : Timeline.t) =
+  { base with min_flips = max base.min_flips (tl.Timeline.tl_rounds / 2) }
+
 (* Same stable grouping as the graph builder. *)
 let group_by key items =
   let tbl = Hashtbl.create 32 in

@@ -50,6 +50,15 @@ type params = {
 
 val default_params : params
 
+val auto_params : ?base:params -> Timeline.t -> params
+(** Tune [min_flips] to the observed round cadence: a genuine
+    self-sustaining oscillation flips at least about once per two
+    rounds for the whole window, so [min_flips] becomes
+    [max base.min_flips (rounds / 2)] — long campaign timelines demand
+    proportionally more evidence, while [base.min_flips] (the fixed
+    floor) is a hard lower bound, so short timelines are classified
+    exactly as before. *)
+
 val run : ?params:params -> Timeline.t -> Graph.t * cascade list
 (** Cascades in canonical order (kind, then first occurrence, then
     nodes/prefixes) — derived only from event content and sim time,

@@ -222,29 +222,21 @@ let one_round ~params ~pool ~supervisor ~build ~cut ~gt ~interval ~index node =
   { rd_index = index; rd_node = node; rd_started_at = started_at;
     rd_outcome = outcome }
 
-(* Per-node health for the quarantine policy. *)
-type health = {
-  mutable h_strikes : int;
-  mutable h_until : int;  (* quarantined while round index < h_until *)
-  mutable h_quarantines : int;  (* drives the exponential backoff *)
-  mutable h_parked : bool;  (* currently quarantined (for the release event) *)
-}
-
+(* The strike/backoff policy itself lives in {!Supervise} (the campaign
+   driver reuses it for scenario templates); the orchestrator keeps the
+   node mapping and the telemetry side effects. *)
 type sched = {
   s_nodes : int array;
-  s_health : health array;
-  s_sup : supervisor;
+  s_strikes : Supervise.t;
   mutable s_events : quarantine_event list;
 }
 
 let sched_make sup nodes =
   let s_nodes = Array.of_list nodes in
   { s_nodes;
-    s_health =
-      Array.map
-        (fun _ -> { h_strikes = 0; h_until = 0; h_quarantines = 0; h_parked = false })
-        s_nodes;
-    s_sup = sup;
+    s_strikes =
+      Supervise.create ~max_strikes:sup.max_strikes
+        ~backoff:sup.backoff_rounds (Array.length s_nodes);
     s_events = [] }
 
 (* Quarantine expirations become first-class telemetry records the
@@ -252,15 +244,12 @@ let sched_make sup nodes =
    quarantine records to spot ping-pong without guessing at backoff
    arithmetic. *)
 let sched_release s i =
-  Array.iteri
-    (fun idx h ->
-      if h.h_parked && h.h_until <= i then begin
-        h.h_parked <- false;
-        Telemetry.sys_event ~kind:"unquarantine" ~nodes:[ s.s_nodes.(idx) ]
-          ~detail:(Printf.sprintf "eligible again at round %d" (i + 1))
-          ()
-      end)
-    s.s_health
+  List.iter
+    (fun idx ->
+      Telemetry.sys_event ~kind:"unquarantine" ~nodes:[ s.s_nodes.(idx) ]
+        ~detail:(Printf.sprintf "eligible again at round %d" (i + 1))
+        ())
+    (Supervise.release_due s.s_strikes ~step:i)
 
 (* Round-robin with quarantine skipping: start at the scheduled slot and
    take the first healthy node; if everyone is quarantined, run the
@@ -270,33 +259,27 @@ let sched_pick s i =
   let rec probe k = if k >= n then i mod n
     else
       let idx = (i + k) mod n in
-      if s.s_health.(idx).h_until > i then probe (k + 1) else idx
+      if Supervise.quarantined s.s_strikes ~slot:idx ~step:i then probe (k + 1)
+      else idx
   in
   probe 0
 
 let sched_record s ~round_index ~slot outcome =
-  let h = s.s_health.(slot) in
-  match outcome with
-  | Ok _ | Degraded _ -> h.h_strikes <- 0
-  | Failed _ ->
-      h.h_strikes <- h.h_strikes + 1;
-      if h.h_strikes >= s.s_sup.max_strikes then begin
-        let len = s.s_sup.backoff_rounds * (1 lsl h.h_quarantines) in
-        h.h_until <- round_index + 1 + len;
-        h.h_quarantines <- h.h_quarantines + 1;
-        h.h_strikes <- 0;
-        h.h_parked <- true;
-        Telemetry.Metrics.incr (Lazy.force m_quarantines);
-        Telemetry.sys_event ~kind:"quarantine" ~nodes:[ s.s_nodes.(slot) ]
-          ~detail:
-            (Printf.sprintf "%d strikes at round %d, until round %d"
-               s.s_sup.max_strikes (round_index + 1) h.h_until)
-          ();
-        s.s_events <-
-          { q_node = s.s_nodes.(slot); q_round = round_index;
-            q_strikes = s.s_sup.max_strikes; q_until_round = h.h_until }
-          :: s.s_events
-      end
+  let ok = match outcome with Ok _ | Degraded _ -> true | Failed _ -> false in
+  match Supervise.record s.s_strikes ~slot ~step:round_index ~ok with
+  | None -> ()
+  | Some q ->
+      Telemetry.Metrics.incr (Lazy.force m_quarantines);
+      Telemetry.sys_event ~kind:"quarantine" ~nodes:[ s.s_nodes.(slot) ]
+        ~detail:
+          (Printf.sprintf "%d strikes at round %d, until round %d"
+             q.Supervise.qu_strikes (round_index + 1) q.Supervise.qu_until)
+        ();
+      s.s_events <-
+        { q_node = s.s_nodes.(slot); q_round = round_index;
+          q_strikes = q.Supervise.qu_strikes;
+          q_until_round = q.Supervise.qu_until }
+        :: s.s_events
 
 let node_list nodes build =
   match nodes with

@@ -137,7 +137,7 @@ let rec await task =
         await task
       end
 
-let await_timeout task ~timeout_s =
+let await_timeout ?(help = true) task ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
   (* The stdlib has no timed [Condition.wait], so once the queue is dry
      we spin politely on the task state instead of blocking. *)
@@ -154,7 +154,10 @@ let await_timeout task ~timeout_s =
           None
         end
         else begin
-          if not (try_help task.t_pool) then Domain.cpu_relax ();
+          if help then begin
+            if not (try_help task.t_pool) then Domain.cpu_relax ()
+          end
+          else Unix.sleepf 0.001;
           loop ()
         end
   in

@@ -42,12 +42,18 @@ val await : 'a task -> 'a
     in the meantime.  Re-raises (with its original backtrace) any
     exception the job raised. *)
 
-val await_timeout : 'a task -> timeout_s:float -> 'a option
+val await_timeout : ?help:bool -> 'a task -> timeout_s:float -> 'a option
 (** Like {!await} but gives up after [timeout_s] wall-clock seconds,
     returning [None].  The job itself is {e not} cancelled — OCaml
     domains cannot be killed — so an abandoned job may still complete
-    later; the caller has merely stopped waiting for it.  Helps drain
-    the queue while waiting, then polls. *)
+    later; the caller has merely stopped waiting for it.
+
+    By default the caller helps drain the queue while waiting, then
+    polls.  Pass [~help:false] to poll without helping: required when
+    the caller is using the timeout as a watchdog over the awaited job
+    itself, since a helping caller may steal that very job from the
+    queue and execute it inline, at which point no timeout can fire
+    until the job finishes on its own. *)
 
 val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ?chunk pool f xs] runs [f] on every element concurrently

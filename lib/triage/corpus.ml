@@ -96,21 +96,51 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* fsync the directory itself so the rename is durable: a kill -9 (or
+   power cut) right after [add] must not be able to roll the entry
+   back.  Directory fds can legitimately refuse fsync on some
+   filesystems — that only weakens durability, never atomicity, so
+   errors are swallowed. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let write_file path contents =
-  (* tmp + rename so a crashed writer never leaves a torn entry *)
+  (* tmp + fsync + rename + fsync(dir): the tmp file is fully on disk
+     before the rename publishes it, and the rename itself is on disk
+     before [add] returns — a campaign killed at any instant leaves
+     either the old entry or the new one, never a torn file and never
+     a "filed" journal record pointing at data the crash rolled back. *)
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents);
-  Sys.rename tmp path
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = String.length contents in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write_substring fd contents !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let ensure_dir dir = if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
 
 let load_entry path =
+  (* Every failure mode of one entry — unreadable file, torn/truncated
+     JSON, schema drift — degrades to [Error] for that entry alone;
+     a long campaign's corpus load must never abort wholesale because
+     one file is damaged. *)
   match entry_of_string (read_file path) with
   | r -> r
   | exception Sys_error e -> Error e
+  | exception End_of_file -> Error "truncated entry (torn write?)"
+  | exception e -> Error (Printexc.to_string e)
 
 let add ~dir ?now sg scenario =
   ensure_dir dir;

@@ -81,6 +81,31 @@ let graph_of d =
   match d.dp_keep with None -> g | Some keep -> Topology.Graph.induced g keep
 
 (* ------------------------------------------------------------------ *)
+(* Template expansion                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One campaign template x N seeds = N distinct scenarios over the same
+   network: the deployment seed and both fault-stream seeds rotate (the
+   xor constants match the demo's --adversary wiring, so a template
+   lifted from a demo run sweeps exactly like the live command line),
+   the topology stays fixed. *)
+let with_seed seed = function
+  | Wire _ as w -> w
+  | Deploy d ->
+      let dp_mangle =
+        Option.map (fun m -> { m with mg_seed = seed lxor 0xAD5E }) d.dp_mangle
+      in
+      let dp_mode =
+        match d.dp_mode with
+        | Direct _ as m -> m
+        | Explore e ->
+            if e.ex_mangle_extra > 0 then
+              Explore { e with ex_mangle_seed = seed lxor 0x5EED }
+            else Explore e
+      in
+      Deploy { d with dp_seed = seed; dp_mangle; dp_mode }
+
+(* ------------------------------------------------------------------ *)
 (* Size: what the minimizer shrinks                                    *)
 (* ------------------------------------------------------------------ *)
 

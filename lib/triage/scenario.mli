@@ -85,6 +85,19 @@ val graph_of : deploy -> Topology.Graph.t
 (** [base_graph] restricted to [dp_keep] when present.
     @raise Invalid_argument if [dp_keep] names unknown nodes. *)
 
+(** {1 Template expansion} *)
+
+val with_seed : int -> t -> t
+(** Seed-sweep expansion: one campaign template × N seeds = N distinct
+    scenarios.  Rebinds every seed the deployment draws at run time —
+    [dp_seed] itself, the mangler stream ([mg_seed], derived as
+    [seed lxor 0xAD5E], matching the demo's adversary mode) and the
+    explorer's mangled-input stream ([ex_mangle_seed], derived as
+    [seed lxor 0x5EED] when mangled exploration is on) — while the
+    topology (including a [Random] topology's [r_seed]) stays fixed,
+    so a sweep explores N behaviors of the {e same} network.  Wire
+    scenarios have no seed and are returned unchanged. *)
+
 (** {1 Size} *)
 
 val size : t -> int

@@ -94,6 +94,44 @@ let short_train_is_clean () =
   check Alcotest.int "tunable floor" 1
     (List.length (Cascade.Detect.detect ~params tl))
 
+(* auto_params scales min_flips to the observed round cadence, with the
+   fixed floor pinned as the lower bound: short timelines must keep the
+   exact default classification, long ones must demand more evidence. *)
+let auto_params_floor_and_scaling () =
+  let rounds n =
+    List.concat
+      (List.init n (fun i ->
+           [ Telemetry.Sink.Span_start
+               { id = i + 1; parent = None; name = "round";
+                 t_us = i * 1000; attrs = [ ("index", Telemetry.Json.Int i) ] };
+             Telemetry.Sink.Span_end
+               { id = i + 1; t_us = (i * 1000) + 500; attrs = [] } ]))
+  in
+  let base = Cascade.Detect.default_params in
+  let short = Cascade.Timeline.of_events (ev (rounds 4)) in
+  check Alcotest.int "short timeline pins the fixed floor"
+    base.Cascade.Detect.min_flips
+    (Cascade.Detect.auto_params short).Cascade.Detect.min_flips;
+  let long = Cascade.Timeline.of_events (ev (rounds 40)) in
+  check Alcotest.int "40 rounds demand rounds/2 flips" 20
+    (Cascade.Detect.auto_params long).Cascade.Detect.min_flips;
+  (* A raised floor stays the lower bound even on long timelines. *)
+  let strict = { base with Cascade.Detect.min_flips = 25 } in
+  check Alcotest.int "explicit floor survives auto-tuning" 25
+    (Cascade.Detect.auto_params ~base:strict long).Cascade.Detect.min_flips;
+  (* Monotone: more rounds never lower the bar. *)
+  let f n =
+    (Cascade.Detect.auto_params (Cascade.Timeline.of_events (ev (rounds n))))
+      .Cascade.Detect.min_flips
+  in
+  List.iter
+    (fun (a, b) ->
+      check Alcotest.bool
+        (Printf.sprintf "min_flips(%d) <= min_flips(%d)" a b)
+        true
+        (f a <= f b))
+    [ (1, 8); (8, 16); (16, 64) ]
+
 let detect_flap_storm () =
   let trains =
     List.concat
@@ -342,6 +380,7 @@ let suite =
     ("graph: cycle requires a revisit", `Quick, graph_cycle_requires_revisit);
     ("detect: route oscillation", `Quick, detect_route_oscillation);
     ("detect: short train is clean", `Quick, short_train_is_clean);
+    ("detect: auto_params floor + scaling", `Quick, auto_params_floor_and_scaling);
     ("detect: flap storm aggregates", `Quick, detect_flap_storm);
     ("detect: quarantine ping-pong", `Quick, detect_quarantine_pingpong);
     ("detect: stable cascade signature", `Quick, cascade_fault_signature_is_stable);

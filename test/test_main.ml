@@ -24,4 +24,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("scale", Test_scale.suite);
       ("benchgate", Test_benchgate.suite);
-      ("cascade", Test_cascade.suite) ]
+      ("cascade", Test_cascade.suite);
+      ("campaign", Test_campaign.suite) ]

@@ -281,6 +281,50 @@ let validator_rejects_broken () =
 (* Determinism pin: recording must never change what DiCE finds        *)
 (* ------------------------------------------------------------------ *)
 
+(* A kill -9 (or a full disk) tears the artifact's final line mid-byte.
+   The streaming reader must surface that line as a per-line [Error]
+   and keep every record before it — a torn tail is the caller's
+   policy decision, never a fatal parse. *)
+let with_torn_artifact f =
+  let path = Filename.temp_file "telemetry-test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let lines = lines_of_events sample_events in
+  let whole = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  let torn =
+    let last = List.nth lines (List.length lines - 1) in
+    String.sub last 0 (String.length last / 2)
+  in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc l; output_char oc '\n') whole;
+  output_string oc torn;
+  close_out oc;
+  f path (List.length whole)
+
+let fold_file_truncated_tail () =
+  with_torn_artifact @@ fun path whole ->
+  let ok, errors, last_line =
+    Telemetry.Sink.fold_file path ~init:(0, 0, 0)
+      ~f:(fun (ok, errors, _) ~line r ->
+        match r with
+        | Ok _ -> (ok + 1, errors, line)
+        | Error _ -> (ok, errors + 1, line))
+  in
+  check Alcotest.int "every whole line decodes" whole ok;
+  check Alcotest.int "exactly the torn line errors" 1 errors;
+  check Alcotest.int "torn line is the final line" (whole + 1) last_line
+
+let iter_file_truncated_tail () =
+  with_torn_artifact @@ fun path whole ->
+  let ok = ref 0 and errors = ref [] in
+  Telemetry.Sink.iter_file path ~f:(fun ~line r ->
+      match r with
+      | Ok _ -> incr ok
+      | Error msg -> errors := (line, msg) :: !errors);
+  check Alcotest.int "every whole line decodes" whole !ok;
+  match !errors with
+  | [ (line, _) ] -> check Alcotest.int "error names the torn line" (whole + 1) line
+  | es -> Alcotest.failf "expected one per-line error, got %d" (List.length es)
+
 let exploration_fingerprint (x : Dice.Explorer.exploration) =
   ( x.Dice.Explorer.x_inputs,
     x.Dice.Explorer.x_distinct_paths,
@@ -352,5 +396,9 @@ let suite =
       validator_accepts_valid;
     Alcotest.test_case "validator: rejects broken artifacts" `Quick
       validator_rejects_broken;
+    Alcotest.test_case "fold_file: torn final line is per-line, not fatal"
+      `Quick fold_file_truncated_tail;
+    Alcotest.test_case "iter_file: torn final line is per-line, not fatal"
+      `Quick iter_file_truncated_tail;
     Alcotest.test_case "pin: disabled sink changes no exploration results"
       `Slow disabled_sink_changes_nothing ]

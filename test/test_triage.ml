@@ -336,6 +336,59 @@ let corpus_gc () =
         (Triage.Signature.to_string e.Triage.Corpus.e_signature)
   | other -> Alcotest.failf "expected one survivor, got %d" (List.length other)
 
+(* A torn entry (kill -9 racing the atomic rename, manual truncation)
+   must never abort the whole load: it is skipped and reported while
+   every intact entry still loads. *)
+let corpus_load_skips_torn_entries () =
+  with_temp_dir @@ fun dir ->
+  let outcome = Triage.Scenario.run dispute_direct in
+  let sg = List.hd outcome.Triage.Scenario.o_signatures in
+  ignore (Triage.Corpus.add ~dir ~now:1. sg dispute_direct);
+  (* Truncate a copy of the valid entry to simulate a torn write. *)
+  let valid = Filename.concat dir (Triage.Corpus.filename_of sg) in
+  let contents =
+    let ic = open_in_bin valid in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let torn = Filename.concat dir "00000000000000000000000000000000.json" in
+  let oc = open_out_bin torn in
+  output_string oc (String.sub contents 0 (String.length contents / 2));
+  close_out oc;
+  let entries = Triage.Corpus.load ~dir in
+  check Alcotest.int "both files surface" 2 (List.length entries);
+  let oks, errors =
+    List.partition (fun (_, r) -> Result.is_ok r) entries
+  in
+  (match oks with
+  | [ (_, Ok e) ] ->
+      check Alcotest.string "intact entry loads" (Triage.Signature.to_string sg)
+        (Triage.Signature.to_string e.Triage.Corpus.e_signature)
+  | _ -> Alcotest.failf "expected exactly one intact entry");
+  match errors with
+  | [ (file, Error msg) ] ->
+      check Alcotest.string "torn file named" "00000000000000000000000000000000.json"
+        (Filename.basename file);
+      check Alcotest.bool "error is reported, not raised" true (String.length msg > 0)
+  | _ -> Alcotest.failf "expected exactly one torn entry"
+
+(* Template expansion: with_seed re-seeds every derived stream of a
+   deploy scenario deterministically and leaves wire cases alone. *)
+let scenario_with_seed () =
+  let reseeded = Triage.Scenario.with_seed 99 hijack_explore in
+  (match reseeded with
+  | Triage.Scenario.Deploy d ->
+      check Alcotest.int "deploy seed replaced" 99 d.Triage.Scenario.dp_seed
+  | _ -> Alcotest.fail "expected a deploy scenario");
+  Alcotest.(check bool)
+    "same seed is the identity on the seed" true
+    (Triage.Scenario.equal
+       (Triage.Scenario.with_seed 5 hijack_explore)
+       hijack_explore);
+  let wire = Triage.Scenario.Wire "\x01\x02" in
+  Alcotest.(check bool) "wire scenarios unchanged" true
+    (Triage.Scenario.equal (Triage.Scenario.with_seed 99 wire) wire)
+
 (* ------------------------------------------------------------------ *)
 (* Dedupe keeps the earliest representative (regression pin)           *)
 (* ------------------------------------------------------------------ *)
@@ -365,4 +418,6 @@ let suite =
     ("corpus: add/load/replay/remove", `Slow, corpus_roundtrip);
     ("corpus: validator rejects", `Quick, corpus_validator_rejects);
     ("corpus: gc drops stale entries", `Slow, corpus_gc);
+    ("corpus: load skips torn entries", `Slow, corpus_load_skips_torn_entries);
+    ("scenario: with_seed expansion", `Quick, scenario_with_seed);
     ("fault: dedupe keeps earliest", `Quick, dedupe_keeps_earliest) ]
