@@ -181,13 +181,61 @@ let state_digest ~finals ~filed =
   Digest.to_hex
     (Digest.string (String.concat ";" finals ^ "|" ^ String.concat ";" filed))
 
+(* --- durability helpers ------------------------------------------------ *)
+
+(* fsync the directory itself so file creations and renames are
+   durable: after a power cut the fully-fsync'd journal must not be
+   missing from the directory.  Directory fds can legitimately refuse
+   fsync on some filesystems — that only weakens durability, never
+   atomicity, so errors are swallowed (same contract as
+   [Triage.Corpus]). *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* tmp + fsync + rename + fsync(dir): a kill -9 at any instant leaves
+   either the old file or the new one, never a torn half-write. *)
+let write_atomic ~path contents =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n = String.length contents in
+      let written = ref 0 in
+      while !written < n do
+        written :=
+          !written + Unix.write_substring fd contents !written (n - !written)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
 (* --- writer ----------------------------------------------------------- *)
 
 type writer = { w_fd : Unix.file_descr; mutable w_closed : bool }
 
-let open_writer path =
-  { w_fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
-    w_closed = false }
+let open_writer ?truncate_at path =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  (match truncate_at with
+  | None -> ()
+  | Some n ->
+      (* Cut the torn tail a crash left behind so the first append
+         starts on a fresh line instead of concatenating onto the
+         partial record (which would read as interior corruption and
+         make the journal permanently unrecoverable).  O_APPEND writes
+         land at the new, truncated end. *)
+      Unix.ftruncate fd n;
+      Unix.fsync fd);
+  { w_fd = fd; w_closed = false }
 
 (* One line per record in a single write(2): on a local filesystem the
    O_APPEND write is atomic with respect to other appenders, and a
@@ -220,22 +268,30 @@ let read path =
   | exception Sys_error e -> Error e
   | contents ->
       let lines = String.split_on_char '\n' contents in
-      (* Trailing newline yields one empty final element; drop blanks at
-         the end but remember the last non-blank index so only IT may be
-         torn. *)
-      let lines =
-        let rec trim = function
-          | "" :: rest -> trim rest
-          | l -> List.rev l
-        in
-        trim (List.rev lines)
+      let n_elems = List.length lines in
+      (* Element i was newline-terminated iff something followed it in
+         the split.  Only newline-terminated records are {e committed}:
+         the writer emits line + '\n' in a single write, so an
+         unterminated line — parseable or not — is a torn tail from a
+         kill -9 mid-append.  [committed] tracks the byte offset just
+         past the last committed record so resume can truncate the torn
+         residue before appending. *)
+      let last_nonblank =
+        let last = ref (-1) in
+        List.iteri (fun i l -> if String.trim l <> "" then last := i) lines;
+        !last
       in
-      let last = List.length lines - 1 in
-      let rec go i acc warnings = function
-        | [] -> Ok (List.rev acc, List.rev warnings)
+      let rec go i off acc warnings committed = function
+        | [] -> Ok (List.rev acc, List.rev warnings, committed)
         | line :: rest -> (
+            let terminated = i < n_elems - 1 in
+            let next = off + String.length line + (if terminated then 1 else 0) in
             if String.trim line = "" then
-              Error (Printf.sprintf "%s:%d: blank interior line" path (i + 1))
+              if i > last_nonblank then
+                (* Blank residue after the last record: not committed. *)
+                go (i + 1) next acc warnings committed rest
+              else
+                Error (Printf.sprintf "%s:%d: blank interior line" path (i + 1))
             else
               let parsed =
                 match J.of_string line with
@@ -243,18 +299,28 @@ let read path =
                 | Ok json -> of_json json
               in
               match parsed with
-              | Ok r -> go (i + 1) (r :: acc) warnings rest
-              | Error e when i = last ->
+              | Ok r when terminated ->
+                  go (i + 1) next (r :: acc) warnings next rest
+              | Ok _ ->
+                  (* Parses, but the '\n' never hit the disk: the append
+                     was torn mid-write, so the record was never
+                     committed.  Dropped like any other torn tail. *)
+                  go (i + 1) next acc
+                    (Printf.sprintf
+                       "%s:%d: dropped unterminated final line" path (i + 1)
+                    :: warnings)
+                    committed rest
+              | Error e when i = last_nonblank ->
                   (* Torn tail from a kill -9 mid-append: forgiven. *)
-                  go (i + 1) acc
+                  go (i + 1) next acc
                     (Printf.sprintf
                        "%s:%d: dropped torn final line (%s)" path (i + 1) e
                     :: warnings)
-                    rest
+                    committed rest
               | Error e -> Error (Printf.sprintf "%s:%d: %s" path (i + 1) e))
       in
-      let* records, warnings = go 0 [] [] lines in
+      let* records, warnings, committed = go 0 0 [] [] 0 lines in
       (match records with
-      | Campaign _ :: _ -> Ok (records, warnings)
+      | Campaign _ :: _ -> Ok (records, warnings, committed)
       | [] -> Error (Printf.sprintf "%s: empty journal" path)
       | _ -> Error (Printf.sprintf "%s: journal does not start with a campaign header" path))

@@ -5,11 +5,17 @@
     one JSON object on one line, written with a single [write] and
     [fsync]ed before the driver takes the action it describes becomes
     observable elsewhere (corpus files are the one documented
-    exception — see {!Run}).  After a [kill -9] the file is a valid
-    prefix of the uninterrupted journal, possibly ending in one torn
-    line: {!read} tolerates exactly that — a malformed {e final} line
-    is reported and dropped, while malformed interior lines mean real
-    corruption and fail the whole read.
+    exception — see {!Run}).  A record is {e committed} once its
+    terminating newline is on disk.  After a [kill -9] the file is a
+    valid prefix of the uninterrupted journal, possibly ending in one
+    torn line: {!read} tolerates exactly that — a malformed or
+    unterminated {e final} line is reported and dropped, while
+    malformed interior lines mean real corruption and fail the whole
+    read.  {!read} also reports the committed byte length so
+    {!Run.resume} can truncate the torn residue before appending;
+    without the cut, the first new record would concatenate onto the
+    partial line and turn a forgivable torn tail into fatal interior
+    corruption on the next read.
 
     {!Checkpoint} records carry a digest of the replay-relevant state
     (final verdicts + filed signatures) so {!Run.resume} can verify the
@@ -50,17 +56,32 @@ val state_digest :
     final verdict statuses and sorted filed signatures.  Order of the
     input lists does not matter. *)
 
+val fsync_dir : string -> unit
+(** fsync a directory so creations/renames inside it are durable.
+    Errors are swallowed: some filesystems refuse directory fsync, which
+    weakens durability but never atomicity. *)
+
+val write_atomic : path:string -> string -> unit
+(** tmp + fsync + rename + {!fsync_dir}: a [kill -9] at any instant
+    leaves the old file or the new one, never a torn half-write. *)
+
 type writer
 
-val open_writer : string -> writer
-(** Open (creating if needed) for append.  Raises [Unix.Unix_error]. *)
+val open_writer : ?truncate_at:int -> string -> writer
+(** Open (creating if needed) for append.  [truncate_at] cuts the file
+    to that byte length first (fsync'd) — resume passes {!read}'s
+    committed length so appends never land on a torn tail.  Raises
+    [Unix.Unix_error]. *)
 
 val append : writer -> record -> unit
 (** One line, one [write], one [fsync]. *)
 
 val close : writer -> unit
 
-val read : string -> (record list * string list, string) result
-(** All records in order, plus warnings (the torn-final-line report,
-    if any).  Errors: unreadable file, malformed interior line, or a
-    journal that does not start with {!Campaign}. *)
+val read : string -> (record list * string list * int, string) result
+(** All committed records in order, warnings (the torn-final-line
+    report, if any), and the committed byte length — the offset just
+    past the last newline-terminated valid record, i.e. where an
+    appender may safely resume.  Errors: unreadable file, malformed
+    interior line, or a journal that does not start with
+    {!Campaign}. *)

@@ -103,13 +103,10 @@ let build ~name ~spec_digest ~templates ~total ~finals ~quarantines ~filed =
   in
   { r_json = json; r_outcome = outcome; r_gate_failed = gate_failed }
 
-let write ~path json =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (J.to_string json);
-      output_char oc '\n')
+(* Atomic (tmp + fsync + rename): a campaign killed mid-write must
+   leave the previous report or the new one, never a torn report.json
+   that [telemetry_check --campaign] and CI consumers fail to parse. *)
+let write ~path json = Journal.write_atomic ~path (J.to_string json ^ "\n")
 
 (* --- validation ------------------------------------------------------- *)
 

@@ -48,7 +48,9 @@ val build :
     [passed]. *)
 
 val write : path:string -> Telemetry.Json.t -> unit
-(** One line of JSON plus a newline. *)
+(** One line of JSON plus a newline, written atomically
+    ({!Journal.write_atomic}) so a crash mid-write never leaves a torn
+    report. *)
 
 val validate : Telemetry.Json.t -> (unit, string) result
 

@@ -413,6 +413,11 @@ let start ?runner ?pool ?log ?crash_after ?corpus_dir ~dir spec =
     mkdir_p dir;
     Spec.save ~path:(spec_file dir) spec;
     let writer = Journal.open_writer (journal_file dir) in
+    (* Make the creations of spec.json and journal.jsonl durable: the
+       appends below fsync the journal's {e contents}, but without a
+       directory fsync a power cut could leave the fully-fsync'd file
+       missing from the directory altogether. *)
+    Journal.fsync_dir dir;
     Fun.protect ~finally:(fun () -> Journal.close writer) (fun () ->
         let jobs = Spec.jobs spec in
         Journal.append writer
@@ -432,7 +437,7 @@ let start ?runner ?pool ?log ?crash_after ?corpus_dir ~dir spec =
 
 let resume ?runner ?pool ?log ?crash_after ?corpus_dir ~dir () =
   let* spec = Spec.load (spec_file dir) in
-  let* records, warnings = Journal.read (journal_file dir) in
+  let* records, warnings, committed = Journal.read (journal_file dir) in
   let* () =
     match records with
     | Journal.Campaign { spec_digest; jobs; _ } :: _ ->
@@ -446,7 +451,12 @@ let resume ?runner ?pool ?log ?crash_after ?corpus_dir ~dir () =
     | _ -> Error (Printf.sprintf "%s: journal has no campaign header" dir)
   in
   let* replay = replay_of_records records in
-  let writer = Journal.open_writer (journal_file dir) in
+  (* [committed] stops at the last newline-terminated record: opening
+     with [truncate_at] cuts any torn tail the kill left, so the first
+     append starts a fresh line instead of concatenating onto the
+     partial one — which would make every later read (a second crash +
+     resume, auto-resume from the demo) fail as interior corruption. *)
+  let writer = Journal.open_writer ~truncate_at:committed (journal_file dir) in
   Fun.protect ~finally:(fun () -> Journal.close writer) (fun () ->
       Ok
         (drive ?runner ?pool ?log ?crash_after ?corpus_dir ~dir ~writer ~spec

@@ -76,6 +76,7 @@ val resume :
   unit ->
   (result_t, string) result
 (** Reload [DIR/spec.json], replay the journal (verifying the spec
-    digest and every checkpoint), skip completed work and continue.
-    Idempotent: resuming a finished campaign just rebuilds the
-    report. *)
+    digest and every checkpoint), truncate any torn final line off the
+    journal so new appends start on a fresh line, then skip completed
+    work and continue.  Idempotent: resuming a finished campaign just
+    rebuilds the report. *)

@@ -19,12 +19,16 @@ type t = {
   c_checkpoint_every : int;
 }
 
+(* Clamped to the same bounds [validate] enforces on JSON input: a
+   programmatic caller passing [checkpoint_every <= 0] would otherwise
+   divide by zero at the driver's checkpoint cadence, and negative
+   [retries] would silently shrink max_attempts below one. *)
 let make ?(scenario_budget_s = 60.) ?budget_s ?(retries = 1) ?(max_strikes = 2)
     ?(backoff = 2) ?(checkpoint_every = 8) ~name templates =
   { c_name = name; c_templates = templates;
     c_scenario_budget_s = scenario_budget_s; c_budget_s = budget_s;
-    c_retries = retries; c_max_strikes = max_strikes; c_backoff = backoff;
-    c_checkpoint_every = checkpoint_every }
+    c_retries = max 0 retries; c_max_strikes = max 1 max_strikes;
+    c_backoff = max 1 backoff; c_checkpoint_every = max 1 checkpoint_every }
 
 type job = {
   j_id : int;
@@ -209,8 +213,7 @@ let load path =
   | contents ->
       Result.map_error (Printf.sprintf "%s: %s" path) (of_string contents)
 
+(* Atomic: resume reloads this file, so a kill -9 during [save] must
+   not be able to leave a torn spec.json behind. *)
 let save ~path spec =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-      output_string oc (J.to_string (to_json spec));
-      output_char oc '\n')
+  Journal.write_atomic ~path (J.to_string (to_json spec) ^ "\n")

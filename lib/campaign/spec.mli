@@ -52,7 +52,9 @@ val make : ?scenario_budget_s:float -> ?budget_s:float -> ?retries:int ->
   ?max_strikes:int -> ?backoff:int -> ?checkpoint_every:int ->
   name:string -> template list -> t
 (** Defaults: 60 s watchdog, no campaign budget, 1 retry, 2 strikes,
-    backoff 2, checkpoint every 8 verdicts. *)
+    backoff 2, checkpoint every 8 verdicts.  Knobs are clamped to the
+    bounds {!validate} enforces ([retries >= 0]; [max_strikes],
+    [backoff], [checkpoint_every >= 1]). *)
 
 type job = {
   j_id : int;  (** dense, stable: the journal's job key *)
@@ -80,3 +82,5 @@ val load : string -> (t, string) result
 (** Read and validate a spec file. *)
 
 val save : path:string -> t -> unit
+(** Atomic write ({!Journal.write_atomic}): a crash mid-save leaves the
+    old spec file or the new one, never a torn half-write. *)

@@ -151,6 +151,24 @@ let spec_validation_rejects () =
       | Error _ -> ())
     cases
 
+(* [make] clamps programmatic knobs to the validator's bounds — a
+   checkpoint_every of 0 must not divide the driver by zero. *)
+let spec_make_clamps () =
+  let spec =
+    Campaign.Spec.make ~name:"c" ~scenario_budget_s:0. ~retries:(-3)
+      ~max_strikes:0 ~backoff:0 ~checkpoint_every:0
+      [ mk_template "t" [ 1 ] ]
+  in
+  check Alcotest.int "retries clamped" 0 spec.Campaign.Spec.c_retries;
+  check Alcotest.int "max_strikes clamped" 1 spec.Campaign.Spec.c_max_strikes;
+  check Alcotest.int "backoff clamped" 1 spec.Campaign.Spec.c_backoff;
+  check Alcotest.int "checkpoint_every clamped" 1
+    spec.Campaign.Spec.c_checkpoint_every;
+  (* And the clamped spec drives a campaign without raising. *)
+  with_temp_dir @@ fun dir ->
+  let r = get_ok (Campaign.Run.start ~runner:fake_runner ~dir spec) in
+  check Alcotest.int "campaign completes" 1 r.Campaign.Run.r_completed
+
 (* ------------------------------------------------------------------ *)
 (* Journal                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -196,18 +214,46 @@ let journal_write_read_torn () =
   let w = Campaign.Journal.open_writer path in
   List.iter (Campaign.Journal.append w) all_records;
   Campaign.Journal.close w;
-  (* Clean read: everything back, no warnings. *)
-  let records, warnings = get_ok (Campaign.Journal.read path) in
+  (* Clean read: everything back, no warnings, the whole file committed. *)
+  let contents = read_file path in
+  let records, warnings, committed = get_ok (Campaign.Journal.read path) in
   check Alcotest.int "all records read" (List.length all_records)
     (List.length records);
   check Alcotest.int "no warnings" 0 (List.length warnings);
-  (* A torn final line (kill -9 mid-append) is dropped and reported. *)
-  let contents = read_file path in
+  check Alcotest.int "whole file committed" (String.length contents) committed;
+  (* A torn final line (kill -9 mid-append) is dropped and reported,
+     and the committed length stops before it — the truncation point
+     resume uses. *)
   write_file path (contents ^ {|{"rec":"verdict","job":9,"att|});
-  let records, warnings = get_ok (Campaign.Journal.read path) in
+  let records, warnings, committed = get_ok (Campaign.Journal.read path) in
   check Alcotest.int "torn tail dropped" (List.length all_records)
     (List.length records);
   check Alcotest.int "torn tail reported" 1 (List.length warnings);
+  check Alcotest.int "committed length excludes the torn tail"
+    (String.length contents) committed;
+  (* A final line whose '\n' never hit the disk was never committed,
+     even if the JSON itself parses. *)
+  write_file path (String.sub contents 0 (String.length contents - 1));
+  let records, warnings, committed = get_ok (Campaign.Journal.read path) in
+  check Alcotest.int "unterminated final record dropped"
+    (List.length all_records - 1)
+    (List.length records);
+  check Alcotest.int "unterminated final record reported" 1
+    (List.length warnings);
+  check Alcotest.bool "committed length stops at the last newline" true
+    (committed < String.length contents - 1);
+  (* Reopening with [truncate_at] cuts the torn tail so appends start a
+     fresh line: the journal stays readable afterwards. *)
+  write_file path (contents ^ {|{"rec":"verdict","job":9,"att|});
+  let _, _, committed = get_ok (Campaign.Journal.read path) in
+  let w = Campaign.Journal.open_writer ~truncate_at:committed path in
+  Campaign.Journal.append w (List.nth all_records (List.length all_records - 1));
+  Campaign.Journal.close w;
+  let records, warnings, _ = get_ok (Campaign.Journal.read path) in
+  check Alcotest.int "append after truncation is readable"
+    (List.length all_records + 1)
+    (List.length records);
+  check Alcotest.int "no warnings after truncation" 0 (List.length warnings);
   (* The same damage mid-file is corruption, not a torn tail. *)
   let lines = String.split_on_char '\n' contents in
   let broken =
@@ -294,7 +340,7 @@ let kill_and_resume_determinism () =
     (* Corpus files whose [filed] records survived the cut were already
        on disk at kill time. *)
     Unix.mkdir (Filename.concat dir_b "corpus") 0o755;
-    let records, _ =
+    let records, _, _ =
       get_ok (Campaign.Journal.read (Filename.concat dir_b "journal.jsonl"))
     in
     List.iter
@@ -316,6 +362,23 @@ let kill_and_resume_determinism () =
       Alcotest.(list string)
       (label ^ ": same corpus file set")
       (corpus_files dir_a) (corpus_files dir_b)
+    ;
+    (* The resumed journal must itself stay recoverable: if resume
+       appended onto a torn tail instead of truncating it, this read
+       fails with "malformed interior line" and the directory is
+       permanently unresumable. *)
+    let _, warnings, _ =
+      get_ok (Campaign.Journal.read (Filename.concat dir_b "journal.jsonl"))
+    in
+    check Alcotest.int (label ^ ": resumed journal has no torn residue") 0
+      (List.length warnings);
+    let r2 = get_ok (Campaign.Run.resume ~runner:fake_runner ~dir:dir_b ()) in
+    check Alcotest.int (label ^ ": second resume executes nothing") 0
+      r2.Campaign.Run.r_executed;
+    check Alcotest.string
+      (label ^ ": second resume rewrites the identical report")
+      report_a
+      (read_file (Filename.concat dir_b "report.json"))
   in
   (* Whole-line cuts at every point after the header, including between
      a verdict and its filed record. *)
@@ -386,7 +449,7 @@ let faulty_templates_quarantined_fleet_progresses () =
   check Alcotest.bool "boom was quarantined" true (tpl "boom" "quarantines" >= 1);
   (* Quarantine backoff is exponential: each successive park of the same
      template is longer than the one before. *)
-  let records, _ =
+  let records, _, _ =
     get_ok (Campaign.Journal.read (Filename.concat dir "journal.jsonl"))
   in
   let parks =
@@ -432,7 +495,7 @@ let retry_flaky_jobs () =
       | _ -> Alcotest.fail "missing jobs.retried")
   | None -> Alcotest.fail "missing jobs section");
   (* The journal shows the non-final first attempts. *)
-  let records, _ =
+  let records, _, _ =
     get_ok (Campaign.Journal.read (Filename.concat dir "journal.jsonl"))
   in
   let non_final =
@@ -514,6 +577,7 @@ let suite =
   [ ("spec: round-trip + expansion", `Quick, spec_roundtrip_and_expansion);
     ("spec: seed ranges + defaults", `Quick, spec_seed_ranges);
     ("spec: validator rejects", `Quick, spec_validation_rejects);
+    ("spec: make clamps knobs", `Quick, spec_make_clamps);
     ("journal: codec round-trip", `Quick, journal_codec_roundtrip);
     ("journal: torn tail tolerated, corruption fatal", `Quick,
      journal_write_read_torn);
