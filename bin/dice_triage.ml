@@ -8,7 +8,10 @@
                                 (--strict also fails on signatures that
                                 appear but are not in the corpus)
    dice_triage list DIR      -- one line per entry
-   dice_triage gc DIR        -- drop entries that no longer replay *)
+   dice_triage gc DIR        -- drop entries that no longer replay
+   dice_triage repair ENTRY  -- localize + symbolize + solve a config
+                                patch for the entry's fault; store the
+                                dice-repair/1 record in the entry *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -83,7 +86,9 @@ let replay_cmd dir strict =
         entries
     in
     let failures = ref 0 in
-    let appeared = ref [] in
+    (* new signature -> the corpus entries whose replay introduced it,
+       so a strict failure names the culprit, not just the symptom *)
+    let appeared : (string * string list) list ref = ref [] in
     List.iter
       (fun (path, r) ->
         match r with
@@ -102,10 +107,16 @@ let replay_cmd dir strict =
               | Triage.Corpus.Replay_error _ -> "ERROR")
               (Triage.Signature.to_string entry.Triage.Corpus.e_signature);
             let note_appeared extra =
+              let intro = Filename.basename path in
               List.iter
                 (fun sg ->
                   let s = Triage.Signature.to_string sg in
-                  if not (List.mem s known) then appeared := s :: !appeared)
+                  if not (List.mem s known) then
+                    let prev =
+                      Option.value ~default:[] (List.assoc_opt s !appeared)
+                    in
+                    appeared :=
+                      (s, intro :: prev) :: List.remove_assoc s !appeared)
                 extra
             in
             match verdict with
@@ -113,9 +124,15 @@ let replay_cmd dir strict =
                 note_appeared extra
             | Triage.Corpus.Replay_error e -> Printf.printf "          %s\n%!" e))
       entries;
-    let appeared = List.sort_uniq String.compare !appeared in
+    let appeared =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) !appeared
+    in
     if strict && appeared <> [] then begin
-      List.iter (Printf.printf "APPEARED  %s (not in corpus)\n%!") appeared;
+      List.iter
+        (fun (s, intros) ->
+          Printf.printf "APPEARED  %s (not in corpus; introduced by %s)\n%!" s
+            (String.concat ", " (List.sort_uniq String.compare intros)))
+        appeared;
       failures := !failures + List.length appeared
     end;
     Printf.printf "replay: %d entr%s, %d failure(s)\n%!" (List.length entries)
@@ -135,11 +152,12 @@ let list_cmd dir =
         match r with
         | Error e -> Printf.printf "%-40s INVALID: %s\n" (Filename.basename path) e
         | Ok e ->
-            Printf.printf "%-40s %s  hits=%d size=%d\n"
+            Printf.printf "%-40s %s  hits=%d size=%d repair=%s\n"
               (Filename.basename path)
               (Triage.Signature.to_string e.Triage.Corpus.e_signature)
               e.Triage.Corpus.e_hits
-              (Triage.Scenario.size e.Triage.Corpus.e_scenario))
+              (Triage.Scenario.size e.Triage.Corpus.e_scenario)
+              (Triage.Corpus.repair_status_name (Triage.Corpus.repair_status e)))
       entries;
   0
 
@@ -156,6 +174,82 @@ let gc_cmd dir =
       Printf.printf "gc: removed %d entr%s\n" (List.length removed)
         (if List.length removed = 1 then "y" else "ies");
       0
+
+(* --- repair ---------------------------------------------------------- *)
+
+(* Uncovered clause-coverage point ids from a dice-confuzz-cov/1
+   report (both arms), or from a bare JSON list of id strings. *)
+let load_uncovered path =
+  let module J = Telemetry.Json in
+  let strings = function
+    | J.List l ->
+        List.filter_map (function J.String s -> Some s | _ -> None) l
+    | _ -> []
+  in
+  match J.of_string (read_file path) with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok (J.List _ as l) -> Ok (strings l)
+  | Ok doc ->
+      let arm name =
+        match J.member name doc with
+        | Some arm -> (
+            match J.member "uncovered" arm with
+            | Some l -> strings l
+            | None -> [])
+        | None -> []
+      in
+      Ok (List.sort_uniq String.compare (arm "guided" @ arm "random"))
+
+let repair_cmd entry_path all max_candidates uncovered emit =
+  let module J = Telemetry.Json in
+  match Triage.Corpus.entry_of_string (read_file entry_path) with
+  | Error e ->
+      Printf.eprintf "repair: %s: not a corpus entry: %s\n" entry_path e;
+      2
+  | Ok entry -> (
+      let negative =
+        match uncovered with
+        | None -> []
+        | Some path -> (
+            match load_uncovered path with
+            | Ok ids -> ids
+            | Error e ->
+                Printf.eprintf "repair: bad coverage report: %s\n" e;
+                exit 2)
+      in
+      let target = entry.Triage.Corpus.e_signature in
+      Printf.printf "repair: %s\n%!" (Triage.Signature.to_string target);
+      match
+        Repair.Search.run ~negative ~all ~max_candidates ~target
+          entry.Triage.Corpus.e_scenario
+      with
+      | Error e ->
+          Printf.eprintf "repair: %s\n" e;
+          2
+      | Ok outcome ->
+          let record = Repair.Report.of_outcome outcome in
+          let entry' =
+            Triage.Corpus.set_repair
+              ~dir:(Filename.dirname entry_path)
+              entry record
+          in
+          ignore entry';
+          (match emit with
+          | None -> ()
+          | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (J.to_string record);
+                  output_char oc '\n'));
+          Format.printf "%a@." Repair.Report.pp_summary record;
+          (match outcome.Repair.Search.re_verified with
+          | Some c ->
+              Printf.printf "verified patch: %s\n%!"
+                (Repair.Patch.describe c.Repair.Search.ca_patch);
+              0
+          | None -> 1))
 
 (* --- cmdliner wiring ------------------------------------------------ *)
 
@@ -209,6 +303,39 @@ let gc_term =
     (Cmd.info "gc" ~doc:"drop invalid entries and entries that no longer replay")
     Term.(const gc_cmd $ dir_arg)
 
+let repair_term =
+  let entry =
+    let doc = "Corpus entry file (dice-corpus/1 JSON) to repair." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"ENTRY" ~doc)
+  in
+  let all =
+    let doc = "Keep searching after the first verified patch." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let max_candidates =
+    let doc = "Cap on solver-produced candidate patches." in
+    Arg.(value & opt int 8 & info [ "max-candidates" ] ~docv:"N" ~doc)
+  in
+  let uncovered =
+    let doc =
+      "Coverage report (dice-confuzz-cov/1, or a JSON list of point \
+       ids) whose uncovered clause ids are negative localization \
+       evidence."
+    in
+    Arg.(value & opt (some file) None & info [ "uncovered" ] ~docv:"REPORT" ~doc)
+  in
+  let emit =
+    let doc = "Also write the dice-repair/1 record to this file." in
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "diagnose the entry's fault and search for a verified config \
+          patch (exit 0 when a patch verifies, 1 otherwise)")
+    Term.(
+      const repair_cmd $ entry $ all $ max_candidates $ uncovered $ emit)
+
 let cmd =
   let doc = "fault triage: minimize, file and replay DiCE fault repros" in
   let man =
@@ -223,10 +350,11 @@ let cmd =
       `Pre "  dice_triage triage fuzz-corpus/fail-000.bin";
       `Pre "  dice_triage replay examples/corpus --strict";
       `Pre "  dice_triage list dice-corpus";
-      `Pre "  dice_triage gc dice-corpus" ]
+      `Pre "  dice_triage gc dice-corpus";
+      `Pre "  dice_triage repair dice-corpus/<entry>.json --emit repair.json" ]
   in
   Cmd.group
     (Cmd.info "dice_triage" ~version:"1.0.0" ~doc ~man)
-    [ triage_term; replay_term; list_term; gc_term ]
+    [ triage_term; replay_term; list_term; gc_term; repair_term ]
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,10 @@
    analysis report; with --campaign, as a dice-campaign/1 final
    report.  Exit 0 on a valid file, 1 with the violations
    listed otherwise.  CI runs this over the demo's JSONL (and the
-   cascade smoke's report) before uploading them. *)
+   cascade smoke's report) before uploading them.  With --repair, the
+   file is validated as a dice-repair/1 record — either standalone
+   (dice_triage repair --emit) or embedded as the "repair" member of a
+   dice-corpus/1 entry. *)
 
 let invalid path msgs =
   Printf.eprintf "%s: INVALID (%d problem(s))\n" path (List.length msgs);
@@ -44,6 +47,38 @@ let () =
             Campaign.Report.version outcome;
           exit 0
       | Error msgs -> invalid path msgs)
+  | [| _; "--repair"; path |] -> (
+      let contents =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Telemetry.Json.of_string contents with
+      | Error e -> invalid path [ e ]
+      | Ok json -> (
+          let record =
+            match Telemetry.Json.member "schema" json with
+            | Some (Telemetry.Json.String s)
+              when s = Repair.Report.schema_version ->
+                Ok json
+            | _ -> (
+                (* a corpus entry wrapping the record *)
+                match Telemetry.Json.member "repair" json with
+                | Some r -> Ok r
+                | None -> Error "neither a dice-repair/1 record nor a corpus entry with one")
+          in
+          match record with
+          | Error e -> invalid path [ e ]
+          | Ok r -> (
+              match Repair.Report.validate r with
+              | Ok () ->
+                  Printf.printf "%s: OK — %s record, status %s\n" path
+                    Repair.Report.schema_version
+                    (Repair.Report.status r);
+                  exit 0
+              | Error e -> invalid path [ e ])))
   | _ ->
-      Printf.eprintf "usage: %s [--cascade|--campaign] FILE\n" Sys.argv.(0);
+      Printf.eprintf "usage: %s [--cascade|--campaign|--repair] FILE\n"
+        Sys.argv.(0);
       exit 2

@@ -153,13 +153,143 @@ let apply_observed obs t prefix attrs =
   in
   go t
 
+(* --- route tracing -------------------------------------------------- *)
+
+type trace_observer = cov_site -> Prefix.t -> Attr.t -> Attr.t option -> unit
+
+let tracer : trace_observer option Atomic.t = Atomic.make None
+let set_trace_observer f = Atomic.set tracer f
+
 let apply ?site t prefix attrs =
-  match site with
-  | None -> apply_plain t prefix attrs
+  let result =
+    match site with
+    | None -> apply_plain t prefix attrs
+    | Some s -> (
+        match Atomic.get observer with
+        | None -> apply_plain t prefix attrs
+        | Some f -> apply_observed (fun ~seq pt -> f s ~seq pt) t prefix attrs)
+  in
+  (match site with
+  | None -> ()
   | Some s -> (
-      match Atomic.get observer with
-      | None -> apply_plain t prefix attrs
-      | Some f -> apply_observed (fun ~seq pt -> f s ~seq pt) t prefix attrs)
+      match Atomic.get tracer with
+      | None -> ()
+      | Some f -> f s prefix attrs result));
+  result
+
+(* --- constant symbolization ----------------------------------------- *)
+
+type const_slot =
+  | S_action
+  | S_local_pref of int
+  | S_med of int
+  | S_match_ge of int * int
+  | S_match_le of int * int
+  | S_match_community of int
+  | S_add_community of int
+
+let slot_id = function
+  | S_action -> "action"
+  | S_local_pref i -> Printf.sprintf "s%d.lp" i
+  | S_med i -> Printf.sprintf "s%d.med" i
+  | S_match_ge (i, j) -> Printf.sprintf "m%d.r%d.ge" i j
+  | S_match_le (i, j) -> Printf.sprintf "m%d.r%d.le" i j
+  | S_match_community i -> Printf.sprintf "m%d.comm" i
+  | S_add_community i -> Printf.sprintf "s%d.comm" i
+
+let int_of_action = function Permit -> 1 | Deny -> 0
+let action_of_int v = if v <> 0 then Permit else Deny
+
+let entry_slots e =
+  let slots = ref [] in
+  let add s v = slots := (s, v) :: !slots in
+  add S_action (int_of_action e.action);
+  List.iteri
+    (fun i m ->
+      match m with
+      | Match_prefix rules ->
+          List.iteri
+            (fun j r ->
+              (match r.ge with
+              | Some g -> add (S_match_ge (i, j)) g
+              | None -> ());
+              match r.le with
+              | Some l -> add (S_match_le (i, j)) l
+              | None -> ())
+            rules
+      | Match_community c -> add (S_match_community i) (Community.to_int c)
+      | Match_as_path _ | Match_origin _ | Match_next_hop _ -> ())
+    e.matches;
+  List.iteri
+    (fun i s ->
+      match s with
+      | Set_local_pref v -> add (S_local_pref i) v
+      | Set_med (Some v) -> add (S_med i) v
+      | Add_community c -> add (S_add_community i) (Community.to_int c)
+      | Set_med None | Set_origin _ | Del_community _ | Prepend_as _
+      | Set_next_hop _ ->
+          ())
+    e.sets;
+  List.rev !slots
+
+let rebuild_entry e subst =
+  let action = action_of_int (subst S_action (int_of_action e.action)) in
+  let matches =
+    List.mapi
+      (fun i m ->
+        match m with
+        | Match_prefix rules ->
+            Match_prefix
+              (List.mapi
+                 (fun j r ->
+                   {
+                     r with
+                     ge = Option.map (fun g -> subst (S_match_ge (i, j)) g) r.ge;
+                     le = Option.map (fun l -> subst (S_match_le (i, j)) l) r.le;
+                   })
+                 rules)
+        | Match_community c ->
+            Match_community
+              (Community.of_int32_exn
+                 (subst (S_match_community i) (Community.to_int c)))
+        | (Match_as_path _ | Match_origin _ | Match_next_hop _) as m -> m)
+      e.matches
+  in
+  let sets =
+    List.mapi
+      (fun i s ->
+        match s with
+        | Set_local_pref v -> Set_local_pref (subst (S_local_pref i) v)
+        | Set_med (Some v) -> Set_med (Some (subst (S_med i) v))
+        | Add_community c ->
+            Add_community
+              (Community.of_int32_exn (subst (S_add_community i) (Community.to_int c)))
+        | ( Set_med None | Set_origin _ | Del_community _ | Prepend_as _
+          | Set_next_hop _ ) as s ->
+            s)
+      e.sets
+  in
+  { e with action; matches; sets }
+
+(* [apply] decides on the FIRST list-order entry with a given seq (maps
+   are not normalized on the hot path), so symbolization targets that
+   same entry: rebuild substitutes into the first occurrence only. *)
+let symbolize ~seq t =
+  match List.find_opt (fun e -> e.seq = seq) t with
+  | None -> None
+  | Some e ->
+      let rebuild subst =
+        let replaced = ref false in
+        List.map
+          (fun e' ->
+            if (not !replaced) && e'.seq = seq then begin
+              replaced := true;
+              rebuild_entry e' subst
+            end
+            else e')
+          t
+      in
+      Some (entry_slots e, rebuild)
 
 let pp_action ppf = function
   | Permit -> Format.pp_print_string ppf "permit"

@@ -93,4 +93,52 @@ val apply : ?site:cov_site -> t -> Prefix.t -> Attr.t -> Attr.t option
 (** [None] when the route is rejected.  [site] is only used for
     coverage reporting and never changes the result. *)
 
+(** {1 Route tracing}
+
+    A second, independent observer that records whole evaluations
+    (input route, output route) rather than clause hits.  The repair
+    localizer installs one to harvest witness routes for suspect
+    sites.  Like the coverage observer it only fires when the caller
+    passes a [?site] and never changes the result. *)
+
+type trace_observer = cov_site -> Prefix.t -> Attr.t -> Attr.t option -> unit
+(** [f site prefix attrs_in result]: one call per {!apply} with a
+    site; [result] is exactly what [apply] returns. *)
+
+val set_trace_observer : trace_observer option -> unit
+
+(** {1 Constant symbolization}
+
+    The repair engine's hook (DESIGN.md §2.6j): enumerate the tunable integer constants of one entry so a symbolic
+    layer can lift them into solver variables, and rebuild the map with
+    a substitution applied.  Only constants with a natural integer
+    encoding are exposed: the permit/deny bit (1/0), [Set_local_pref]
+    and concrete [Set_med] values, community literals in
+    [Match_community]/[Add_community] (via {!Community.to_int}), and
+    prefix-rule [ge]/[le] bounds that are actually present ([None]
+    bounds stay [None] — absence is structure, not a constant). *)
+
+type const_slot =
+  | S_action  (** permit=1 / deny=0 *)
+  | S_local_pref of int  (** set-clause index *)
+  | S_med of int  (** set-clause index (concrete MED only) *)
+  | S_match_ge of int * int  (** match-clause index, rule index *)
+  | S_match_le of int * int  (** match-clause index, rule index *)
+  | S_match_community of int  (** match-clause index *)
+  | S_add_community of int  (** set-clause index *)
+
+val slot_id : const_slot -> string
+(** Stable short id, e.g. ["s0.lp"], ["m1.r0.ge"] — used to name
+    solver variables. *)
+
+val symbolize :
+  seq:int -> t -> ((const_slot * int) list * ((const_slot -> int -> int) -> t)) option
+(** [symbolize ~seq t] targets the {e first} entry in list order with
+    sequence number [seq] (the one {!apply} would reach first, since
+    maps are evaluated unnormalized).  Returns [None] when no entry has
+    that seq; otherwise the slots of that entry with their current
+    values, and a rebuild function: [rebuild subst] is [t] with each
+    slot [s] of value [v] replaced by [subst s v] in that entry.
+    [rebuild (fun _ v -> v)] is structurally equal to [t]. *)
+
 val pp : Format.formatter -> t -> unit

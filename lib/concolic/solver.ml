@@ -462,6 +462,13 @@ let solve ?(max_nodes = 20_000) constraints =
 
 let _ = ignore top
 
+(* The repair query: find values under which [detection] can no longer
+   fire while the side conditions still hold.  Just a named spelling of
+   [solve (negate detection :: constraints)], so it shares the memo
+   cache with every other query. *)
+let solve_negated ?max_nodes ~detection constraints =
+  solve ?max_nodes (Expr.negate detection :: constraints)
+
 let pp_model ppf m =
   Format.fprintf ppf "@[<h>";
   List.iter

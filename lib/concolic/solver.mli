@@ -43,6 +43,14 @@ val solve : ?max_nodes:int -> Expr.t list -> outcome
     (which changes [Unknown] answers).  The solver is deterministic,
     so serving a cached outcome is indistinguishable from re-solving. *)
 
+val solve_negated :
+  ?max_nodes:int -> detection:Expr.t -> Expr.t list -> outcome
+(** The repair engine's query: a model under which [detection] is
+    false (the fault's detection predicate cannot fire) while every
+    side [constraint] still holds.  Equivalent to
+    [solve (Expr.negate detection :: constraints)] and shares the memo
+    cache; [Sat model] means the model falsifies [detection]. *)
+
 val set_cache_enabled : bool -> unit
 (** Turn memoization on/off (on by default).  Existing entries are
     kept; use {!clear_cache} to drop them. *)

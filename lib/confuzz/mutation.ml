@@ -22,6 +22,7 @@ type t =
   | Ref_dangle of { node : int; neighbor : int; dir : dir }
   | Ref_swap of { node : int; neighbor : int }
   | Originate_foreign of { node : int; prefix : Bgp.Prefix.t }
+  | Network_drop of { node : int; prefix : Bgp.Prefix.t }
   | Te_pin of
       { node : int; map : string; prefix : Bgp.Prefix.t; via_asn : int; pref : int }
 
@@ -40,6 +41,7 @@ let node_of = function
   | Ref_dangle { node; _ }
   | Ref_swap { node; _ }
   | Originate_foreign { node; _ }
+  | Network_drop { node; _ }
   | Te_pin { node; _ } -> node
 
 let nodes_of m = [ node_of m ]
@@ -59,6 +61,7 @@ let kind_name = function
   | Ref_dangle _ -> "ref-dangle"
   | Ref_swap _ -> "ref-swap"
   | Originate_foreign _ -> "originate-foreign"
+  | Network_drop _ -> "network-drop"
   | Te_pin _ -> "te-pin"
 
 let dir_name = function Import -> "import" | Export -> "export"
@@ -105,6 +108,9 @@ let describe = function
   | Originate_foreign { node; prefix } ->
       Printf.sprintf "router %d: originate foreign prefix %s" node
         (Bgp.Prefix.to_string prefix)
+  | Network_drop { node; prefix } ->
+      Printf.sprintf "router %d: stop originating %s" node
+        (Bgp.Prefix.to_string prefix)
   | Te_pin { node; map; prefix; via_asn; pref } ->
       Printf.sprintf
         "router %d: %s: pin %s via AS %d at local-pref %d (mis-tagged peer)" node
@@ -145,7 +151,7 @@ let to_json m =
     | Ref_dangle { neighbor; dir; _ } ->
         [ ("neighbor", J.Int neighbor); ("dir", J.String (dir_name dir)) ]
     | Ref_swap { neighbor; _ } -> [ ("neighbor", J.Int neighbor) ]
-    | Originate_foreign { prefix; _ } ->
+    | Originate_foreign { prefix; _ } | Network_drop { prefix; _ } ->
         [ ("prefix", J.String (Bgp.Prefix.to_string prefix)) ]
     | Te_pin { map; prefix; via_asn; pref; _ } ->
         [ ("map", J.String map);
@@ -254,6 +260,9 @@ let of_json j =
   | "originate-foreign" ->
       let* prefix = prefix_field "prefix" j in
       Ok (Originate_foreign { node; prefix })
+  | "network-drop" ->
+      let* prefix = prefix_field "prefix" j in
+      Ok (Network_drop { node; prefix })
   | "te-pin" ->
       let* map = string_field "map" j in
       let* prefix = prefix_field "prefix" j in
@@ -443,6 +452,18 @@ let apply_config m cfg =
         Error
           (Printf.sprintf "%s is already originated" (Bgp.Prefix.to_string prefix))
       else Ok { cfg with C.networks = cfg.C.networks @ [ prefix ] }
+  | Network_drop { prefix; _ } ->
+      (* The repair engine's inverse of [Originate_foreign]: withdraw a
+         network statement.  Not in the random catalog — a fuzzer that
+         silently un-announces prefixes finds only trivial reachability
+         holes. *)
+      if not (List.exists (Bgp.Prefix.equal prefix) cfg.C.networks) then
+        Error (Printf.sprintf "%s is not originated" (Bgp.Prefix.to_string prefix))
+      else
+        Ok
+          { cfg with
+            C.networks =
+              List.filter (fun p -> not (Bgp.Prefix.equal prefix p)) cfg.C.networks }
   | Te_pin { map; prefix; via_asn; pref; _ } ->
       update_map cfg map (fun m ->
           let pin =

@@ -1,0 +1,131 @@
+module P = Bgp.Policy
+module M = Confuzz.Mutation
+
+let value model (b : Symbolize.binding) =
+  match Concolic.Solver.model_value model b.Symbolize.b_var with
+  | Some v -> v
+  | None -> b.Symbolize.b_orig
+
+(* Bindings of one const_slot shape, as (slot, orig, model value). *)
+let slot_values model bindings pick =
+  List.filter_map
+    (fun (b : Symbolize.binding) ->
+      match b.Symbolize.b_slot with
+      | Symbolize.Policy_slot s -> (
+          match pick s with
+          | Some key -> Some (key, b.Symbolize.b_orig, value model b)
+          | None -> None)
+      | Symbolize.Originate -> None)
+    bindings
+
+let policy_patch ~node ~map ~seq ~bindings model =
+  let changed = ref false in
+  let unexpressible = ref false in
+  (* local-pref: [Pref_const] rewrites every set clause in the entry to
+     one value, and [apply_set] folds left so the last wins — the last
+     slot's model value is the entry's effective preference. *)
+  let lp = slot_values model bindings (function P.S_local_pref i -> Some i | _ -> None) in
+  let pref_mut =
+    match List.rev lp with
+    | [] -> []
+    | (_, _, last) :: _ ->
+        if List.exists (fun (_, o, v) -> o <> v) lp then begin
+          changed := true;
+          [ M.Pref_const { node; map; seq; value = last } ]
+        end
+        else []
+  in
+  let med = slot_values model bindings (function P.S_med i -> Some i | _ -> None) in
+  let med_mut =
+    match List.rev med with
+    | [] -> []
+    | (_, _, last) :: _ ->
+        if List.exists (fun (_, o, v) -> o <> v) med then begin
+          changed := true;
+          [ M.Med_const { node; map; seq; value = Some last } ]
+        end
+        else []
+  in
+  (* prefix bounds: [Prefix_widen] replaces the bounds of {e every}
+     rule in the clause, so all rules must land on the same pair. *)
+  let bounds =
+    slot_values model bindings (function
+      | P.S_match_ge (i, j) -> Some (i, j, `Ge)
+      | P.S_match_le (i, j) -> Some (i, j, `Le)
+      | _ -> None)
+  in
+  let clause_idxs =
+    List.sort_uniq Int.compare (List.map (fun ((i, _, _), _, _) -> i) bounds)
+  in
+  let widen_muts =
+    List.filter_map
+      (fun i ->
+        let here = List.filter (fun ((i', _, _), _, _) -> i' = i) bounds in
+        if not (List.exists (fun (_, o, v) -> o <> v) here) then None
+        else
+          let side s =
+            List.filter_map
+              (fun ((_, _, s'), _, v) -> if s' = s then Some v else None)
+              here
+          in
+          let agree = function
+            | [] -> Some None
+            | v :: rest ->
+                if List.for_all (( = ) v) rest then Some (Some v) else None
+          in
+          match (agree (side `Ge), agree (side `Le)) with
+          | Some ge, Some le ->
+              changed := true;
+              Some (M.Prefix_widen { node; map; seq; idx = i; ge; le })
+          | _ ->
+              unexpressible := true;
+              None)
+      clause_idxs
+  in
+  (* communities: [Community_rewrite] drives every match/add reference
+     in the entry to one community; mixed targets are unexpressible. *)
+  let comms =
+    slot_values model bindings (function
+      | P.S_match_community i -> Some (`M, i)
+      | P.S_add_community i -> Some (`A, i)
+      | _ -> None)
+  in
+  let comm_mut =
+    if not (List.exists (fun (_, o, v) -> o <> v) comms) then []
+    else
+      match comms with
+      | [] -> []
+      | (_, _, v) :: rest when List.for_all (fun (_, _, v') -> v' = v) rest ->
+          changed := true;
+          [ M.Community_rewrite
+              { node; map; seq; community = Bgp.Community.of_int32_exn v } ]
+      | _ ->
+          unexpressible := true;
+          []
+  in
+  let action =
+    slot_values model bindings (function P.S_action -> Some () | _ -> None)
+  in
+  let action_mut =
+    if List.exists (fun (_, o, v) -> o <> v) action then begin
+      changed := true;
+      [ M.Action_flip { node; map; seq } ]
+    end
+    else []
+  in
+  if !unexpressible || not !changed then None
+  else Some (pref_mut @ med_mut @ widen_muts @ comm_mut @ action_mut)
+
+let of_model ~site ~bindings model =
+  match site with
+  | Localize.Network_site { ns_node; ns_prefix } -> (
+      match bindings with
+      | [ ({ Symbolize.b_slot = Symbolize.Originate; _ } as b) ] ->
+          if value model b = 0 then
+            Some [ M.Network_drop { node = ns_node; prefix = ns_prefix } ]
+          else None
+      | _ -> None)
+  | Localize.Policy_site { ps_node; ps_map; ps_seq } ->
+      policy_patch ~node:ps_node ~map:ps_map ~seq:ps_seq ~bindings model
+
+let describe muts = String.concat "; " (List.map M.describe muts)

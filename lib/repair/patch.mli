@@ -1,0 +1,22 @@
+(** Concretize a solver model into a config patch.
+
+    A patch is a list of {!Confuzz.Mutation} values — the same
+    vocabulary the fuzzer perturbs configs with, so a repair replays by
+    appending to the scenario's mutation list and round-trips through
+    the corpus unchanged.
+
+    [None] when the model changes nothing (the solver kept every
+    constant at its deployed value) or when a change is not expressible
+    in the mutation catalog (e.g. two community constants in one entry
+    driven to different values, which {!Confuzz.Mutation.Community_rewrite}
+    cannot encode).  The verifier, not this translation, is the ground
+    truth: an expressible-but-wrong patch is rejected by replay. *)
+
+val of_model :
+  site:Localize.site ->
+  bindings:Symbolize.binding list ->
+  Concolic.Solver.model ->
+  Confuzz.Mutation.t list option
+
+val describe : Confuzz.Mutation.t list -> string
+(** Semicolon-joined one-liners, for logs and reports. *)

@@ -1,0 +1,141 @@
+module E = Concolic.Expr
+module Solver = Concolic.Solver
+module Scenario = Triage.Scenario
+
+type candidate = {
+  ca_site : Localize.site;
+  ca_model : (string * int) list;
+  ca_patch : Confuzz.Mutation.t list;
+  ca_verified : bool;
+  ca_replay_sigs : Dice.Signature.t list;
+  ca_replay_error : string option;
+}
+
+type outcome = {
+  re_target : Dice.Signature.t;
+  re_evidence : Localize.evidence;
+  re_candidates : candidate list;
+  re_verified : candidate option;
+}
+
+let default_max_candidates = 8
+
+let patched_scenario scenario patch =
+  match scenario with
+  | Scenario.Wire _ -> scenario
+  | Scenario.Deploy d ->
+      Scenario.Deploy { d with Scenario.dp_confuzz = d.Scenario.dp_confuzz @ patch }
+
+(* Changed constants only — the report's human-facing model. *)
+let changed_assignment (sy : Symbolize.t) model =
+  List.filter_map
+    (fun (b : Symbolize.binding) ->
+      match Solver.model_value model b.Symbolize.b_var with
+      | Some v when v <> b.Symbolize.b_orig ->
+          Some (b.Symbolize.b_var.E.v_name, v)
+      | _ -> None)
+    sy.Symbolize.sy_bindings
+
+let verify ~target ~baseline scenario patch =
+  let o = Scenario.run (patched_scenario scenario patch) in
+  let fresh =
+    List.filter
+      (fun s -> not (List.exists (Dice.Signature.equal s) baseline))
+      o.Scenario.o_signatures
+  in
+  let ok =
+    o.Scenario.o_error = None
+    && (not (List.exists (Dice.Signature.equal target) o.Scenario.o_signatures))
+    && fresh = []
+  in
+  (ok, o.Scenario.o_signatures, o.Scenario.o_error)
+
+(* Solver queries for one symbolized suspect, minimal-change first:
+   each query frees exactly one constant and pins the rest, in binding
+   (gentlest-first) order; the all-free query is the last resort. *)
+let queries (sy : Symbolize.t) =
+  let pin_others free =
+    List.filter_map
+      (fun (b : Symbolize.binding) ->
+        if b.Symbolize.b_var.E.v_id = free.Symbolize.b_var.E.v_id then None
+        else
+          Some (E.Eq (E.Var b.Symbolize.b_var, E.Const b.Symbolize.b_orig)))
+      sy.Symbolize.sy_bindings
+  in
+  let single =
+    match sy.Symbolize.sy_bindings with
+    | [ _ ] -> [] (* one constant: the all-free query is already minimal *)
+    | bs -> List.map (fun b -> pin_others b @ sy.Symbolize.sy_constraints) bs
+  in
+  single @ [ sy.Symbolize.sy_constraints ]
+
+let repairable = function
+  | Dice.Fault.Operator_mistake | Dice.Fault.Policy_conflict -> true
+  | Dice.Fault.Programming_error | Dice.Fault.Cascade -> false
+
+let run ?negative ?(all = false) ?(max_candidates = default_max_candidates)
+    ~target scenario =
+  if not (repairable target.Dice.Signature.sg_class) then
+    Error
+      (Printf.sprintf "fault class %s is not config-repairable"
+         (Dice.Fault.class_to_string target.Dice.Signature.sg_class))
+  else
+    match Localize.run ?negative ~target scenario with
+    | Error e -> Error e
+    | Ok ev ->
+        let baseline = ev.Localize.ev_baseline in
+        let candidates = ref [] in
+        let verified = ref None in
+        let seen_patches = ref [] in
+        let try_suspect su =
+          match Symbolize.suspect ~target su with
+          | None -> ()
+          | Some sy ->
+              List.iter
+                (fun constraints ->
+                  if
+                    List.length !candidates < max_candidates
+                    && ((not all) && !verified = None || all)
+                  then
+                    match
+                      Solver.solve_negated
+                        ~detection:sy.Symbolize.sy_detection constraints
+                    with
+                    | Solver.Unsat | Solver.Unknown -> ()
+                    | Solver.Sat model -> (
+                        match
+                          Patch.of_model ~site:su.Localize.su_site
+                            ~bindings:sy.Symbolize.sy_bindings model
+                        with
+                        | None -> ()
+                        | Some patch ->
+                            let key = Patch.describe patch in
+                            if not (List.mem key !seen_patches) then begin
+                              seen_patches := key :: !seen_patches;
+                              let ok, sigs, err =
+                                verify ~target ~baseline scenario patch
+                              in
+                              let c =
+                                { ca_site = su.Localize.su_site;
+                                  ca_model = changed_assignment sy model;
+                                  ca_patch = patch;
+                                  ca_verified = ok;
+                                  ca_replay_sigs = sigs;
+                                  ca_replay_error = err }
+                              in
+                              candidates := c :: !candidates;
+                              if ok && !verified = None then verified := Some c
+                            end))
+                (queries sy)
+        in
+        List.iter
+          (fun su ->
+            if (all || !verified = None)
+               && List.length !candidates < max_candidates
+            then try_suspect su)
+          ev.Localize.ev_suspects;
+        Ok
+          { re_target = target;
+            re_evidence = ev;
+            re_candidates = List.rev !candidates;
+            re_verified = !verified }

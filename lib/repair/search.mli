@@ -1,0 +1,48 @@
+(** The repair driver: localize → symbolize → solve → verify.
+
+    For each ranked suspect, asks {!Concolic.Solver.solve_negated} for
+    an assignment falsifying the fault's detection predicate —
+    preferring minimal repairs by first pinning all but one constant to
+    its deployed value, one constant at a time in the symbolizer's
+    gentlest-first order, before freeing everything — concretizes the
+    model into a {!Patch} and accepts it only when a fresh deterministic
+    replay of the patched scenario confirms: no setup error, the target
+    signature gone, no signature that the instrumented baseline replay
+    did not already produce (so convergence faults introduced by the
+    patch reject it). *)
+
+type candidate = {
+  ca_site : Localize.site;
+  ca_model : (string * int) list;
+      (** changed constants only: variable name -> repaired value *)
+  ca_patch : Confuzz.Mutation.t list;
+  ca_verified : bool;
+  ca_replay_sigs : Dice.Signature.t list;  (** the patched replay's signatures *)
+  ca_replay_error : string option;
+}
+
+type outcome = {
+  re_target : Dice.Signature.t;
+  re_evidence : Localize.evidence;
+  re_candidates : candidate list;  (** in discovery order *)
+  re_verified : candidate option;  (** first verified candidate *)
+}
+
+val patched_scenario :
+  Triage.Scenario.t -> Confuzz.Mutation.t list -> Triage.Scenario.t
+(** The repair appended to [dp_confuzz] — how a patch replays and how
+    it is stored. *)
+
+val run :
+  ?negative:string list ->
+  ?all:bool ->
+  ?max_candidates:int ->
+  target:Dice.Signature.t ->
+  Triage.Scenario.t ->
+  (outcome, string) result
+(** [all] keeps searching after the first verified candidate (default
+    stops).  [max_candidates] caps solver-produced candidates across
+    all suspects (default 8).  [negative] is forwarded to
+    {!Localize.run}.  Errors: unrepairable fault classes
+    ([Programming_error], [Cascade]), wire scenarios, and localization
+    failures. *)

@@ -1,0 +1,50 @@
+(** Selective symbolization of a suspect site.
+
+    Lifts the suspect's concrete constants into {!Concolic.Expr}
+    variables (through the {!Bgp.Policy.symbolize} hook for policy
+    entries; a single 0/1 originate bit for network statements) and
+    compiles the fault's {e detection predicate} over the localized
+    witnesses: a formula that is true exactly when, under a candidate
+    assignment to the constants, the suspect still produces the
+    behavior the checker flagged.  The search stage then asks
+    {!Concolic.Solver.solve_negated} for an assignment that falsifies
+    it.
+
+    The witness evaluations run in a {!Concolic.Ctx}: entries ahead of
+    the suspect are branched on concretely (they are not being
+    repaired), the suspect itself contributes a pure symbolic formula —
+    branching on it would pin the path in the direction the buggy
+    config took and hide every repair that flips a match. *)
+
+type slot_ref =
+  | Policy_slot of Bgp.Policy.const_slot
+  | Originate  (** a network statement's keep/drop bit (1 = originate) *)
+
+type binding = {
+  b_var : Concolic.Expr.var;
+  b_slot : slot_ref;
+  b_orig : int;  (** the deployed config's concrete value *)
+}
+
+type t = {
+  sy_suspect : Localize.suspect;
+  sy_detection : Concolic.Expr.t;
+      (** true iff the fault's detection predicate still fires *)
+  sy_constraints : Concolic.Expr.t list;
+      (** side conditions a well-formed assignment must satisfy
+          (ge <= le, recorded path conditions) *)
+  sy_bindings : binding list;
+      (** in slot order — also the search's preferred repair order *)
+}
+
+val var_name : site:Localize.site -> string -> string
+(** ["rep.<site-id>.<slot-id>"] — interned, so repeated repairs of the
+    same entry reuse the same solver variables. *)
+
+val suspect :
+  target:Dice.Signature.t -> Localize.suspect -> t option
+(** [None] when the suspect cannot explain the fault: no symbolizable
+    constants, no witness reaches the entry, or the detection predicate
+    does not evaluate true under the original values (the reproduce
+    gate — a suspect whose symbolic model doesn't reproduce the fault
+    would let the solver "fix" it by changing nothing). *)

@@ -11,13 +11,26 @@ type t = {
   graph : Topology.Graph.t;
   minimize : bool;
   max_tests : int;
+  repair : (Scenario.t -> Dice.Signature.t -> Telemetry.Json.t option) option;
   mutable seen : string list;  (* signature strings already processed *)
   mutable filed : filed list;  (* newest first *)
 }
 
 let collector ?(minimize = true) ?(max_tests = Minimize.default_max_tests)
-    ~corpus_dir ~scenario ~graph () =
-  { corpus_dir; scenario; graph; minimize; max_tests; seen = []; filed = [] }
+    ?repair ~corpus_dir ~scenario ~graph () =
+  { corpus_dir; scenario; graph; minimize; max_tests; repair;
+    seen = []; filed = [] }
+
+(* Run the repair hook over a freshly filed entry; a produced record is
+   stored back into the entry on disk.  The hook lives behind a
+   function value so triage does not depend on the repair library. *)
+let attempt_repair t (entry : Corpus.entry) sg =
+  match t.repair with
+  | None -> entry
+  | Some f -> (
+      match f entry.Corpus.e_scenario sg with
+      | None -> entry
+      | Some record -> Corpus.set_repair ~dir:t.corpus_dir entry record)
 
 let file_fault t (f : Dice.Fault.t) =
   let sg = Dice.Signature.of_fault ~graph:t.graph f in
@@ -38,10 +51,12 @@ let file_fault t (f : Dice.Fault.t) =
             ~target:sg t.scenario
         in
         let entry = Corpus.add ~dir:t.corpus_dir sg r.Minimize.r_minimized in
+        let entry = attempt_repair t entry sg in
         { fd_fault = f; fd_signature = sg; fd_result = Some r; fd_entry = Some entry }
       end
       else
         let entry = Corpus.add ~dir:t.corpus_dir sg t.scenario in
+        let entry = attempt_repair t entry sg in
         { fd_fault = f; fd_signature = sg; fd_result = None; fd_entry = Some entry }
     in
     t.filed <- filed :: t.filed;

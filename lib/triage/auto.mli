@@ -23,6 +23,7 @@ type t
 val collector :
   ?minimize:bool ->
   ?max_tests:int ->
+  ?repair:(Scenario.t -> Dice.Signature.t -> Telemetry.Json.t option) ->
   corpus_dir:string ->
   scenario:Scenario.t ->
   graph:Topology.Graph.t ->
@@ -30,7 +31,13 @@ val collector :
   t
 (** [scenario] must describe the run the faults come from (same
     topology, seed, schedules) — it is what gets minimized and stored.
-    Each distinct signature is processed once per collector. *)
+    Each distinct signature is processed once per collector.
+
+    [repair], when given, runs over each entry right after filing:
+    called with the entry's (minimized) scenario and its signature, and
+    any [dice-repair/1] record it returns is stored into the entry via
+    {!Corpus.set_repair}.  Passed as a closure so this library does not
+    depend on the repair engine — the CLI wires [Repair.Search] in. *)
 
 val hook : t -> Dice.Fault.t -> unit
 (** The function to pass as [?on_fault]. *)

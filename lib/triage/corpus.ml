@@ -9,6 +9,7 @@ type entry = {
   e_last_seen : float;
   e_hits : int;
   e_env : (string * string) list;
+  e_repair : J.t option;  (* dice-repair/1 record, when a repair ran *)
 }
 
 let env_fingerprint () =
@@ -28,13 +29,17 @@ let path_of dir sg = Filename.concat dir (filename_of sg)
 
 let entry_to_json e =
   J.Obj
-    [ ("schema", J.String schema_version);
-      ("signature", J.String (Dice.Signature.to_string e.e_signature));
-      ("scenario", Scenario.to_json e.e_scenario);
-      ("first_seen", J.Float e.e_first_seen);
-      ("last_seen", J.Float e.e_last_seen);
-      ("hits", J.Int e.e_hits);
-      ("env", J.Obj (List.map (fun (k, v) -> (k, J.String v)) e.e_env)) ]
+    ([ ("schema", J.String schema_version);
+       ("signature", J.String (Dice.Signature.to_string e.e_signature));
+       ("scenario", Scenario.to_json e.e_scenario);
+       ("first_seen", J.Float e.e_first_seen);
+       ("last_seen", J.Float e.e_last_seen);
+       ("hits", J.Int e.e_hits);
+       ("env", J.Obj (List.map (fun (k, v) -> (k, J.String v)) e.e_env)) ]
+    (* The repair record is strictly additive: entries without one
+       serialize exactly as before it existed (legacy byte-for-byte
+       round-trip, pinned by test). *)
+    @ match e.e_repair with None -> [] | Some r -> [ ("repair", r) ])
 
 let ( let* ) = Result.bind
 
@@ -50,6 +55,8 @@ let num_field name j =
   | Some (J.Int n) -> Ok (float_of_int n)
   | Some _ -> Error (Printf.sprintf "field %S is not a number" name)
   | None -> Error (Printf.sprintf "missing field %S" name)
+
+let repair_schema_version = "dice-repair/1"
 
 let validate j =
   let* schema = str_field "schema" j in
@@ -80,7 +87,26 @@ let validate j =
             fields
       | _ -> []
     in
-    Ok { e_signature; e_scenario; e_first_seen; e_last_seen; e_hits; e_env }
+    (* Optional: entries filed before the repair engine existed have no
+       record; when one is present only its schema tag is checked here
+       (the full structure is the repair reporter's contract, validated
+       by [telemetry_check --repair]). *)
+    let* e_repair =
+      match J.member "repair" j with
+      | None | Some J.Null -> Ok None
+      | Some r -> (
+          match J.member "schema" r with
+          | Some (J.String s) when String.equal s repair_schema_version ->
+              Ok (Some r)
+          | Some (J.String s) ->
+              Error
+                (Printf.sprintf "repair schema %S, want %S" s
+                   repair_schema_version)
+          | Some _ | None -> Error "repair record missing \"schema\"")
+    in
+    Ok
+      { e_signature; e_scenario; e_first_seen; e_last_seen; e_hits; e_env;
+        e_repair }
 
 let entry_of_string s =
   let* j = J.of_string s in
@@ -150,23 +176,30 @@ let add ~dir ?now sg scenario =
     match if Sys.file_exists path then load_entry path |> Result.to_option else None with
     | Some prev ->
         (* Keep the smaller repro across runs: minimization only ever
-           tightens the corpus. *)
+           tightens the corpus.  A stored repair record targets the
+           stored scenario — replacing the repro invalidates it. *)
         let scenario =
           if Scenario.size scenario < Scenario.size prev.e_scenario then scenario
           else prev.e_scenario
+        in
+        let e_repair =
+          if Scenario.equal scenario prev.e_scenario then prev.e_repair
+          else None
         in
         { prev with
           e_scenario = scenario;
           e_last_seen = now;
           e_hits = prev.e_hits + 1;
-          e_env = env_fingerprint () }
+          e_env = env_fingerprint ();
+          e_repair }
     | None ->
         { e_signature = sg;
           e_scenario = scenario;
           e_first_seen = now;
           e_last_seen = now;
           e_hits = 1;
-          e_env = env_fingerprint () }
+          e_env = env_fingerprint ();
+          e_repair = None }
   in
   write_file path (J.to_string (entry_to_json entry) ^ "\n");
   entry
@@ -192,6 +225,55 @@ let remove ~dir sg =
     true
   end
   else false
+
+(* ------------------------------------------------------------------ *)
+(* Repair record                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type repair_status = [ `None | `Candidate | `Verified ]
+
+let repair_status e =
+  match e.e_repair with
+  | None -> `None
+  | Some r -> (
+      match J.member "status" r with
+      | Some (J.String "verified") -> `Verified
+      | Some (J.String "candidate") -> `Candidate
+      | _ -> `None)
+
+let repair_status_name = function
+  | `None -> "none"
+  | `Candidate -> "candidate"
+  | `Verified -> "verified"
+
+let set_repair ~dir entry repair =
+  ensure_dir dir;
+  let entry = { entry with e_repair = Some repair } in
+  write_file
+    (path_of dir entry.e_signature)
+    (J.to_string (entry_to_json entry) ^ "\n");
+  entry
+
+let patched_scenario e =
+  match e.e_repair with
+  | None -> None
+  | Some r -> (
+      match J.member "patch" r with
+      | Some (J.List ms) -> (
+          let rec decode acc = function
+            | [] -> Some (List.rev acc)
+            | m :: rest -> (
+                match Confuzz.Mutation.of_json m with
+                | Ok m -> decode (m :: acc) rest
+                | Error _ -> None)
+          in
+          match (decode [] ms, e.e_scenario) with
+          | Some (_ :: _ as patch), Scenario.Deploy d ->
+              Some
+                (Scenario.Deploy
+                   { d with Scenario.dp_confuzz = d.Scenario.dp_confuzz @ patch })
+          | _ -> None)
+      | _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)

@@ -29,6 +29,13 @@ type entry = {
   e_last_seen : float;
   e_hits : int;  (** distinct filings of this signature *)
   e_env : (string * string) list;  (** toolchain fingerprint of the last filing *)
+  e_repair : Telemetry.Json.t option;
+      (** optional [dice-repair/1] record from the repair engine.
+          Entries without one serialize byte-for-byte as before the
+          field existed; {!validate} only checks the schema tag here —
+          full structure is [telemetry_check --repair]'s job.  Filing a
+          {e smaller} repro via {!add} drops the record (it targeted
+          the replaced scenario). *)
 }
 
 val env_fingerprint : unit -> (string * string) list
@@ -56,6 +63,29 @@ val load : dir:string -> (string * (entry, string) result) list
 
 val find : dir:string -> Dice.Signature.t -> entry option
 val remove : dir:string -> Dice.Signature.t -> bool
+
+(** {1 Repair record} *)
+
+val repair_schema_version : string
+(** ["dice-repair/1"]. *)
+
+type repair_status = [ `None | `Candidate | `Verified ]
+
+val repair_status : entry -> repair_status
+(** [`None] also covers a stored record whose status is "none-found"
+    (a repair ran and produced nothing). *)
+
+val repair_status_name : repair_status -> string
+
+val set_repair : dir:string -> entry -> Telemetry.Json.t -> entry
+(** Store a repair record into the entry's file (atomic rewrite, like
+    {!add}) and return the updated entry. *)
+
+val patched_scenario : entry -> Scenario.t option
+(** The stored scenario with the repair record's winning ["patch"]
+    mutations appended to [dp_confuzz] — the scenario whose replay the
+    verifier accepted.  [None] when there is no record, no patch, the
+    patch fails to decode, or the scenario is a wire repro. *)
 
 (** {1 Replay} *)
 

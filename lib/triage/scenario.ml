@@ -189,7 +189,9 @@ let explorer_params (e : exploration) churned =
              never let a minimization replay stall on it. *)
           if churned then Some (Netsim.Time.span_sec 30.) else None) }
 
-let run_deploy_base d =
+let run_deploy_base ?(on_deployed = fun (_ : Topology.Build.t) -> ())
+    ?(on_finished = fun (_ : Topology.Build.t) (_ : Dice.Fault.t list) -> ()) d
+    =
   let graph = graph_of d in
   let build = Topology.Build.deploy ~seed:d.dp_seed graph in
   Topology.Build.start_all build;
@@ -208,6 +210,10 @@ let run_deploy_base d =
       | Error e ->
           failwith (Printf.sprintf "confuzz: %s: %s" (Confuzz.Mutation.describe m) e))
     d.dp_confuzz;
+  (* The deployment is now fully configured (inject + confuzz applied)
+     but has not yet settled: the observation point for harvesting live
+     configs or arming coverage before any route re-propagation. *)
+  on_deployed build;
   (* Settle between injection and the fault schedules — the same
      sequencing as the live demo, so a scenario lifted from a demo run
      reproduces its detections. *)
@@ -259,6 +265,9 @@ let run_deploy_base d =
         let summary = Dice.Orchestrator.run ~params ?nodes ~build ~gt ~rounds () in
         summary.Dice.Orchestrator.faults
   in
+  (* The network is still alive here: [on_finished] can read RIBs and
+     speaker configs for the final state the checkers judged. *)
+  on_finished build faults;
   { o_signatures = List.map (Dice.Signature.of_fault ~graph) faults;
     o_faults = faults;
     o_error = None }
@@ -269,11 +278,11 @@ let run_deploy_base d =
    cascade found joins the outcome exactly as in the live run — so
    [detects] and the corpus replayer treat cascade signatures like any
    other. *)
-let run_deploy d =
-  if not d.dp_cascade then run_deploy_base d
+let run_deploy ?on_deployed ?on_finished d =
+  if not d.dp_cascade then run_deploy_base ?on_deployed ?on_finished d
   else
     Cascade.Online.with_monitor ~capacity:65536 @@ fun mon ->
-    let o = run_deploy_base d in
+    let o = run_deploy_base ?on_deployed ?on_finished d in
     let cascade_faults = Cascade.Online.probe mon in
     let graph = graph_of d in
     { o with
@@ -282,7 +291,7 @@ let run_deploy d =
         o.o_signatures
         @ List.map (Dice.Signature.of_fault ~graph) cascade_faults }
 
-let run t =
+let run_observed ?on_deployed ?on_finished t =
   (* A nested deployment installs its own telemetry clock; restore the
      caller's so an outer live run's timeline survives the replay. *)
   let saved_clock = Telemetry.current_clock () in
@@ -292,12 +301,14 @@ let run t =
       match t with
       | Wire bytes -> run_wire bytes
       | Deploy d -> (
-          try run_deploy d
+          try run_deploy ?on_deployed ?on_finished d
           with e ->
             (* A scenario that cannot even be set up (pruned-away inject
                target, missing speaker, stalled cut) detects nothing —
                the minimizer treats that as a rejected step. *)
             no_outcome (Some (Printexc.to_string e))))
+
+let run t = run_observed t
 
 let detects t sg =
   List.exists (Dice.Signature.equal sg) (run t).o_signatures

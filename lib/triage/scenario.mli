@@ -122,6 +122,20 @@ val run : t -> outcome
     the outer timeline.  Never raises: setup failures land in
     [o_error]. *)
 
+val run_observed :
+  ?on_deployed:(Topology.Build.t -> unit) ->
+  ?on_finished:(Topology.Build.t -> Dice.Fault.t list -> unit) ->
+  t ->
+  outcome
+(** {!run} with observation hooks for the repair engine (both ignored
+    for [Wire] scenarios).  [on_deployed] fires once the deployment is
+    fully configured — inject and confuzz mutations applied — but
+    before settling, the point to harvest live configs or arm
+    {!Bgp.Clause_cov}.  [on_finished] fires after fault collection with
+    the network still alive, so RIBs and final configs are readable.
+    Hook exceptions propagate into [o_error] like any setup failure;
+    the hooks never change what the replay detects. *)
+
 val detects : t -> Dice.Signature.t -> bool
 (** [detects t sg] — does one replay of [t] report [sg]?  The
     minimizer's acceptance test. *)

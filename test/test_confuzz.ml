@@ -39,6 +39,7 @@ let specimens =
     M.Ref_dangle { node = 7; neighbor = 1; dir = M.Export };
     M.Ref_swap { node = 8; neighbor = 0 };
     M.Originate_foreign { node = 9; prefix = pfx };
+    M.Network_drop { node = 9; prefix = pfx };
     M.Te_pin { node = 1; map = "FROM-PEER"; prefix = pfx; via_asn = 1002; pref = 300 } ]
 
 let mutation_json_roundtrip () =
@@ -53,7 +54,7 @@ let mutation_json_roundtrip () =
     specimens;
   Alcotest.(check bool) "every kind described" true
     (List.for_all (fun m -> String.length (M.describe m) > 0) specimens);
-  check Alcotest.int "catalog coverage: 15 distinct kinds" 15
+  check Alcotest.int "catalog coverage: 16 distinct kinds" 16
     (List.length (List.sort_uniq String.compare (List.map M.kind_name specimens)));
   Alcotest.(check bool) "garbage rejected" true
     (Result.is_error (M.of_json (Telemetry.Json.String "nope")));
@@ -120,6 +121,14 @@ let mutation_apply_semantics () =
     (List.exists (Bgp.Prefix.equal stolen) orig.Bgp.Config.networks);
   Alcotest.(check bool) "already-originated prefix refused" true
     (Result.is_error (M.apply_config (M.Originate_foreign { node = 0; prefix = stolen }) orig));
+  (* Network drop is the exact inverse: removing the stolen prefix gives
+     the original networks back, and a second drop is inapplicable. *)
+  let dropped_net = apply_exn (M.Network_drop { node = 0; prefix = stolen }) orig in
+  Alcotest.(check bool) "drop restores the original networks" true
+    (dropped_net.Bgp.Config.networks = cfg.Bgp.Config.networks);
+  Alcotest.(check bool) "dropping a non-originated prefix refused" true
+    (Result.is_error
+       (M.apply_config (M.Network_drop { node = 0; prefix = stolen }) dropped_net));
   (* A dangled reference is exactly the kind of config validate rejects. *)
   let dangled = apply_exn (M.Ref_dangle { node = 0; neighbor = 0; dir = M.Import }) cfg in
   Alcotest.(check bool) "dangling import flagged by validate" true

@@ -25,4 +25,5 @@ let () =
       ("scale", Test_scale.suite);
       ("benchgate", Test_benchgate.suite);
       ("cascade", Test_cascade.suite);
-      ("campaign", Test_campaign.suite) ]
+      ("campaign", Test_campaign.suite);
+      ("repair", Test_repair.suite) ]

@@ -283,7 +283,8 @@ let corpus_validator_rejects () =
         e_first_seen = 1.;
         e_last_seen = 2.;
         e_hits = 1;
-        e_env = [] }
+        e_env = [];
+        e_repair = None }
   in
   Alcotest.(check bool) "well-formed accepted" true
     (Result.is_ok (Triage.Corpus.validate ok_entry));
@@ -311,6 +312,101 @@ let corpus_validator_rejects () =
       ("bad scenario", patch "scenario" (Telemetry.Json.String "junk"));
       ("zero hits", patch "hits" (Telemetry.Json.Int 0));
       ("missing first_seen", drop "first_seen") ]
+
+let corpus_repair_record () =
+  let module J = Telemetry.Json in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let base =
+    { Triage.Corpus.e_signature =
+        Triage.Signature.make ~node:0 ~property:"p" Dice.Fault.Operator_mistake "d";
+      e_scenario = Triage.Scenario.Wire "x";
+      e_first_seen = 1.;
+      e_last_seen = 2.;
+      e_hits = 1;
+      e_env = [];
+      e_repair = None }
+  in
+  (* Legacy pin: a record-less entry encodes without the member and
+     round-trips byte-unchanged through decode/encode. *)
+  let legacy = J.to_string (Triage.Corpus.entry_to_json base) in
+  Alcotest.(check bool) "legacy encoding has no repair member" false
+    (contains legacy "\"repair\"");
+  (match Triage.Corpus.entry_of_string legacy with
+  | Ok e ->
+      Alcotest.(check bool) "decodes with no record" true
+        (e.Triage.Corpus.e_repair = None);
+      check Alcotest.string "legacy round-trips byte-unchanged" legacy
+        (J.to_string (Triage.Corpus.entry_to_json e))
+  | Error e -> Alcotest.failf "legacy entry rejected: %s" e);
+  let record status =
+    J.Obj [ ("schema", J.String "dice-repair/1"); ("status", J.String status) ]
+  in
+  List.iter
+    (fun (status, expect) ->
+      let json =
+        Triage.Corpus.entry_to_json
+          { base with Triage.Corpus.e_repair = Some (record status) }
+      in
+      match Triage.Corpus.validate json with
+      | Ok e ->
+          check Alcotest.string
+            (Printf.sprintf "status %s maps to %s" status expect)
+            expect
+            (Triage.Corpus.repair_status_name (Triage.Corpus.repair_status e));
+          check Alcotest.string "repair entry round-trips"
+            (J.to_string json)
+            (J.to_string (Triage.Corpus.entry_to_json e))
+      | Error e -> Alcotest.failf "repair entry rejected: %s" e)
+    [ ("verified", "verified"); ("candidate", "candidate");
+      ("none-found", "none") ];
+  Alcotest.(check bool) "wrong repair schema rejected" true
+    (Result.is_error
+       (Triage.Corpus.validate
+          (Triage.Corpus.entry_to_json
+             { base with
+               Triage.Corpus.e_repair =
+                 Some (J.Obj [ ("schema", J.String "dice-repair/0") ]) })))
+
+let corpus_set_repair_and_patched_scenario () =
+  let module J = Telemetry.Json in
+  with_temp_dir @@ fun dir ->
+  let sg =
+    Triage.Signature.make ~node:3 ~property:"convergence"
+      Dice.Fault.Policy_conflict "d"
+  in
+  let entry = Triage.Corpus.add ~dir ~now:1. sg dispute_direct in
+  let drop =
+    Confuzz.Mutation.Network_drop
+      { node = 9; prefix = Bgp.Prefix.of_string_exn "192.0.0.0/24" }
+  in
+  let record =
+    J.Obj
+      [ ("schema", J.String "dice-repair/1");
+        ("status", J.String "verified");
+        ("patch", J.List [ Confuzz.Mutation.to_json drop ]) ]
+  in
+  let entry' = Triage.Corpus.set_repair ~dir entry record in
+  (* persisted: a fresh load sees the record *)
+  (match Triage.Corpus.find ~dir sg with
+  | Some e ->
+      Alcotest.(check bool) "record persisted" true
+        (e.Triage.Corpus.e_repair = Some record)
+  | None -> Alcotest.fail "entry vanished after set_repair");
+  (match Triage.Corpus.patched_scenario entry' with
+  | Some (Triage.Scenario.Deploy d) -> (
+      match List.rev d.Triage.Scenario.dp_confuzz with
+      | last :: _ ->
+          Alcotest.(check bool) "patch appended to dp_confuzz" true (last = drop)
+      | [] -> Alcotest.fail "patched scenario has no mutations")
+  | _ -> Alcotest.fail "patched_scenario must produce a deploy");
+  (* re-filing a smaller repro drops the now-unverified record *)
+  let e2 = Triage.Corpus.add ~dir ~now:2. sg dispute_direct in
+  Alcotest.(check bool) "same-scenario refile keeps the record" true
+    (e2.Triage.Corpus.e_repair = Some record)
 
 let corpus_gc () =
   with_temp_dir @@ fun dir ->
@@ -417,6 +513,9 @@ let suite =
     ("minimize: hijack end-to-end", `Slow, minimize_hijack_end_to_end);
     ("corpus: add/load/replay/remove", `Slow, corpus_roundtrip);
     ("corpus: validator rejects", `Quick, corpus_validator_rejects);
+    ("corpus: repair record optional and pinned", `Quick, corpus_repair_record);
+    ("corpus: set_repair and patched_scenario", `Quick,
+     corpus_set_repair_and_patched_scenario);
     ("corpus: gc drops stale entries", `Slow, corpus_gc);
     ("corpus: load skips torn entries", `Slow, corpus_load_skips_torn_entries);
     ("scenario: with_seed expansion", `Quick, scenario_with_seed);
